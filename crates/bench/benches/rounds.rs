@@ -1,0 +1,118 @@
+//! Criterion benches at the experiment level: one communication round per
+//! algorithm (the unit every table is built from), plus the partitioner
+//! and the analysis tools (t-SNE, conductance).
+
+use criterion::{criterion_group, criterion_main, Criterion};
+use fca_data::partition::Partitioner;
+use fca_data::synth::tiny_dataset;
+use fca_metrics::conductance::{layer_conductance, rank_scores};
+use fca_metrics::tsne::{tsne, TsneConfig};
+use fca_models::classifier::ClassifierWeights;
+use fca_tensor::rng::seeded_rng;
+use fca_tensor::Tensor;
+use fedclassavg::algo::{Algorithm, FedAvg, FedClassAvg, FedProto, KtPfl};
+use fedclassavg::comm::Network;
+use fedclassavg::config::HyperParams;
+use fedclassavg::sim::test_support::{
+    tiny_fleet, tiny_fleet_homogeneous, tiny_public_data,
+};
+use std::time::Duration;
+
+fn bench_rounds(c: &mut Criterion) {
+    let mut g = c.benchmark_group("round");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    let hp = HyperParams::micro_default();
+
+    g.bench_function("fedclassavg_4clients", |bch| {
+        let (mut clients, _) = tiny_fleet(4, 1001);
+        let mut algo = FedClassAvg::new(8, 3, 1);
+        let net = Network::new(4);
+        let mut round = 0;
+        bch.iter(|| {
+            round += 1;
+            algo.round(round, &mut clients, &[0, 1, 2, 3], &net, &hp);
+        })
+    });
+
+    g.bench_function("fedavg_4clients", |bch| {
+        let (mut clients, _) = tiny_fleet_homogeneous(4, 1002);
+        let init = clients[0].model.full_state();
+        let mut algo = FedAvg::new(init);
+        let net = Network::new(4);
+        let mut round = 0;
+        bch.iter(|| {
+            round += 1;
+            algo.round(round, &mut clients, &[0, 1, 2, 3], &net, &hp);
+        })
+    });
+
+    g.bench_function("fedproto_4clients", |bch| {
+        let (mut clients, _) = tiny_fleet(4, 1003);
+        let mut algo = FedProto::new(8, 3, 1.0);
+        let net = Network::new(4);
+        let mut round = 0;
+        bch.iter(|| {
+            round += 1;
+            algo.round(round, &mut clients, &[0, 1, 2, 3], &net, &hp);
+        })
+    });
+
+    g.bench_function("ktpfl_4clients", |bch| {
+        let (mut clients, _) = tiny_fleet(4, 1004);
+        let public = tiny_public_data(16, 1005);
+        let mut algo = KtPfl::new(public, 4).with_local_epochs(1);
+        let net = Network::new(4);
+        let mut round = 0;
+        bch.iter(|| {
+            round += 1;
+            algo.round(round, &mut clients, &[0, 1, 2, 3], &net, &hp);
+        })
+    });
+    g.finish();
+}
+
+fn bench_partition(c: &mut Criterion) {
+    let mut g = c.benchmark_group("partition");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    let d = tiny_dataset(10, 2000, 400, 1006);
+    g.bench_function("dirichlet_20clients_2000", |bch| {
+        let mut seed = 0u64;
+        bch.iter(|| {
+            seed += 1;
+            Partitioner::Dirichlet { alpha: 0.5 }.split(&d.train, &d.test, 20, seed)
+        })
+    });
+    g.bench_function("skewed_20clients_2000", |bch| {
+        let mut seed = 0u64;
+        bch.iter(|| {
+            seed += 1;
+            Partitioner::Skewed { classes_per_client: 2 }.split(&d.train, &d.test, 20, seed)
+        })
+    });
+    g.finish();
+}
+
+fn bench_analysis(c: &mut Criterion) {
+    let mut g = c.benchmark_group("analysis");
+    g.sample_size(10).measurement_time(Duration::from_secs(4));
+    let mut rng = seeded_rng(1007);
+    let feats = Tensor::randn([80, 16], 1.0, &mut rng);
+    g.bench_function("tsne_80x16_100iters", |bch| {
+        let cfg = TsneConfig { iterations: 100, seed: 1, ..Default::default() };
+        bch.iter(|| tsne(&feats, &cfg))
+    });
+
+    let cls = ClassifierWeights {
+        weight: Tensor::randn([10, 512], 1.0, &mut rng),
+        bias: Tensor::zeros([10]),
+    };
+    let z: Vec<f32> = (0..512).map(|i| (i as f32).sin()).collect();
+    let baseline = vec![0.0f32; 512];
+    g.bench_function("conductance_512units", |bch| {
+        bch.iter(|| rank_scores(&layer_conductance(&cls, &z, &baseline, 3, 8)))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_rounds, bench_partition, bench_analysis);
+criterion_main!(benches);

@@ -1,0 +1,104 @@
+//! Criterion benches over the computational substrate: GEMM, convolution,
+//! the paper's three loss terms, augmentation, and wire serialization.
+
+use criterion::{criterion_group, criterion_main, BenchmarkId, Criterion};
+use fca_data::augment::AugmentConfig;
+use fca_models::classifier::ClassifierWeights;
+use fca_nn::conv::{Conv2d, ConvGeometry};
+use fca_nn::loss::{cross_entropy, supervised_contrastive};
+use fca_nn::Module;
+use fca_tensor::linalg::matmul;
+use fca_tensor::rng::seeded_rng;
+use fca_tensor::Tensor;
+use fedclassavg::comm::WireMessage;
+use std::time::Duration;
+
+fn quick(c: &mut Criterion) -> &mut Criterion {
+    c
+}
+
+fn bench_gemm(c: &mut Criterion) {
+    let mut g = quick(c).benchmark_group("gemm");
+    g.sample_size(20).measurement_time(Duration::from_secs(2));
+    let mut rng = seeded_rng(1);
+    for &n in &[32usize, 96] {
+        let a = Tensor::randn([n, n], 1.0, &mut rng);
+        let b = Tensor::randn([n, n], 1.0, &mut rng);
+        g.bench_with_input(BenchmarkId::new("nn", n), &n, |bch, _| {
+            bch.iter(|| matmul(&a, &b))
+        });
+    }
+    g.finish();
+}
+
+fn bench_conv(c: &mut Criterion) {
+    let mut g = quick(c).benchmark_group("conv2d");
+    g.sample_size(15).measurement_time(Duration::from_secs(2));
+    let mut rng = seeded_rng(2);
+    let geom = ConvGeometry {
+        in_channels: 16,
+        out_channels: 32,
+        kernel: 3,
+        stride: 1,
+        padding: 1,
+        groups: 1,
+    };
+    let mut conv = Conv2d::new(geom, &mut rng);
+    let x = Tensor::randn([8, 16, 14, 14], 1.0, &mut rng);
+    g.bench_function("forward_8x16x14x14", |bch| bch.iter(|| conv.forward(&x, true)));
+    let y = conv.forward(&x, true);
+    let gy = Tensor::ones(y.shape().clone());
+    g.bench_function("backward_8x16x14x14", |bch| {
+        bch.iter(|| {
+            conv.zero_grad();
+            conv.backward(&gy)
+        })
+    });
+    g.finish();
+}
+
+fn bench_losses(c: &mut Criterion) {
+    let mut g = quick(c).benchmark_group("losses");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    let mut rng = seeded_rng(3);
+    let logits = Tensor::randn([64, 10], 1.0, &mut rng);
+    let targets: Vec<usize> = (0..64).map(|i| i % 10).collect();
+    g.bench_function("cross_entropy_64x10", |bch| {
+        bch.iter(|| cross_entropy(&logits, &targets))
+    });
+    // SupCon on the 2B concatenated views (paper's per-batch shape).
+    let feats = Tensor::randn([128, 64], 1.0, &mut rng);
+    let labels: Vec<usize> = (0..128).map(|i| i % 10).collect();
+    g.bench_function("supcon_128x64", |bch| {
+        bch.iter(|| supervised_contrastive(&feats, &labels, 0.5))
+    });
+    g.finish();
+}
+
+fn bench_augment(c: &mut Criterion) {
+    let mut g = quick(c).benchmark_group("augment");
+    g.sample_size(30).measurement_time(Duration::from_secs(2));
+    let mut rng = seeded_rng(4);
+    let batch = Tensor::randn([32, 1, 28, 28], 1.0, &mut rng);
+    let cfg = AugmentConfig::mnist_like();
+    g.bench_function("two_views_32x1x28x28", |bch| {
+        bch.iter(|| cfg.two_views(&batch, &mut rng))
+    });
+    g.finish();
+}
+
+fn bench_wire(c: &mut Criterion) {
+    let mut g = quick(c).benchmark_group("wire");
+    g.sample_size(40).measurement_time(Duration::from_secs(2));
+    // Paper-scale classifier payload: 512×10.
+    let msg = WireMessage::Classifier(ClassifierWeights::zeros(512, 10));
+    g.bench_function("encode_classifier_512x10", |bch| bch.iter(|| msg.encode()));
+    let encoded = msg.encode();
+    g.bench_function("decode_classifier_512x10", |bch| {
+        bch.iter(|| WireMessage::decode(encoded.clone()).expect("decode"))
+    });
+    g.finish();
+}
+
+criterion_group!(benches, bench_gemm, bench_conv, bench_losses, bench_augment, bench_wire);
+criterion_main!(benches);

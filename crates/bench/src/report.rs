@@ -1,0 +1,124 @@
+//! Report rendering: paper-vs-measured tables and JSON artifacts.
+
+use serde::Serialize;
+use std::path::Path;
+
+/// A single table cell comparison: the paper's number next to ours.
+#[derive(Clone, Debug, Serialize)]
+pub struct Comparison {
+    /// Row label (method name).
+    pub method: String,
+    /// Column label (dataset / setting).
+    pub setting: String,
+    /// The paper's reported value.
+    pub paper: f64,
+    /// Our measured value.
+    pub measured: f64,
+    /// Optional measured spread (±).
+    pub measured_std: Option<f64>,
+}
+
+/// Render comparisons grouped by setting.
+pub fn comparison_table(title: &str, rows: &[Comparison]) -> String {
+    use std::fmt::Write as _;
+    let mut out = String::new();
+    let _ = writeln!(out, "== {title} ==");
+    let _ = writeln!(
+        out,
+        "{:<28} {:<22} {:>10} {:>10} {:>8}",
+        "method", "setting", "paper", "measured", "±"
+    );
+    for r in rows {
+        let std = r.measured_std.map(|s| format!("{s:.4}")).unwrap_or_else(|| "-".into());
+        let _ = writeln!(
+            out,
+            "{:<28} {:<22} {:>10.4} {:>10.4} {:>8}",
+            r.method, r.setting, r.paper, r.measured, std
+        );
+    }
+    out
+}
+
+/// Check that our measurements preserve the paper's *ordering* between two
+/// methods in a setting (the reproduction criterion — absolute numbers
+/// come from different substrates).
+pub fn ordering_holds(rows: &[Comparison], better: &str, worse: &str, setting: &str) -> Option<bool> {
+    let find = |m: &str| {
+        rows.iter()
+            .find(|r| r.method == m && r.setting == setting)
+            .map(|r| r.measured)
+    };
+    Some(find(better)? > find(worse)?)
+}
+
+/// Write any serializable result as JSON under `results/`.
+pub fn write_json<T: Serialize>(name: &str, value: &T) -> std::io::Result<std::path::PathBuf> {
+    let dir = results_dir();
+    std::fs::create_dir_all(&dir)?;
+    let path = dir.join(format!("{name}.json"));
+    let json = serde_json::to_string_pretty(value).expect("serializable");
+    std::fs::write(&path, json)?;
+    Ok(path)
+}
+
+/// The `results/` directory at the workspace root (falls back to CWD).
+pub fn results_dir() -> std::path::PathBuf {
+    // The binaries run from the workspace root via `cargo run`; walk up
+    // from the crate dir when invoked from elsewhere.
+    let cwd = std::env::current_dir().unwrap_or_else(|_| ".".into());
+    for candidate in [cwd.clone(), cwd.join(".."), cwd.join("../..")] {
+        if candidate.join("Cargo.toml").exists() && candidate.join("crates").is_dir() {
+            return candidate.join("results");
+        }
+    }
+    Path::new("results").to_path_buf()
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn rows() -> Vec<Comparison> {
+        vec![
+            Comparison {
+                method: "Proposed".into(),
+                setting: "CIFAR Dir(0.5)".into(),
+                paper: 0.767,
+                measured: 0.71,
+                measured_std: Some(0.05),
+            },
+            Comparison {
+                method: "KT-pFL".into(),
+                setting: "CIFAR Dir(0.5)".into(),
+                paper: 0.6228,
+                measured: 0.62,
+                measured_std: None,
+            },
+        ]
+    }
+
+    #[test]
+    fn table_renders_all_rows() {
+        let t = comparison_table("Table 2", &rows());
+        assert_eq!(t.lines().count(), 4);
+        assert!(t.contains("Proposed"));
+        assert!(t.contains("0.7100"));
+    }
+
+    #[test]
+    fn ordering_detection() {
+        let r = rows();
+        assert_eq!(ordering_holds(&r, "Proposed", "KT-pFL", "CIFAR Dir(0.5)"), Some(true));
+        assert_eq!(ordering_holds(&r, "KT-pFL", "Proposed", "CIFAR Dir(0.5)"), Some(false));
+        assert_eq!(ordering_holds(&r, "Missing", "KT-pFL", "CIFAR Dir(0.5)"), None);
+    }
+
+    #[test]
+    fn json_artifact_written() {
+        let path = write_json("test_artifact", &rows()).expect("write");
+        assert!(path.exists());
+        let body = std::fs::read_to_string(&path).expect("read");
+        assert!(body.contains("Proposed"));
+        std::fs::remove_file(path).ok();
+    }
+}

@@ -1,0 +1,210 @@
+//! FedAvg (McMahan et al. 2017) and FedProx (Li et al. 2020) — the
+//! homogeneous full-weight-sharing baselines of Table 3.
+
+use super::{for_sampled_parallel, normalized_weights, Algorithm};
+use crate::client::Client;
+use crate::comm::{Network, WireMessage};
+use crate::config::HyperParams;
+use fca_tensor::Tensor;
+
+/// FedAvg server: weighted full-model averaging.
+pub struct FedAvg {
+    global_state: Vec<Tensor>,
+}
+
+impl FedAvg {
+    /// New server seeded with an initial global model state
+    /// (all clients must share the architecture).
+    pub fn new(initial_state: Vec<Tensor>) -> Self {
+        assert!(!initial_state.is_empty(), "initial state empty");
+        FedAvg { global_state: initial_state }
+    }
+
+    /// Current global state (for tests/analysis).
+    pub fn global_state(&self) -> &[Tensor] {
+        &self.global_state
+    }
+
+    fn aggregate(&mut self, replies: &[(usize, WireMessage)], weights: &[f32]) {
+        let mut acc: Option<Vec<Tensor>> = None;
+        for ((_, msg), &w) in replies.iter().zip(weights) {
+            let WireMessage::FullModel(state) = msg else {
+                panic!("expected FullModel uplink")
+            };
+            match &mut acc {
+                None => acc = Some(state.iter().map(|t| t.scaled(w)).collect()),
+                Some(a) => {
+                    for (ai, ti) in a.iter_mut().zip(state) {
+                        ai.axpy(w, ti);
+                    }
+                }
+            }
+        }
+        self.global_state = acc.expect("at least one reply");
+    }
+}
+
+impl Algorithm for FedAvg {
+    fn name(&self) -> String {
+        "FedAvg".into()
+    }
+
+    fn round(
+        &mut self,
+        _round: usize,
+        clients: &mut [Client],
+        sampled: &[usize],
+        net: &Network,
+        hp: &HyperParams,
+    ) {
+        for &k in sampled {
+            net.send_to_client(k, &WireMessage::FullModel(self.global_state.clone()));
+        }
+        for_sampled_parallel(clients, sampled, |c| {
+            let WireMessage::FullModel(state) = net.client_recv(c.id) else {
+                panic!("expected FullModel broadcast")
+            };
+            c.model.load_full_state(&state);
+            c.local_update_supervised(hp.local_epochs, hp);
+            net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
+        });
+        let replies = net.server_collect(sampled.len());
+        let ids: Vec<usize> = replies.iter().map(|(k, _)| *k).collect();
+        let weights = normalized_weights(clients, &ids);
+        self.aggregate(&replies, &weights);
+    }
+}
+
+/// FedProx server: FedAvg aggregation, but local updates add
+/// `(μ/2)‖w − w_global‖²` on every parameter.
+pub struct FedProx {
+    inner: FedAvg,
+    mu: f32,
+}
+
+impl FedProx {
+    /// New FedProx server with proximal weight `mu`.
+    pub fn new(initial_state: Vec<Tensor>, mu: f32) -> Self {
+        assert!(mu >= 0.0, "mu must be non-negative");
+        FedProx { inner: FedAvg::new(initial_state), mu }
+    }
+
+    /// Current global state.
+    pub fn global_state(&self) -> &[Tensor] {
+        self.inner.global_state()
+    }
+}
+
+impl Algorithm for FedProx {
+    fn name(&self) -> String {
+        "FedProx".into()
+    }
+
+    fn round(
+        &mut self,
+        _round: usize,
+        clients: &mut [Client],
+        sampled: &[usize],
+        net: &Network,
+        hp: &HyperParams,
+    ) {
+        for &k in sampled {
+            net.send_to_client(k, &WireMessage::FullModel(self.inner.global_state.clone()));
+        }
+        let mu = self.mu;
+        for_sampled_parallel(clients, sampled, |c| {
+            let WireMessage::FullModel(state) = net.client_recv(c.id) else {
+                panic!("expected FullModel broadcast")
+            };
+            c.model.load_full_state(&state);
+            // Snapshot the just-loaded global parameters in params_mut
+            // order so the proximal pull aligns exactly.
+            let snapshot: Vec<Tensor> =
+                c.model.params_mut().iter().map(|p| p.value.clone()).collect();
+            c.local_update_fedprox(&snapshot, mu, hp);
+            net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
+        });
+        let replies = net.server_collect(sampled.len());
+        let ids: Vec<usize> = replies.iter().map(|(k, _)| *k).collect();
+        let weights = normalized_weights(clients, &ids);
+        self.inner.aggregate(&replies, &weights);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::test_support::{tiny_fleet_homogeneous, tiny_fleet_homogeneous_hp};
+
+    #[test]
+    fn fedavg_synchronizes_clients() {
+        let hp = HyperParams::micro_default().with_lr(0.0);
+        let (mut clients, net) = tiny_fleet_homogeneous_hp(3, 721, hp);
+        let init = clients[0].model.full_state();
+        let mut algo = FedAvg::new(init.clone());
+        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        // lr = 0: every client returned the broadcast, so the new global
+        // equals the old one.
+        for (a, b) in algo.global_state().iter().zip(&init) {
+            for (x, y) in a.data().iter().zip(b.data()) {
+                assert!((x - y).abs() < 1e-5);
+            }
+        }
+    }
+
+    #[test]
+    fn fedavg_moves_global_when_training() {
+        let (mut clients, net) = tiny_fleet_homogeneous(2, 722);
+        let hp = HyperParams::micro_default();
+        let init = clients[0].model.full_state();
+        let mut algo = FedAvg::new(init.clone());
+        algo.round(0, &mut clients, &[0, 1], &net, &hp);
+        let moved = algo
+            .global_state()
+            .iter()
+            .zip(&init)
+            .any(|(a, b)| a.sub(b).max_abs() > 1e-6);
+        assert!(moved, "global state did not move");
+    }
+
+    #[test]
+    fn fedprox_stays_closer_to_global_than_fedavg() {
+        // Several batches per round so the proximal pull (zero on the very
+        // first batch, when weights still equal the global) takes effect.
+        let hp = HyperParams::micro_default().with_lr(5e-3).with_epochs(4);
+        let drift = |mu: f32, seed: u64| -> f32 {
+            let mut hp = hp;
+            hp.batch_size = 8;
+            let (mut clients, net) = tiny_fleet_homogeneous_hp(2, seed, hp);
+            let init = clients[0].model.full_state();
+            let mut algo = FedProx::new(init.clone(), mu);
+            algo.round(0, &mut clients, &[0, 1], &net, &hp);
+            algo.global_state()
+                .iter()
+                .zip(&init)
+                .map(|(a, b)| a.sub(b).sq_norm())
+                .sum::<f32>()
+                .sqrt()
+        };
+        // Large μ must shrink the round's drift (same seed, same data).
+        let loose = drift(0.0, 723);
+        let tight = drift(25.0, 723);
+        assert!(
+            tight < loose,
+            "FedProx μ=25 drifted {tight} vs FedAvg-equivalent {loose}"
+        );
+    }
+
+    #[test]
+    fn full_model_traffic_dwarfs_classifier_traffic() {
+        let (mut clients, net) = tiny_fleet_homogeneous(2, 724);
+        let hp = HyperParams::micro_default();
+        let init = clients[0].model.full_state();
+        let mut algo = FedAvg::new(init);
+        algo.round(0, &mut clients, &[0, 1], &net, &hp);
+        let full_traffic = net.stats().total_bytes();
+        // The classifier for this fleet is 8×3+3 floats ≈ 0.1 KB; the
+        // CnnFedAvg model is tens of thousands of floats.
+        assert!(full_traffic > 50 * 1024, "traffic {full_traffic} B");
+    }
+}

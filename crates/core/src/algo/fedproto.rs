@@ -1,0 +1,146 @@
+//! FedProto (Tan et al. 2021): clients exchange per-class feature
+//! prototypes instead of weights; local training adds a regularizer
+//! pulling features toward the global prototypes.
+
+use super::{for_sampled_parallel, Algorithm};
+use crate::client::Client;
+use crate::comm::{Network, WireMessage};
+use crate::config::HyperParams;
+use fca_tensor::Tensor;
+
+/// FedProto server: per-class weighted prototype averaging.
+pub struct FedProto {
+    num_classes: usize,
+    feature_dim: usize,
+    lambda: f32,
+    global_protos: Vec<Option<Tensor>>,
+}
+
+impl FedProto {
+    /// New server. `lambda` weights the prototype regularizer (the paper's
+    /// recommended value is 1.0).
+    pub fn new(feature_dim: usize, num_classes: usize, lambda: f32) -> Self {
+        FedProto {
+            num_classes,
+            feature_dim,
+            lambda,
+            global_protos: vec![None; num_classes],
+        }
+    }
+
+    /// Current global prototypes.
+    pub fn prototypes(&self) -> &[Option<Tensor>] {
+        &self.global_protos
+    }
+}
+
+impl Algorithm for FedProto {
+    fn name(&self) -> String {
+        "FedProto".into()
+    }
+
+    fn round(
+        &mut self,
+        _round: usize,
+        clients: &mut [Client],
+        sampled: &[usize],
+        net: &Network,
+        hp: &HyperParams,
+    ) {
+        for &k in sampled {
+            net.send_to_client(k, &WireMessage::Prototypes(self.global_protos.clone()));
+        }
+        let lambda = self.lambda;
+        for_sampled_parallel(clients, sampled, |c| {
+            let WireMessage::Prototypes(protos) = net.client_recv(c.id) else {
+                panic!("expected Prototypes broadcast")
+            };
+            c.local_update_fedproto(&protos, lambda, hp);
+            let local = c.compute_prototypes();
+            net.send_to_server(c.id, &WireMessage::Prototypes(local));
+        });
+
+        // Aggregate per class, weighting each contribution by the client's
+        // data share (clients lacking a class contribute nothing to it).
+        let replies = net.server_collect(sampled.len());
+        let mut sums: Vec<Tensor> = vec![Tensor::zeros([self.feature_dim]); self.num_classes];
+        let mut mass = vec![0.0f32; self.num_classes];
+        for (k, msg) in &replies {
+            let WireMessage::Prototypes(protos) = msg else {
+                panic!("expected Prototypes uplink")
+            };
+            assert_eq!(protos.len(), self.num_classes, "prototype class-count mismatch");
+            let w = clients[*k].weight;
+            for (c, p) in protos.iter().enumerate() {
+                if let Some(p) = p {
+                    assert_eq!(
+                        p.numel(),
+                        self.feature_dim,
+                        "client {k} prototype dim {} != {}",
+                        p.numel(),
+                        self.feature_dim
+                    );
+                    sums[c].axpy(w, p);
+                    mass[c] += w;
+                }
+            }
+        }
+        for (c, (mut s, m)) in sums.into_iter().zip(mass).enumerate() {
+            if m > 0.0 {
+                s.scale(1.0 / m);
+                self.global_protos[c] = Some(s);
+            }
+            // Classes nobody saw this round keep their previous prototype.
+        }
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::test_support::tiny_fleet;
+
+    #[test]
+    fn prototypes_populate_after_one_round() {
+        let (mut clients, net) = tiny_fleet(3, 731);
+        let hp = HyperParams::micro_default();
+        let mut algo = FedProto::new(8, 3, 1.0);
+        assert!(algo.prototypes().iter().all(|p| p.is_none()));
+        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        // The tiny fleet's shards jointly cover all 3 classes.
+        assert!(
+            algo.prototypes().iter().filter(|p| p.is_some()).count() >= 2,
+            "too few prototypes materialized"
+        );
+    }
+
+    #[test]
+    fn prototype_traffic_scales_with_classes_not_model() {
+        let (mut clients, net) = tiny_fleet(2, 732);
+        let hp = HyperParams::micro_default();
+        let mut algo = FedProto::new(8, 3, 1.0);
+        algo.round(0, &mut clients, &[0, 1], &net, &hp);
+        // ≤ 3 prototypes × 8 floats each way per client, plus headers.
+        let per_client = net.stats().total_bytes() / 2;
+        assert!(per_client < 2048, "per-client traffic {per_client} B");
+    }
+
+    #[test]
+    fn unseen_class_keeps_previous_prototype() {
+        let (mut clients, net) = tiny_fleet(2, 733);
+        let hp = HyperParams::micro_default();
+        let mut algo = FedProto::new(8, 3, 1.0);
+        // Seed class 2 with a sentinel prototype, then restrict every
+        // client to classes {0, 1} so nobody reports class 2.
+        let sentinel = Tensor::full([8], 9.0);
+        algo.global_protos[2] = Some(sentinel.clone());
+        for c in clients.iter_mut() {
+            let keep: Vec<usize> = (0..c.train_data.len())
+                .filter(|&i| c.train_data.labels[i] < 2)
+                .collect();
+            c.train_data = c.train_data.subset(&keep);
+        }
+        algo.round(0, &mut clients, &[0, 1], &net, &hp);
+        assert_eq!(algo.prototypes()[2], Some(sentinel));
+    }
+}

@@ -1,0 +1,392 @@
+//! KT-pFL (Zhang et al. 2021): parameterized knowledge transfer.
+//!
+//! Clients train many local epochs, publish soft predictions on a shared
+//! public dataset, and the server learns a **knowledge-coefficient matrix**
+//! `c` deciding how much each client should learn from every other; clients
+//! then distill toward their personalized soft-target mixture.
+//!
+//! [`KtPflWeight`] is the paper's homogeneous "+weight" variant: the server
+//! maintains a personalized global *model* per client, linearly combined
+//! through `c`, and ships weights instead of soft predictions.
+
+use super::{for_sampled_parallel, Algorithm};
+use crate::client::Client;
+use crate::comm::{Network, WireMessage};
+use crate::config::HyperParams;
+use fca_tensor::ops::softmax_rows;
+use fca_tensor::Tensor;
+
+/// Soft-prediction KT-pFL server.
+pub struct KtPfl {
+    public: Tensor,
+    /// Row-softmax logits of the knowledge-coefficient matrix.
+    theta: Tensor,
+    temperature: f32,
+    coeff_lr: f32,
+    coeff_steps: usize,
+    local_epochs: usize,
+    distill_steps: usize,
+    distill_batch: usize,
+}
+
+impl KtPfl {
+    /// New server over `num_clients` clients sharing `public` data.
+    ///
+    /// Defaults follow the paper's protocol: 20 local epochs per round,
+    /// temperature-2 distillation.
+    pub fn new(public: Tensor, num_clients: usize) -> Self {
+        KtPfl {
+            public,
+            theta: Tensor::zeros([num_clients, num_clients]),
+            temperature: 2.0,
+            coeff_lr: 0.5,
+            coeff_steps: 5,
+            local_epochs: 20,
+            distill_steps: 4,
+            distill_batch: 32,
+        }
+    }
+
+    /// Override the local-epoch budget (for quick tests).
+    pub fn with_local_epochs(mut self, e: usize) -> Self {
+        self.local_epochs = e;
+        self
+    }
+
+    /// Current knowledge-coefficient matrix (rows softmax-normalized).
+    pub fn coefficients(&self) -> Tensor {
+        softmax_rows(&self.theta)
+    }
+
+    /// One gradient pass on the coefficient logits for the sampled rows:
+    /// minimize `Σ_k KL(t_k ‖ s_k)` with `t_k = Σ_l c_kl · s_l`.
+    fn update_coefficients(&mut self, sampled: &[usize], soft: &[(usize, Tensor)]) {
+        let n_items = soft[0].1.numel();
+        let by_id: std::collections::HashMap<usize, &Tensor> =
+            soft.iter().map(|(k, t)| (*k, t)).collect();
+        for _ in 0..self.coeff_steps {
+            let coeff = softmax_rows(&self.theta);
+            for &k in sampled {
+                let s_k = by_id[&k];
+                // Personalized target t_k over the sampled set.
+                let mut t = Tensor::zeros(s_k.shape().clone());
+                let mut row_mass = 0.0f32;
+                for &l in sampled {
+                    let c_kl = coeff.get2(k, l);
+                    t.axpy(c_kl, by_id[&l]);
+                    row_mass += c_kl;
+                }
+                if row_mass <= 0.0 {
+                    continue;
+                }
+                t.scale(1.0 / row_mass);
+                // g_l = Σ_j s_l[j] · (log(t_j / s_k[j]) + 1) / n.
+                let mut g = vec![0.0f32; sampled.len()];
+                for (li, &l) in sampled.iter().enumerate() {
+                    let s_l = by_id[&l];
+                    let mut acc = 0.0f32;
+                    for j in 0..n_items {
+                        let tj = t.at(j).max(1e-12);
+                        let sj = s_k.at(j).max(1e-12);
+                        acc += s_l.at(j) * ((tj / sj).ln() + 1.0);
+                    }
+                    g[li] = acc / n_items as f32;
+                }
+                // Softmax-Jacobian chain onto θ row k (sampled columns).
+                let cdotg: f32 = sampled
+                    .iter()
+                    .enumerate()
+                    .map(|(li, &l)| coeff.get2(k, l) * g[li])
+                    .sum();
+                for (li, &l) in sampled.iter().enumerate() {
+                    let c_kl = coeff.get2(k, l);
+                    let grad = c_kl * (g[li] - cdotg);
+                    let cur = self.theta.get2(k, l);
+                    self.theta.set2(k, l, cur - self.coeff_lr * grad);
+                }
+            }
+        }
+    }
+
+    /// Personalized soft targets for each sampled client.
+    fn personalized_targets(&self, sampled: &[usize], soft: &[(usize, Tensor)]) -> Vec<(usize, Tensor)> {
+        let coeff = softmax_rows(&self.theta);
+        let by_id: std::collections::HashMap<usize, &Tensor> =
+            soft.iter().map(|(k, t)| (*k, t)).collect();
+        sampled
+            .iter()
+            .map(|&k| {
+                let mut t = Tensor::zeros(by_id[&k].shape().clone());
+                let mut mass = 0.0f32;
+                for &l in sampled {
+                    let c_kl = coeff.get2(k, l);
+                    t.axpy(c_kl, by_id[&l]);
+                    mass += c_kl;
+                }
+                if mass > 0.0 {
+                    t.scale(1.0 / mass);
+                }
+                (k, t)
+            })
+            .collect()
+    }
+}
+
+impl Algorithm for KtPfl {
+    fn name(&self) -> String {
+        "KT-pFL".into()
+    }
+
+    fn epochs_per_round(&self, _hp: &HyperParams) -> usize {
+        self.local_epochs
+    }
+
+    fn round(
+        &mut self,
+        _round: usize,
+        clients: &mut [Client],
+        sampled: &[usize],
+        net: &Network,
+        hp: &HyperParams,
+    ) {
+        // Phase A: broadcast public data (the payload Table 5 prices),
+        // train locally, upload temperature-softened predictions.
+        for &k in sampled {
+            net.send_to_client(k, &WireMessage::PublicData(self.public.clone()));
+        }
+        let temp = self.temperature;
+        let local_epochs = self.local_epochs;
+        for_sampled_parallel(clients, sampled, |c| {
+            let WireMessage::PublicData(public) = net.client_recv(c.id) else {
+                panic!("expected PublicData broadcast")
+            };
+            c.local_update_supervised(local_epochs, hp);
+            let logits = c.logits_on(&public);
+            let soft = softmax_rows(&logits.scaled(1.0 / temp));
+            net.send_to_server(c.id, &WireMessage::SoftPredictions(soft));
+        });
+        let soft: Vec<(usize, Tensor)> = net
+            .server_collect(sampled.len())
+            .into_iter()
+            .map(|(k, m)| match m {
+                WireMessage::SoftPredictions(t) => (k, t),
+                other => panic!("expected SoftPredictions, got {other:?}"),
+            })
+            .collect();
+
+        // Server: learn coefficients, build personalized targets.
+        self.update_coefficients(sampled, &soft);
+        for (k, t) in self.personalized_targets(sampled, &soft) {
+            net.send_to_client(k, &WireMessage::SoftTargets(t));
+        }
+
+        // Phase B: clients distill toward their targets.
+        let (steps, batch) = (self.distill_steps, self.distill_batch);
+        let public = self.public.clone();
+        for_sampled_parallel(clients, sampled, |c| {
+            let WireMessage::SoftTargets(t) = net.client_recv(c.id) else {
+                panic!("expected SoftTargets")
+            };
+            c.distill(&public, &t, temp, steps, batch);
+        });
+    }
+}
+
+/// The homogeneous "+weight" KT-pFL variant: personalized global *models*
+/// mixed through the coefficient matrix.
+pub struct KtPflWeight {
+    states: Vec<Option<Vec<Tensor>>>,
+    theta: Tensor,
+    local_epochs: usize,
+    coeff_sharpness: f32,
+}
+
+impl KtPflWeight {
+    /// New server for `num_clients` homogeneous clients.
+    pub fn new(num_clients: usize) -> Self {
+        KtPflWeight {
+            states: vec![None; num_clients],
+            theta: Tensor::zeros([num_clients, num_clients]),
+            local_epochs: 1,
+            coeff_sharpness: 1.0,
+        }
+    }
+
+    /// Override the local-epoch budget.
+    pub fn with_local_epochs(mut self, e: usize) -> Self {
+        self.local_epochs = e;
+        self
+    }
+
+    /// Refresh θ from pairwise weight distances: clients with similar
+    /// weights teach each other more (softmax over `−d²/σ²`, a
+    /// similarity-driven stand-in for the parameterized update — see
+    /// DESIGN.md substitutions).
+    fn refresh_coefficients(&mut self) {
+        let known: Vec<usize> =
+            (0..self.states.len()).filter(|&k| self.states[k].is_some()).collect();
+        if known.len() < 2 {
+            return;
+        }
+        let mut d2 = vec![vec![0.0f32; known.len()]; known.len()];
+        let mut mean = 0.0f32;
+        let mut pairs = 0usize;
+        for (i, &a) in known.iter().enumerate() {
+            for (j, &b) in known.iter().enumerate().skip(i + 1) {
+                let (sa, sb) = (
+                    self.states[a].as_ref().expect("known"),
+                    self.states[b].as_ref().expect("known"),
+                );
+                let dist: f32 = sa.iter().zip(sb).map(|(x, y)| x.sub(y).sq_norm()).sum();
+                d2[i][j] = dist;
+                d2[j][i] = dist;
+                mean += dist;
+                pairs += 1;
+            }
+        }
+        let sigma2 = (mean / pairs.max(1) as f32).max(1e-6);
+        for (i, &a) in known.iter().enumerate() {
+            for (j, &b) in known.iter().enumerate() {
+                self.theta.set2(a, b, -self.coeff_sharpness * d2[i][j] / sigma2);
+            }
+        }
+    }
+
+    /// Personalized global state for client `k` (mixture over known
+    /// states), or `None` when nothing is known yet.
+    fn personalized_state(&self, k: usize) -> Option<Vec<Tensor>> {
+        let coeff = softmax_rows(&self.theta);
+        let mut acc: Option<Vec<Tensor>> = None;
+        let mut mass = 0.0f32;
+        for (l, state) in self.states.iter().enumerate() {
+            let Some(state) = state else { continue };
+            let w = coeff.get2(k, l);
+            mass += w;
+            match &mut acc {
+                None => acc = Some(state.iter().map(|t| t.scaled(w)).collect()),
+                Some(a) => {
+                    for (ai, ti) in a.iter_mut().zip(state) {
+                        ai.axpy(w, ti);
+                    }
+                }
+            }
+        }
+        let mut acc = acc?;
+        if mass > 0.0 {
+            for t in &mut acc {
+                t.scale(1.0 / mass);
+            }
+        }
+        Some(acc)
+    }
+}
+
+impl Algorithm for KtPflWeight {
+    fn name(&self) -> String {
+        "KT-pFL (+weight)".into()
+    }
+
+    fn epochs_per_round(&self, _hp: &HyperParams) -> usize {
+        self.local_epochs
+    }
+
+    fn round(
+        &mut self,
+        _round: usize,
+        clients: &mut [Client],
+        sampled: &[usize],
+        net: &Network,
+        hp: &HyperParams,
+    ) {
+        // Broadcast personalized mixtures where available (round 0 has
+        // nothing to send — clients start from their own weights).
+        for &k in sampled {
+            if let Some(state) = self.personalized_state(k) {
+                net.send_to_client(k, &WireMessage::FullModel(state));
+            }
+        }
+        let local_epochs = self.local_epochs;
+        for_sampled_parallel(clients, sampled, |c| {
+            if let Some(WireMessage::FullModel(state)) = net.client_try_recv(c.id) {
+                c.model.load_full_state(&state);
+            }
+            c.local_update_supervised(local_epochs, hp);
+            net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
+        });
+        for (k, msg) in net.server_collect(sampled.len()) {
+            let WireMessage::FullModel(state) = msg else {
+                panic!("expected FullModel uplink")
+            };
+            self.states[k] = Some(state);
+        }
+        self.refresh_coefficients();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::test_support::{tiny_fleet, tiny_fleet_homogeneous, tiny_public_data};
+
+    #[test]
+    fn coefficients_are_row_stochastic() {
+        let public = tiny_public_data(16, 741);
+        let algo = KtPfl::new(public, 4);
+        let c = algo.coefficients();
+        for r in 0..4 {
+            let s: f32 = c.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn round_runs_and_counts_public_broadcast() {
+        let (mut clients, net) = tiny_fleet(3, 742);
+        let public = tiny_public_data(12, 743);
+        let public_bytes = WireMessage::PublicData(public.clone()).encoded_len() as u64;
+        let hp = HyperParams::micro_default();
+        let mut algo = KtPfl::new(public, 3).with_local_epochs(1);
+        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        // Downlink ≥ 3 public broadcasts (plus small soft targets).
+        assert!(net.stats().downlink_bytes() >= 3 * public_bytes);
+    }
+
+    #[test]
+    fn coefficient_update_shifts_theta() {
+        let (mut clients, net) = tiny_fleet(3, 744);
+        let public = tiny_public_data(12, 745);
+        let hp = HyperParams::micro_default();
+        let mut algo = KtPfl::new(public, 3).with_local_epochs(1);
+        let theta0 = algo.theta.clone();
+        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        assert_ne!(algo.theta, theta0, "coefficient matrix never updated");
+    }
+
+    #[test]
+    fn weight_variant_first_round_uses_own_weights() {
+        let (mut clients, net) = tiny_fleet_homogeneous(2, 746);
+        let hp = HyperParams::micro_default();
+        let mut algo = KtPflWeight::new(2);
+        algo.round(0, &mut clients, &[0, 1], &net, &hp);
+        // No broadcast on round 0 (nothing known), but uploads happen.
+        assert!(algo.states.iter().all(|s| s.is_some()));
+        assert!(net.stats().uplink_bytes() > 0);
+        let up_after_r0 = net.stats().downlink_bytes();
+        assert_eq!(up_after_r0, 0, "round 0 should not broadcast");
+        algo.round(1, &mut clients, &[0, 1], &net, &hp);
+        assert!(net.stats().downlink_bytes() > 0, "round 1 must broadcast mixtures");
+    }
+
+    #[test]
+    fn weight_variant_coefficients_row_stochastic_after_refresh() {
+        let (mut clients, net) = tiny_fleet_homogeneous(3, 747);
+        let hp = HyperParams::micro_default();
+        let mut algo = KtPflWeight::new(3);
+        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        let c = softmax_rows(&algo.theta);
+        for r in 0..3 {
+            let s: f32 = c.row(r).iter().sum();
+            assert!((s - 1.0).abs() < 1e-4);
+        }
+    }
+}

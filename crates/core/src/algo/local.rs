@@ -1,0 +1,71 @@
+//! The paper's baseline: purely local training, no communication.
+
+use super::{for_sampled_parallel, Algorithm};
+use crate::client::Client;
+use crate::comm::Network;
+use crate::config::HyperParams;
+
+/// Local-only training — the "Baseline (local training)" rows of Tables
+/// 2–3. Each round every sampled client trains `local_epochs` on its own
+/// shard; nothing crosses the wire.
+#[derive(Default)]
+pub struct LocalOnly;
+
+impl LocalOnly {
+    /// New baseline runner.
+    pub fn new() -> Self {
+        LocalOnly
+    }
+}
+
+impl Algorithm for LocalOnly {
+    fn name(&self) -> String {
+        "Baseline (local training)".into()
+    }
+
+    fn round(
+        &mut self,
+        _round: usize,
+        clients: &mut [Client],
+        sampled: &[usize],
+        _net: &Network,
+        hp: &HyperParams,
+    ) {
+        for_sampled_parallel(clients, sampled, |c| {
+            c.local_update_supervised(hp.local_epochs, hp);
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::sim::test_support::tiny_fleet;
+
+    #[test]
+    fn local_only_sends_no_bytes() {
+        let (mut clients, net) = tiny_fleet(3, 701);
+        let hp = HyperParams::micro_default();
+        let mut algo = LocalOnly::new();
+        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        assert_eq!(net.stats().total_bytes(), 0);
+    }
+
+    #[test]
+    fn only_sampled_clients_train() {
+        let (mut clients, net) = tiny_fleet(2, 702);
+        let hp = HyperParams::micro_default().with_lr(0.05);
+        let before: Vec<f32> = clients
+            .iter_mut()
+            .map(|c| c.model.params_mut()[0].value.sum())
+            .collect();
+        let mut algo = LocalOnly::new();
+        algo.round(0, &mut clients, &[0], &net, &hp);
+        let after: Vec<f32> = clients
+            .iter_mut()
+            .map(|c| c.model.params_mut()[0].value.sum())
+            .collect();
+        assert_ne!(before[0], after[0], "sampled client 0 did not train");
+        assert_eq!(before[1], after[1], "unsampled client 1 changed");
+    }
+}

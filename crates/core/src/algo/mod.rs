@@ -1,0 +1,71 @@
+//! The federated algorithms: the paper's FedClassAvg plus the four
+//! baselines it is compared against. Every algorithm implements
+//! [`Algorithm`] and is driven by the same synchronous-round engine in
+//! [`crate::sim`], exchanging serialized messages through
+//! [`crate::comm::Network`].
+
+pub mod fedavg;
+pub mod fedclassavg;
+pub mod fedmd;
+pub mod fedproto;
+pub mod ktpfl;
+pub mod local;
+
+pub use fedavg::{FedAvg, FedProx};
+pub use fedclassavg::FedClassAvg;
+pub use fedmd::FedMd;
+pub use fedproto::FedProto;
+pub use ktpfl::{KtPfl, KtPflWeight};
+pub use local::LocalOnly;
+
+use crate::client::Client;
+use crate::comm::Network;
+use crate::config::HyperParams;
+
+/// A federated-learning algorithm: server state + one synchronous round.
+pub trait Algorithm: Send {
+    /// Display name used in reports.
+    fn name(&self) -> String;
+
+    /// Local epochs a client spends per round — the paper plots accuracy
+    /// against cumulative local epochs for fairness (KT-pFL trains 20
+    /// epochs per round, the others 1).
+    fn epochs_per_round(&self, hp: &HyperParams) -> usize {
+        hp.local_epochs
+    }
+
+    /// Run one communication round over the sampled clients.
+    ///
+    /// Implementations broadcast through `net`, train sampled clients in
+    /// parallel, collect uplink messages, and update server state.
+    fn round(
+        &mut self,
+        round: usize,
+        clients: &mut [Client],
+        sampled: &[usize],
+        net: &Network,
+        hp: &HyperParams,
+    );
+}
+
+/// Normalized aggregation weights `|D_k| / Σ|D_j|` over the sampled set.
+pub(crate) fn normalized_weights(clients: &[Client], sampled: &[usize]) -> Vec<f32> {
+    let total: f32 = sampled.iter().map(|&k| clients[k].weight).sum();
+    assert!(total > 0.0, "sampled clients have zero total weight");
+    sampled.iter().map(|&k| clients[k].weight / total).collect()
+}
+
+/// Run `f` on every sampled client in parallel (rayon), leaving the rest
+/// untouched. `f` must communicate results through the network.
+pub(crate) fn for_sampled_parallel<F>(clients: &mut [Client], sampled: &[usize], f: F)
+where
+    F: Fn(&mut Client) + Sync,
+{
+    use rayon::prelude::*;
+    let sampled_set: std::collections::HashSet<usize> = sampled.iter().copied().collect();
+    clients
+        .par_iter_mut()
+        .enumerate()
+        .filter(|(i, _)| sampled_set.contains(i))
+        .for_each(|(_, c)| f(c));
+}

@@ -1,0 +1,547 @@
+//! A federated client: local data shard, personal model, optimizer, and
+//! the local-update primitives the algorithms compose.
+
+use crate::config::{HyperParams, OptKind};
+use fca_data::augment::AugmentConfig;
+use fca_data::Dataset;
+use fca_models::classifier::ClassifierWeights;
+use fca_models::ClientModel;
+use fca_nn::loss::{accuracy, cross_entropy, prototype_loss, supervised_contrastive};
+use fca_nn::Module as _;
+use fca_nn::optim::{Adam, Optimizer, Sgd};
+use fca_tensor::rng::derived_rng;
+use fca_tensor::Tensor;
+use rand::rngs::StdRng;
+
+/// Diagnostics from one local update.
+#[derive(Clone, Copy, Debug, Default)]
+pub struct LocalStats {
+    /// Mean cross-entropy loss over the update's batches.
+    pub ce_loss: f32,
+    /// Mean contrastive loss.
+    pub cl_loss: f32,
+    /// Mean proximal distance ‖C_k − C‖₂.
+    pub prox_dist: f32,
+    /// Batches processed.
+    pub batches: usize,
+}
+
+/// Switches for the FedClassAvg local objective — the ablation grid of
+/// Table 4 maps directly onto these flags.
+#[derive(Clone, Copy, Debug)]
+pub struct LocalObjective {
+    /// Apply the supervised contrastive term `L^CL`.
+    pub contrastive: bool,
+    /// Proximal weight ρ (0 disables `L^R`).
+    pub rho: f32,
+}
+
+/// One federated client.
+pub struct Client {
+    /// Client id (stable across rounds).
+    pub id: usize,
+    /// The personal model `f_k = C_k ∘ F_k`.
+    pub model: ClientModel,
+    /// Local training shard.
+    pub train_data: Dataset,
+    /// Local test shard (distribution-matched to training).
+    pub test_data: Dataset,
+    /// Augmentation pipeline for the contrastive views.
+    pub augment: AugmentConfig,
+    /// Aggregation weight `|D_k| / |D|`.
+    pub weight: f32,
+    optimizer: Box<dyn Optimizer>,
+    rng: StdRng,
+}
+
+impl Client {
+    /// Assemble a client. `seed` feeds the client's private RNG stream.
+    pub fn new(
+        id: usize,
+        model: ClientModel,
+        train_data: Dataset,
+        test_data: Dataset,
+        augment: AugmentConfig,
+        weight: f32,
+        hp: &HyperParams,
+        seed: u64,
+    ) -> Self {
+        assert!(!train_data.is_empty(), "client {id} has an empty training shard");
+        let optimizer: Box<dyn Optimizer> = match hp.optimizer {
+            OptKind::Adam => Box::new(Adam::new(hp.lr)),
+            OptKind::Sgd { momentum, weight_decay } => {
+                Box::new(Sgd::with_momentum(hp.lr, momentum, weight_decay))
+            }
+        };
+        Client {
+            id,
+            model,
+            train_data,
+            test_data,
+            augment,
+            weight,
+            optimizer,
+            rng: derived_rng(seed, 0xC0FFEE + id as u64),
+        }
+    }
+
+    /// Adjust the local optimizer's learning rate (LR schedules are
+    /// applied by the experiment driver between rounds).
+    pub fn set_learning_rate(&mut self, lr: f32) {
+        self.optimizer.set_learning_rate(lr);
+    }
+
+    /// Current learning rate of the local optimizer.
+    pub fn learning_rate(&self) -> f32 {
+        self.optimizer.learning_rate()
+    }
+
+    /// Local accuracy on the client's test shard (eval mode, batched).
+    pub fn evaluate(&mut self) -> f32 {
+        if self.test_data.is_empty() {
+            return 0.0;
+        }
+        let mut correct = 0.0f32;
+        let mut total = 0usize;
+        let n = self.test_data.len();
+        let bs = 256;
+        let mut i = 0;
+        while i < n {
+            let hi = (i + bs).min(n);
+            let idx: Vec<usize> = (i..hi).collect();
+            let (x, y) = self.test_data.gather_batch(&idx);
+            let logits = self.model.predict(&x);
+            correct += accuracy(&logits, &y) * y.len() as f32;
+            total += y.len();
+            i = hi;
+        }
+        correct / total as f32
+    }
+
+    /// FedClassAvg local update (paper Eq. 4): `E` epochs of
+    /// `L^CL + L^CE + ρ·L^R` against the broadcast global classifier.
+    ///
+    /// When `global` is `None` (round 0 bootstrap or pure-local ablation)
+    /// the proximal term is skipped.
+    pub fn local_update_fedclassavg(
+        &mut self,
+        global: Option<&ClassifierWeights>,
+        hp: &HyperParams,
+        obj: LocalObjective,
+    ) -> LocalStats {
+        let mut stats = LocalStats::default();
+        for _ in 0..hp.local_epochs {
+            for batch in self.train_data.batch_indices(hp.batch_size, &mut self.rng) {
+                let (x, y) = self.train_data.gather_batch(&batch);
+                let b = y.len();
+                self.model.zero_grad();
+
+                if obj.contrastive {
+                    // Two views, one forward on the 2B concatenation.
+                    let (v1, v2) = self.augment.two_views(&x, &mut self.rng);
+                    let both = Tensor::concat_rows(&[
+                        &v1.reshaped([b, v1.numel() / b]),
+                        &v2.reshaped([b, v2.numel() / b]),
+                    ]);
+                    let (_, c, h, w) = x.shape().as_nchw();
+                    let both = both.reshape([2 * b, c, h, w]);
+                    let features = self.model.forward_features(&both, true);
+
+                    // CE on view-1 logits (paper: ŷ predicted from x').
+                    let feats1 = features.rows(0, b);
+                    let logits = self.model.classifier.forward(&feats1, true);
+                    let (ce, d_logits) = cross_entropy(&logits, &y);
+
+                    // SupCon over both views.
+                    let labels2: Vec<usize> = y.iter().chain(y.iter()).copied().collect();
+                    let (cl, d_feat_cl) =
+                        supervised_contrastive(&features, &labels2, hp.temperature);
+
+                    // Backward: classifier path first, then the extractor
+                    // sees CE-gradient (view 1 rows) + contrastive gradient.
+                    let d_feat_ce = self.model.classifier.backward(&d_logits);
+                    let mut d_feat = d_feat_cl;
+                    for r in 0..b {
+                        let dst = d_feat.row_mut(r);
+                        for (di, &si) in dst.iter_mut().zip(d_feat_ce.row(r)) {
+                            *di += si;
+                        }
+                    }
+                    if let (Some(g), true) = (global, obj.rho > 0.0) {
+                        stats.prox_dist += self.model.classifier.accumulate_proximal(g, obj.rho);
+                    }
+                    self.model.backward_features_only(&d_feat);
+
+                    stats.ce_loss += ce;
+                    stats.cl_loss += cl;
+                } else {
+                    // CE (and optionally proximal) only — the CA / CA+PR
+                    // ablation rows.
+                    let (_, logits) = self.model.forward(&x, true);
+                    let (ce, d_logits) = cross_entropy(&logits, &y);
+                    if let (Some(g), true) = (global, obj.rho > 0.0) {
+                        stats.prox_dist += self.model.classifier.accumulate_proximal(g, obj.rho);
+                    }
+                    self.model.backward(None, &d_logits);
+                    stats.ce_loss += ce;
+                }
+
+                self.optimizer.step(&mut self.model.params_mut());
+                stats.batches += 1;
+            }
+        }
+        normalize_stats(&mut stats);
+        stats
+    }
+
+    /// Plain supervised local update (baseline / FedAvg / KT-pFL local
+    /// phase): `E` epochs of cross-entropy only.
+    pub fn local_update_supervised(&mut self, epochs: usize, hp: &HyperParams) -> LocalStats {
+        let mut stats = LocalStats::default();
+        for _ in 0..epochs {
+            for batch in self.train_data.batch_indices(hp.batch_size, &mut self.rng) {
+                let (x, y) = self.train_data.gather_batch(&batch);
+                self.model.zero_grad();
+                let (_, logits) = self.model.forward(&x, true);
+                let (ce, d_logits) = cross_entropy(&logits, &y);
+                self.model.backward(None, &d_logits);
+                self.optimizer.step(&mut self.model.params_mut());
+                stats.ce_loss += ce;
+                stats.batches += 1;
+            }
+        }
+        normalize_stats(&mut stats);
+        stats
+    }
+
+    /// FedProx local update: cross-entropy plus `(μ/2)‖w − w_global‖²`
+    /// over **all** parameters.
+    pub fn local_update_fedprox(
+        &mut self,
+        global_state: &[Tensor],
+        mu: f32,
+        hp: &HyperParams,
+    ) -> LocalStats {
+        let mut stats = LocalStats::default();
+        for _ in 0..hp.local_epochs {
+            for batch in self.train_data.batch_indices(hp.batch_size, &mut self.rng) {
+                let (x, y) = self.train_data.gather_batch(&batch);
+                self.model.zero_grad();
+                let (_, logits) = self.model.forward(&x, true);
+                let (ce, d_logits) = cross_entropy(&logits, &y);
+                self.model.backward(None, &d_logits);
+                // Proximal pull on every trainable parameter.
+                {
+                    let mut params = self.model.params_mut();
+                    assert!(
+                        params.len() <= global_state.len(),
+                        "global state too short for FedProx"
+                    );
+                    for (p, g) in params.iter_mut().zip(global_state) {
+                        let diff = p.value.sub(g);
+                        p.grad.axpy(mu, &diff);
+                    }
+                }
+                self.optimizer.step(&mut self.model.params_mut());
+                stats.ce_loss += ce;
+                stats.batches += 1;
+            }
+        }
+        normalize_stats(&mut stats);
+        stats
+    }
+
+    /// FedProto local update: cross-entropy plus `λ‖F(x) − proto_y‖²`.
+    pub fn local_update_fedproto(
+        &mut self,
+        prototypes: &[Option<Tensor>],
+        lambda: f32,
+        hp: &HyperParams,
+    ) -> LocalStats {
+        let mut stats = LocalStats::default();
+        for _ in 0..hp.local_epochs {
+            for batch in self.train_data.batch_indices(hp.batch_size, &mut self.rng) {
+                let (x, y) = self.train_data.gather_batch(&batch);
+                self.model.zero_grad();
+                let (features, logits) = self.model.forward(&x, true);
+                let (ce, d_logits) = cross_entropy(&logits, &y);
+                let (pl, mut d_feat) = prototype_loss(&features, &y, prototypes);
+                d_feat.scale(lambda);
+                self.model.backward(Some(&d_feat), &d_logits);
+                self.optimizer.step(&mut self.model.params_mut());
+                stats.ce_loss += ce;
+                stats.cl_loss += pl * lambda;
+                stats.batches += 1;
+            }
+        }
+        normalize_stats(&mut stats);
+        stats
+    }
+
+    /// Compute local per-class mean features over the training shard
+    /// (FedProto uplink). Classes with no local examples yield `None`.
+    pub fn compute_prototypes(&mut self) -> Vec<Option<Tensor>> {
+        let k = self.train_data.num_classes;
+        let d = self.model.feature_dim();
+        let mut sums = vec![Tensor::zeros([d]); k];
+        let mut counts = vec![0usize; k];
+        let n = self.train_data.len();
+        let bs = 256;
+        let mut i = 0;
+        while i < n {
+            let hi = (i + bs).min(n);
+            let idx: Vec<usize> = (i..hi).collect();
+            let (x, y) = self.train_data.gather_batch(&idx);
+            let features = self.model.feature_extractor.forward(&x, false);
+            for (r, &label) in y.iter().enumerate() {
+                for (s, &f) in sums[label].data_mut().iter_mut().zip(features.row(r)) {
+                    *s += f;
+                }
+                counts[label] += 1;
+            }
+            i = hi;
+        }
+        sums.into_iter()
+            .zip(counts)
+            .map(|(mut s, c)| {
+                if c == 0 {
+                    None
+                } else {
+                    s.scale(1.0 / c as f32);
+                    Some(s)
+                }
+            })
+            .collect()
+    }
+
+    /// Logits on an external batch (KT-pFL public data), eval mode.
+    pub fn logits_on(&mut self, x: &Tensor) -> Tensor {
+        self.model.predict(x)
+    }
+
+    /// Distill toward soft targets on external data for `steps` batches of
+    /// `batch_size` (KT-pFL's knowledge-transfer phase).
+    pub fn distill(
+        &mut self,
+        public: &Tensor,
+        targets: &Tensor,
+        temperature: f32,
+        steps: usize,
+        batch_size: usize,
+    ) -> f32 {
+        use fca_nn::loss::kl_distillation;
+        let n = public.shape().as_nchw().0;
+        let mut total = 0.0;
+        for s in 0..steps {
+            let lo = (s * batch_size) % n;
+            let hi = (lo + batch_size).min(n);
+            if hi <= lo {
+                continue;
+            }
+            let idx: Vec<usize> = (lo..hi).collect();
+            let x = gather_images(public, &idx);
+            let t = gather_rows(targets, &idx);
+            self.model.zero_grad();
+            let (_, logits) = self.model.forward(&x, true);
+            let (kl, d_logits) = kl_distillation(&logits, &t, temperature);
+            self.model.backward(None, &d_logits);
+            self.optimizer.step(&mut self.model.params_mut());
+            total += kl;
+        }
+        total / steps.max(1) as f32
+    }
+}
+
+fn normalize_stats(stats: &mut LocalStats) {
+    if stats.batches > 0 {
+        let inv = 1.0 / stats.batches as f32;
+        stats.ce_loss *= inv;
+        stats.cl_loss *= inv;
+        stats.prox_dist *= inv;
+    }
+}
+
+/// Gather images by index from an NCHW tensor.
+pub fn gather_images(t: &Tensor, idx: &[usize]) -> Tensor {
+    let (_, c, h, w) = t.shape().as_nchw();
+    let sz = c * h * w;
+    let mut data = Vec::with_capacity(idx.len() * sz);
+    for &i in idx {
+        data.extend_from_slice(t.image(i));
+    }
+    Tensor::from_vec([idx.len(), c, h, w], data)
+}
+
+/// Gather rows by index from a rank-2 tensor.
+pub fn gather_rows(t: &Tensor, idx: &[usize]) -> Tensor {
+    let (_, cols) = t.shape().as_matrix();
+    let mut data = Vec::with_capacity(idx.len() * cols);
+    for &i in idx {
+        data.extend_from_slice(t.row(i));
+    }
+    Tensor::from_vec([idx.len(), cols], data)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fca_data::synth::tiny_dataset;
+    use fca_models::{build_model, ModelArch};
+
+    fn tiny_client(seed: u64) -> Client {
+        let d = tiny_dataset(3, 48, 24, seed);
+        let model = build_model(ModelArch::CnnFedAvg, (1, 12, 12), 8, 3, seed);
+        let hp = HyperParams::micro_default().with_lr(5e-3);
+        Client::new(
+            0,
+            model,
+            d.train,
+            d.test,
+            AugmentConfig::mnist_like(),
+            1.0,
+            &hp,
+            seed,
+        )
+    }
+
+    #[test]
+    fn supervised_update_reduces_loss() {
+        let mut c = tiny_client(601);
+        let hp = HyperParams::micro_default().with_lr(5e-3);
+        let first = c.local_update_supervised(1, &hp);
+        for _ in 0..8 {
+            c.local_update_supervised(1, &hp);
+        }
+        let last = c.local_update_supervised(1, &hp);
+        assert!(
+            last.ce_loss < first.ce_loss,
+            "loss did not decrease: {} → {}",
+            first.ce_loss,
+            last.ce_loss
+        );
+    }
+
+    #[test]
+    fn fedclassavg_update_produces_all_loss_terms() {
+        let mut c = tiny_client(602);
+        let hp = HyperParams::micro_default();
+        let global = ClassifierWeights::zeros(8, 3);
+        let stats = c.local_update_fedclassavg(
+            Some(&global),
+            &hp,
+            LocalObjective { contrastive: true, rho: 0.1 },
+        );
+        assert!(stats.batches > 0);
+        assert!(stats.ce_loss > 0.0);
+        assert!(stats.cl_loss > 0.0, "contrastive loss missing");
+        assert!(stats.prox_dist > 0.0, "proximal distance missing");
+    }
+
+    #[test]
+    fn ablation_flags_disable_terms() {
+        let mut c = tiny_client(603);
+        let hp = HyperParams::micro_default();
+        let global = ClassifierWeights::zeros(8, 3);
+        let stats = c.local_update_fedclassavg(
+            Some(&global),
+            &hp,
+            LocalObjective { contrastive: false, rho: 0.0 },
+        );
+        assert_eq!(stats.cl_loss, 0.0);
+        assert_eq!(stats.prox_dist, 0.0);
+        assert!(stats.ce_loss > 0.0);
+    }
+
+    #[test]
+    fn evaluate_in_unit_range_and_improves_with_training() {
+        let mut c = tiny_client(604);
+        let hp = HyperParams::micro_default().with_lr(5e-3);
+        let before = c.evaluate();
+        assert!((0.0..=1.0).contains(&before));
+        for _ in 0..20 {
+            c.local_update_supervised(1, &hp);
+        }
+        let after = c.evaluate();
+        assert!(
+            after > before || after > 0.6,
+            "no improvement: {before} → {after}"
+        );
+    }
+
+    #[test]
+    fn prototypes_cover_local_classes_only() {
+        let mut c = tiny_client(605);
+        // Restrict the shard to classes {0, 1}.
+        let keep: Vec<usize> = (0..c.train_data.len())
+            .filter(|&i| c.train_data.labels[i] < 2)
+            .collect();
+        c.train_data = c.train_data.subset(&keep);
+        let protos = c.compute_prototypes();
+        assert!(protos[0].is_some());
+        assert!(protos[1].is_some());
+        assert!(protos[2].is_none());
+        assert_eq!(protos[0].as_ref().map(|p| p.numel()), Some(8));
+    }
+
+    #[test]
+    fn fedprox_update_pulls_toward_global() {
+        let mut c = tiny_client(606);
+        let hp = HyperParams::micro_default().with_lr(1e-2);
+        let global: Vec<Tensor> = c
+            .model
+            .params_mut()
+            .iter()
+            .map(|p| Tensor::zeros(p.value.shape().clone()))
+            .collect();
+        let norm_before: f32 =
+            c.model.params_mut().iter().map(|p| p.value.sq_norm()).sum::<f32>();
+        // Huge μ dominates: weights should shrink toward zero.
+        for _ in 0..5 {
+            c.local_update_fedprox(&global, 50.0, &hp);
+        }
+        let norm_after: f32 =
+            c.model.params_mut().iter().map(|p| p.value.sq_norm()).sum::<f32>();
+        assert!(norm_after < norm_before, "{norm_before} → {norm_after}");
+    }
+
+    #[test]
+    fn distill_moves_student_toward_teacher() {
+        let mut c = tiny_client(607);
+        let mut rng = fca_tensor::rng::seeded_rng(608);
+        let public = Tensor::randn([16, 1, 12, 12], 1.0, &mut rng);
+        // Teacher: uniform targets.
+        let targets = Tensor::full([16, 3], 1.0 / 3.0);
+        let kl0 = {
+            use fca_nn::loss::kl_distillation;
+            let logits = c.logits_on(&public);
+            kl_distillation(&logits, &targets, 2.0).0
+        };
+        for _ in 0..10 {
+            c.distill(&public, &targets, 2.0, 4, 8);
+        }
+        let kl1 = {
+            use fca_nn::loss::kl_distillation;
+            let logits = c.logits_on(&public);
+            kl_distillation(&logits, &targets, 2.0).0
+        };
+        assert!(kl1 < kl0, "distillation did not reduce KL: {kl0} → {kl1}");
+    }
+
+    #[test]
+    #[should_panic(expected = "empty training shard")]
+    fn rejects_empty_shard() {
+        let d = tiny_dataset(3, 48, 24, 609);
+        let model = build_model(ModelArch::CnnFedAvg, (1, 12, 12), 8, 3, 1);
+        let hp = HyperParams::micro_default();
+        Client::new(
+            0,
+            model,
+            d.train.subset(&[]),
+            d.test,
+            AugmentConfig::identity(),
+            1.0,
+            &hp,
+            1,
+        );
+    }
+}

@@ -1,0 +1,400 @@
+//! The communication substrate.
+//!
+//! The paper runs 20 clients over MPI; here each client is a rayon task
+//! and the server exchanges **serialized** messages with it over crossbeam
+//! channels. Serialization is not decorative: every payload is encoded to
+//! its wire form and the [`Network`] tallies real uplink/downlink bytes,
+//! which is how the Table 5 communication-cost comparison is measured.
+
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+use crossbeam::channel::{unbounded, Receiver, Sender};
+use fca_models::classifier::ClassifierWeights;
+use fca_tensor::serialize::{
+    decode_tensor, decode_tensor_f16, encode_tensor, encode_tensor_f16, encoded_len,
+    encoded_len_f16, WireError,
+};
+use fca_tensor::Tensor;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// A message crossing the simulated network.
+#[derive(Clone, Debug, PartialEq)]
+pub enum WireMessage {
+    /// Classifier weights (FedClassAvg's per-round payload).
+    Classifier(ClassifierWeights),
+    /// A full model state dict (FedAvg/FedProx/`+weight` variants).
+    FullModel(Vec<Tensor>),
+    /// Per-class feature prototypes; classes a client never saw are `None`
+    /// (encoded as empty tensors).
+    Prototypes(Vec<Option<Tensor>>),
+    /// Soft predictions on the public set (KT-pFL uplink).
+    SoftPredictions(Tensor),
+    /// Personalized soft targets (KT-pFL downlink).
+    SoftTargets(Tensor),
+    /// The public dataset broadcast (KT-pFL setup; paper Table 5 prices
+    /// KT-pFL's round cost by this payload).
+    PublicData(Tensor),
+    /// Classifier weights in IEEE binary16 — the half-precision
+    /// communication extension (halves FedClassAvg's already-small
+    /// payload; accuracy impact measured by `ext_quantized_comm`).
+    ClassifierF16(ClassifierWeights),
+}
+
+/// Message-type tags on the wire.
+const TAG_CLASSIFIER: u8 = 1;
+const TAG_FULL_MODEL: u8 = 2;
+const TAG_PROTOTYPES: u8 = 3;
+const TAG_SOFT_PRED: u8 = 4;
+const TAG_SOFT_TARGET: u8 = 5;
+const TAG_PUBLIC_DATA: u8 = 6;
+const TAG_CLASSIFIER_F16: u8 = 7;
+
+impl WireMessage {
+    /// Encode to the wire format: `tag | u32 count | tensors…`.
+    pub fn encode(&self) -> Bytes {
+        let mut buf = BytesMut::with_capacity(self.encoded_len());
+        match self {
+            WireMessage::Classifier(w) => {
+                buf.put_u8(TAG_CLASSIFIER);
+                buf.put_u32_le(2);
+                encode_tensor(&w.weight, &mut buf);
+                encode_tensor(&w.bias, &mut buf);
+            }
+            WireMessage::FullModel(state) => {
+                buf.put_u8(TAG_FULL_MODEL);
+                buf.put_u32_le(state.len() as u32);
+                for t in state {
+                    encode_tensor(t, &mut buf);
+                }
+            }
+            WireMessage::Prototypes(protos) => {
+                buf.put_u8(TAG_PROTOTYPES);
+                buf.put_u32_le(protos.len() as u32);
+                let empty = Tensor::zeros([0]);
+                for p in protos {
+                    encode_tensor(p.as_ref().unwrap_or(&empty), &mut buf);
+                }
+            }
+            WireMessage::SoftPredictions(t) => {
+                buf.put_u8(TAG_SOFT_PRED);
+                buf.put_u32_le(1);
+                encode_tensor(t, &mut buf);
+            }
+            WireMessage::SoftTargets(t) => {
+                buf.put_u8(TAG_SOFT_TARGET);
+                buf.put_u32_le(1);
+                encode_tensor(t, &mut buf);
+            }
+            WireMessage::PublicData(t) => {
+                buf.put_u8(TAG_PUBLIC_DATA);
+                buf.put_u32_le(1);
+                encode_tensor(t, &mut buf);
+            }
+            WireMessage::ClassifierF16(w) => {
+                buf.put_u8(TAG_CLASSIFIER_F16);
+                buf.put_u32_le(2);
+                encode_tensor_f16(&w.weight, &mut buf);
+                encode_tensor_f16(&w.bias, &mut buf);
+            }
+        }
+        buf.freeze()
+    }
+
+    /// Exact encoded size in bytes.
+    pub fn encoded_len(&self) -> usize {
+        let body = match self {
+            WireMessage::Classifier(w) => encoded_len(&w.weight) + encoded_len(&w.bias),
+            WireMessage::FullModel(state) => state.iter().map(encoded_len).sum(),
+            WireMessage::Prototypes(protos) => {
+                let empty = Tensor::zeros([0]);
+                protos.iter().map(|p| encoded_len(p.as_ref().unwrap_or(&empty))).sum()
+            }
+            WireMessage::SoftPredictions(t)
+            | WireMessage::SoftTargets(t)
+            | WireMessage::PublicData(t) => encoded_len(t),
+            WireMessage::ClassifierF16(w) => {
+                encoded_len_f16(&w.weight) + encoded_len_f16(&w.bias)
+            }
+        };
+        1 + 4 + body
+    }
+
+    /// Decode from the wire.
+    pub fn decode(mut buf: Bytes) -> Result<WireMessage, WireError> {
+        if buf.remaining() < 5 {
+            return Err(WireError::Truncated);
+        }
+        let tag = buf.get_u8();
+        let count = buf.get_u32_le() as usize;
+        if tag == TAG_CLASSIFIER_F16 {
+            if count != 2 {
+                return Err(WireError::Truncated);
+            }
+            let weight = decode_tensor_f16(&mut buf)?;
+            let bias = decode_tensor_f16(&mut buf)?;
+            return Ok(WireMessage::ClassifierF16(ClassifierWeights { weight, bias }));
+        }
+        let mut tensors = Vec::with_capacity(count);
+        for _ in 0..count {
+            tensors.push(decode_tensor(&mut buf)?);
+        }
+        match tag {
+            TAG_CLASSIFIER => {
+                if tensors.len() != 2 {
+                    return Err(WireError::Truncated);
+                }
+                let bias = tensors.pop().expect("len checked");
+                let weight = tensors.pop().expect("len checked");
+                Ok(WireMessage::Classifier(ClassifierWeights { weight, bias }))
+            }
+            TAG_FULL_MODEL => Ok(WireMessage::FullModel(tensors)),
+            TAG_PROTOTYPES => Ok(WireMessage::Prototypes(
+                tensors
+                    .into_iter()
+                    .map(|t| if t.numel() == 0 { None } else { Some(t) })
+                    .collect(),
+            )),
+            TAG_SOFT_PRED => Ok(WireMessage::SoftPredictions(
+                tensors.pop().ok_or(WireError::Truncated)?,
+            )),
+            TAG_SOFT_TARGET => Ok(WireMessage::SoftTargets(
+                tensors.pop().ok_or(WireError::Truncated)?,
+            )),
+            TAG_PUBLIC_DATA => Ok(WireMessage::PublicData(
+                tensors.pop().ok_or(WireError::Truncated)?,
+            )),
+            _ => Err(WireError::Truncated),
+        }
+    }
+}
+
+/// Cumulative traffic statistics (bytes observed on the simulated wire).
+#[derive(Debug, Default)]
+pub struct CommStats {
+    downlink: AtomicU64,
+    uplink: AtomicU64,
+    messages: AtomicU64,
+}
+
+impl CommStats {
+    /// Total server→client bytes.
+    pub fn downlink_bytes(&self) -> u64 {
+        self.downlink.load(Ordering::Relaxed)
+    }
+
+    /// Total client→server bytes.
+    pub fn uplink_bytes(&self) -> u64 {
+        self.uplink.load(Ordering::Relaxed)
+    }
+
+    /// Total messages in both directions.
+    pub fn messages(&self) -> u64 {
+        self.messages.load(Ordering::Relaxed)
+    }
+
+    /// Total traffic.
+    pub fn total_bytes(&self) -> u64 {
+        self.downlink_bytes() + self.uplink_bytes()
+    }
+}
+
+/// The simulated network: one duplex channel pair per client, with byte
+/// accounting on every transmission.
+pub struct Network {
+    to_client: Vec<Sender<Bytes>>,
+    at_client: Vec<Receiver<Bytes>>,
+    to_server: Sender<(usize, Bytes)>,
+    at_server: Receiver<(usize, Bytes)>,
+    stats: CommStats,
+}
+
+impl Network {
+    /// Build a network for `num_clients` clients.
+    pub fn new(num_clients: usize) -> Self {
+        let mut to_client = Vec::with_capacity(num_clients);
+        let mut at_client = Vec::with_capacity(num_clients);
+        for _ in 0..num_clients {
+            let (tx, rx) = unbounded();
+            to_client.push(tx);
+            at_client.push(rx);
+        }
+        let (to_server, at_server) = unbounded();
+        Network { to_client, at_client, to_server, at_server, stats: CommStats::default() }
+    }
+
+    /// Number of clients on the network.
+    pub fn num_clients(&self) -> usize {
+        self.to_client.len()
+    }
+
+    /// Server → client broadcast of one message.
+    pub fn send_to_client(&self, client: usize, msg: &WireMessage) {
+        let bytes = msg.encode();
+        self.stats.downlink.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.to_client[client].send(bytes).expect("client channel closed");
+    }
+
+    /// Client-side receive (blocking; callable from rayon workers).
+    pub fn client_recv(&self, client: usize) -> WireMessage {
+        let bytes = self.at_client[client].recv().expect("server channel closed");
+        WireMessage::decode(bytes).expect("malformed server message")
+    }
+
+    /// Non-blocking client receive.
+    pub fn client_try_recv(&self, client: usize) -> Option<WireMessage> {
+        self.at_client[client]
+            .try_recv()
+            .ok()
+            .map(|b| WireMessage::decode(b).expect("malformed server message"))
+    }
+
+    /// Client → server upload.
+    pub fn send_to_server(&self, client: usize, msg: &WireMessage) {
+        let bytes = msg.encode();
+        self.stats.uplink.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.stats.messages.fetch_add(1, Ordering::Relaxed);
+        self.to_server.send((client, bytes)).expect("server channel closed");
+    }
+
+    /// Drain exactly `expected` uplink messages, returned ordered by
+    /// client id (deterministic aggregation regardless of thread timing).
+    pub fn server_collect(&self, expected: usize) -> Vec<(usize, WireMessage)> {
+        let mut msgs = Vec::with_capacity(expected);
+        for _ in 0..expected {
+            let (k, bytes) = self.at_server.recv().expect("client channels closed");
+            msgs.push((k, WireMessage::decode(bytes).expect("malformed client message")));
+        }
+        msgs.sort_by_key(|(k, _)| *k);
+        msgs
+    }
+
+    /// Traffic statistics.
+    pub fn stats(&self) -> &CommStats {
+        &self.stats
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fca_tensor::rng::seeded_rng;
+
+    #[test]
+    fn classifier_roundtrip() {
+        let mut rng = seeded_rng(501);
+        let w = ClassifierWeights {
+            weight: Tensor::randn([10, 64], 1.0, &mut rng),
+            bias: Tensor::randn([10], 1.0, &mut rng),
+        };
+        let msg = WireMessage::Classifier(w.clone());
+        let bytes = msg.encode();
+        assert_eq!(bytes.len(), msg.encoded_len());
+        match WireMessage::decode(bytes).expect("decode") {
+            WireMessage::Classifier(back) => assert_eq!(back, w),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn prototypes_preserve_missing_classes() {
+        let mut rng = seeded_rng(502);
+        let protos = vec![
+            Some(Tensor::randn([8], 1.0, &mut rng)),
+            None,
+            Some(Tensor::randn([8], 1.0, &mut rng)),
+        ];
+        let msg = WireMessage::Prototypes(protos.clone());
+        match WireMessage::decode(msg.encode()).expect("decode") {
+            WireMessage::Prototypes(back) => {
+                assert_eq!(back.len(), 3);
+                assert!(back[1].is_none());
+                assert_eq!(back[0], protos[0]);
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn full_model_roundtrip() {
+        let mut rng = seeded_rng(503);
+        let state = vec![
+            Tensor::randn([4, 4], 1.0, &mut rng),
+            Tensor::randn([4], 1.0, &mut rng),
+        ];
+        let msg = WireMessage::FullModel(state.clone());
+        match WireMessage::decode(msg.encode()).expect("decode") {
+            WireMessage::FullModel(back) => assert_eq!(back, state),
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn classifier_payload_matches_paper_scale() {
+        // 512-dim features, 10 classes: the paper reports ≈22 KB.
+        let w = ClassifierWeights::zeros(512, 10);
+        let msg = WireMessage::Classifier(w);
+        let kb = msg.encoded_len() as f64 / 1024.0;
+        assert!((19.0..22.5).contains(&kb), "classifier wire size {kb:.2} KB");
+    }
+
+    #[test]
+    fn network_counts_bytes_both_ways() {
+        let net = Network::new(2);
+        let w = ClassifierWeights::zeros(8, 4);
+        let msg = WireMessage::Classifier(w);
+        let len = msg.encoded_len() as u64;
+        net.send_to_client(0, &msg);
+        net.send_to_client(1, &msg);
+        assert_eq!(net.stats().downlink_bytes(), 2 * len);
+        let got = net.client_recv(0);
+        assert_eq!(got, msg);
+        net.send_to_server(1, &msg);
+        assert_eq!(net.stats().uplink_bytes(), len);
+        let collected = net.server_collect(1);
+        assert_eq!(collected[0].0, 1);
+        assert_eq!(net.stats().messages(), 3);
+    }
+
+    #[test]
+    fn server_collect_orders_by_client_id() {
+        let net = Network::new(3);
+        let msg = WireMessage::SoftPredictions(Tensor::zeros([2, 2]));
+        net.send_to_server(2, &msg);
+        net.send_to_server(0, &msg);
+        net.send_to_server(1, &msg);
+        let got = net.server_collect(3);
+        let ids: Vec<usize> = got.iter().map(|(k, _)| *k).collect();
+        assert_eq!(ids, vec![0, 1, 2]);
+    }
+
+    #[test]
+    fn classifier_f16_roundtrip_halves_payload() {
+        let mut rng = seeded_rng(504);
+        let w = ClassifierWeights {
+            weight: Tensor::randn([10, 64], 1.0, &mut rng),
+            bias: Tensor::randn([10], 1.0, &mut rng),
+        };
+        let full = WireMessage::Classifier(w.clone());
+        let half = WireMessage::ClassifierF16(w.clone());
+        // Payload halves (headers identical).
+        let payload_full = full.encoded_len() - 5;
+        let payload_half = half.encoded_len() - 5;
+        let header_overhead = 2 * (1 + 4 * 2) - (1 + 4); // two tensor headers
+        assert_eq!(payload_full - payload_half + header_overhead - header_overhead, 2 * w.numel());
+        // Round trip within f16 precision.
+        match WireMessage::decode(half.encode()).expect("decode") {
+            WireMessage::ClassifierF16(back) => {
+                for (a, b) in back.weight.data().iter().zip(w.weight.data()) {
+                    assert!((a - b).abs() <= b.abs() * 1e-3 + 1e-6);
+                }
+            }
+            other => panic!("wrong variant {other:?}"),
+        }
+    }
+
+    #[test]
+    fn decode_rejects_garbage() {
+        let garbage = Bytes::from_static(&[9, 1, 0, 0, 0, 1, 2]);
+        assert!(WireMessage::decode(garbage).is_err());
+    }
+}

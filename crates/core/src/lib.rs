@@ -1,0 +1,28 @@
+//! # fedclassavg
+//!
+//! The paper's contribution: **FedClassAvg**, personalized federated
+//! learning for heterogeneous neural networks via classifier-weight
+//! averaging plus local representation learning — together with the
+//! baselines it is evaluated against (local-only training, FedAvg, FedProx,
+//! FedProto, KT-pFL) and the byte-accounted communication substrate the
+//! simulation runs on.
+//!
+//! ## Layout
+//!
+//! * [`comm`] — wire messages and per-round byte accounting (Table 5).
+//! * [`client`] — a federated client: local dataset + model + trainer.
+//! * [`algo`] — one module per algorithm, all driven by the same
+//!   synchronous-round [`sim`] engine.
+//! * [`sim`] — the round loop: client sampling, parallel local training
+//!   (rayon), server aggregation, periodic evaluation.
+//! * [`config`] — experiment configuration incl. the paper's Table 1
+//!   hyperparameters.
+
+pub mod algo;
+pub mod client;
+pub mod comm;
+pub mod config;
+pub mod sim;
+
+pub use config::{FedConfig, HyperParams};
+pub use sim::{RoundMetrics, RunResult};

@@ -1,0 +1,350 @@
+//! The synchronous-round simulation engine: client fleet construction,
+//! client sampling, the round loop, and learning-curve collection.
+
+use crate::algo::Algorithm;
+use crate::client::Client;
+use crate::comm::Network;
+use crate::config::FedConfig;
+use fca_data::augment::AugmentConfig;
+use fca_data::partition::{ClientSplit, Partitioner};
+use fca_data::synth::SynthDataset;
+use fca_models::{build_model, ClientModel, ModelArch};
+use fca_tensor::rng::{derive_seed, derived_rng};
+use rand::seq::SliceRandom;
+use rayon::prelude::*;
+
+/// One evaluation point on the learning curve.
+#[derive(Clone, Copy, Debug)]
+pub struct RoundMetrics {
+    /// Communication round (1-based, 0 = before training).
+    pub round: usize,
+    /// Cumulative local epochs — the paper's x-axis (KT-pFL spends 20
+    /// epochs per round, the others 1, so rounds are not comparable).
+    pub epochs: usize,
+    /// Mean client test accuracy.
+    pub mean_acc: f32,
+    /// Std of client test accuracies.
+    pub std_acc: f32,
+}
+
+/// Outcome of a full federated run.
+#[derive(Clone, Debug)]
+pub struct RunResult {
+    /// Algorithm display name.
+    pub algo: String,
+    /// Learning curve (one point per evaluation).
+    pub curve: Vec<RoundMetrics>,
+    /// Final per-client accuracies.
+    pub per_client_acc: Vec<f32>,
+    /// Final mean accuracy (the paper's table entries).
+    pub final_mean: f32,
+    /// Final std (the paper's ± columns).
+    pub final_std: f32,
+    /// Total server→client bytes.
+    pub downlink_bytes: u64,
+    /// Total client→server bytes.
+    pub uplink_bytes: u64,
+    /// Rounds executed.
+    pub rounds: usize,
+}
+
+impl RunResult {
+    /// Mean per-round per-client traffic in bytes (Table 5's unit),
+    /// counting both directions.
+    pub fn bytes_per_client_round(&self, clients_per_round: usize) -> f64 {
+        if self.rounds == 0 || clients_per_round == 0 {
+            return 0.0;
+        }
+        (self.downlink_bytes + self.uplink_bytes) as f64
+            / (self.rounds * clients_per_round) as f64
+    }
+}
+
+/// Mean and (population) standard deviation.
+pub fn mean_std(xs: &[f32]) -> (f32, f32) {
+    if xs.is_empty() {
+        return (0.0, 0.0);
+    }
+    let mean = xs.iter().sum::<f32>() / xs.len() as f32;
+    let var = xs.iter().map(|x| (x - mean) * (x - mean)).sum::<f32>() / xs.len() as f32;
+    (mean, var.sqrt())
+}
+
+/// Build a client fleet over a synthetic dataset.
+///
+/// `arch_of(client_id)` selects each client's architecture — pass
+/// [`ModelArch::heterogeneous_rotation`] for the paper's four-family
+/// rotation or a constant for homogeneous fleets.
+pub fn build_clients(
+    data: &SynthDataset,
+    partitioner: Partitioner,
+    cfg: &FedConfig,
+    arch_of: &dyn Fn(usize) -> ModelArch,
+) -> Vec<Client> {
+    let splits = partitioner.split(&data.train, &data.test, cfg.num_clients, cfg.seed);
+    build_clients_from_splits(data, &splits, cfg, arch_of)
+}
+
+/// Build a fleet from precomputed splits (exposed for experiments that
+/// need the splits too, e.g. the Figure 2–3 histograms).
+pub fn build_clients_from_splits(
+    data: &SynthDataset,
+    splits: &[ClientSplit],
+    cfg: &FedConfig,
+    arch_of: &dyn Fn(usize) -> ModelArch,
+) -> Vec<Client> {
+    let (c, h, w) = data.train.image_shape();
+    let augment = AugmentConfig::for_image(c, h, w);
+    let total: usize = splits.iter().map(|s| s.train_indices.len()).sum();
+    splits
+        .iter()
+        .map(|split| {
+            let arch = arch_of(split.client_id);
+            let model: ClientModel = build_model(
+                arch,
+                (c, h, w),
+                cfg.feature_dim,
+                data.train.num_classes,
+                derive_seed(cfg.seed, 0xBEEF + split.client_id as u64),
+            );
+            Client::new(
+                split.client_id,
+                model,
+                data.train.subset(&split.train_indices),
+                data.test.subset(&split.test_indices),
+                augment,
+                split.train_indices.len() as f32 / total.max(1) as f32,
+                &cfg.hp,
+                derive_seed(cfg.seed, 0xF00D + split.client_id as u64),
+            )
+        })
+        .collect()
+}
+
+/// Evaluate every client's local test accuracy (parallel).
+pub fn evaluate_all(clients: &mut [Client]) -> Vec<f32> {
+    clients.par_iter_mut().map(|c| c.evaluate()).collect()
+}
+
+/// Sample `m` distinct clients for a round, deterministically per
+/// `(seed, round)`.
+pub fn sample_clients(num_clients: usize, m: usize, seed: u64, round: usize) -> Vec<usize> {
+    let mut rng = derived_rng(seed, 0x5A3B_0000 + round as u64);
+    let mut ids: Vec<usize> = (0..num_clients).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(m.clamp(1, num_clients));
+    ids.sort_unstable();
+    ids
+}
+
+/// Drive a full federated run: `cfg.rounds` rounds of `algo` over
+/// `clients`, evaluating every `cfg.eval_every` rounds.
+pub fn run_federation(
+    clients: &mut [Client],
+    algo: &mut dyn Algorithm,
+    cfg: &FedConfig,
+) -> RunResult {
+    let net = Network::new(clients.len());
+    let mut curve = Vec::new();
+    let mut epochs = 0usize;
+
+    // Round 0 point: untrained average accuracy.
+    let accs = evaluate_all(clients);
+    let (m0, s0) = mean_std(&accs);
+    curve.push(RoundMetrics { round: 0, epochs: 0, mean_acc: m0, std_acc: s0 });
+
+    for round in 1..=cfg.rounds {
+        let sampled =
+            sample_clients(clients.len(), cfg.clients_per_round(), cfg.seed, round);
+        algo.round(round, clients, &sampled, &net, &cfg.hp);
+        epochs += algo.epochs_per_round(&cfg.hp);
+
+        if round % cfg.eval_every.max(1) == 0 || round == cfg.rounds {
+            let accs = evaluate_all(clients);
+            let (m, s) = mean_std(&accs);
+            curve.push(RoundMetrics { round, epochs, mean_acc: m, std_acc: s });
+        }
+    }
+
+    let per_client_acc = evaluate_all(clients);
+    let (final_mean, final_std) = mean_std(&per_client_acc);
+    RunResult {
+        algo: algo.name(),
+        curve,
+        per_client_acc,
+        final_mean,
+        final_std,
+        downlink_bytes: net.stats().downlink_bytes(),
+        uplink_bytes: net.stats().uplink_bytes(),
+        rounds: cfg.rounds,
+    }
+}
+
+/// Fixture builders shared by the algorithm unit tests.
+pub mod test_support {
+    use super::*;
+    use crate::config::HyperParams;
+    use fca_data::synth::tiny_dataset;
+    use fca_tensor::Tensor;
+
+    /// A tiny heterogeneous fleet (rotating micro-architectures) with a
+    /// fresh network, 3 classes on 12×12 grayscale images.
+    pub fn tiny_fleet(n: usize, seed: u64) -> (Vec<Client>, Network) {
+        tiny_fleet_hp(n, seed, HyperParams::micro_default())
+    }
+
+    /// [`tiny_fleet`] with explicit hyperparameters (the optimizer is built
+    /// from them at client construction, so lr overrides must go here).
+    pub fn tiny_fleet_hp(n: usize, seed: u64, hp: HyperParams) -> (Vec<Client>, Network) {
+        let data = tiny_dataset(3, 24 * n.max(2), 12 * n.max(2), seed);
+        let mut cfg = FedConfig::paper_20_clients(hp, 1, seed);
+        cfg.num_clients = n;
+        cfg.feature_dim = 8;
+        let clients = build_clients(
+            &data,
+            Partitioner::Dirichlet { alpha: 0.5 },
+            &cfg,
+            &ModelArch::heterogeneous_rotation,
+        );
+        (clients, Network::new(n))
+    }
+
+    /// A tiny homogeneous fleet (all `CnnFedAvg`).
+    pub fn tiny_fleet_homogeneous(n: usize, seed: u64) -> (Vec<Client>, Network) {
+        tiny_fleet_homogeneous_hp(n, seed, HyperParams::micro_default())
+    }
+
+    /// [`tiny_fleet_homogeneous`] with explicit hyperparameters.
+    pub fn tiny_fleet_homogeneous_hp(
+        n: usize,
+        seed: u64,
+        hp: HyperParams,
+    ) -> (Vec<Client>, Network) {
+        let data = tiny_dataset(3, 24 * n.max(2), 12 * n.max(2), seed);
+        let mut cfg = FedConfig::paper_20_clients(hp, 1, seed);
+        cfg.num_clients = n;
+        cfg.feature_dim = 8;
+        let clients = build_clients(
+            &data,
+            Partitioner::Dirichlet { alpha: 0.5 },
+            &cfg,
+            &|_| ModelArch::CnnFedAvg,
+        );
+        (clients, Network::new(n))
+    }
+
+    /// Public data for KT-pFL tests (12×12 grayscale).
+    pub fn tiny_public_data(n: usize, seed: u64) -> Tensor {
+        let d = tiny_dataset(3, n, 4, seed);
+        d.train.images
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::algo::{FedClassAvg, LocalOnly};
+    use crate::config::HyperParams;
+    use fca_data::synth::tiny_dataset;
+
+    fn small_cfg(seed: u64, rounds: usize) -> FedConfig {
+        let mut cfg =
+            FedConfig::paper_20_clients(HyperParams::micro_default().with_lr(5e-3), rounds, seed);
+        cfg.num_clients = 4;
+        cfg.feature_dim = 8;
+        cfg
+    }
+
+    #[test]
+    fn sampling_is_deterministic_and_sorted() {
+        let a = sample_clients(10, 4, 1, 3);
+        let b = sample_clients(10, 4, 1, 3);
+        assert_eq!(a, b);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        let c = sample_clients(10, 4, 1, 4);
+        assert_ne!(a, c, "different rounds should sample differently");
+    }
+
+    #[test]
+    fn sampling_respects_bounds() {
+        assert_eq!(sample_clients(5, 99, 0, 0).len(), 5);
+        assert_eq!(sample_clients(5, 0, 0, 0).len(), 1);
+    }
+
+    #[test]
+    fn mean_std_basic() {
+        let (m, s) = mean_std(&[1.0, 3.0]);
+        assert_eq!(m, 2.0);
+        assert_eq!(s, 1.0);
+        assert_eq!(mean_std(&[]), (0.0, 0.0));
+    }
+
+    #[test]
+    fn run_federation_produces_curve_and_traffic() {
+        let cfg = small_cfg(801, 3);
+        let data = tiny_dataset(3, 96, 48, cfg.seed);
+        let mut clients = build_clients(
+            &data,
+            Partitioner::Dirichlet { alpha: 0.5 },
+            &cfg,
+            &ModelArch::heterogeneous_rotation,
+        );
+        let mut algo = FedClassAvg::new(cfg.feature_dim, 3, cfg.seed);
+        let result = run_federation(&mut clients, &mut algo, &cfg);
+        assert_eq!(result.curve.len(), 4); // round 0 + 3 evals
+        assert_eq!(result.per_client_acc.len(), 4);
+        assert!(result.downlink_bytes > 0);
+        assert!(result.uplink_bytes > 0);
+        assert!(result.curve.iter().all(|p| (0.0..=1.0).contains(&p.mean_acc)));
+        assert!(!result.final_mean.is_nan());
+    }
+
+    #[test]
+    fn local_only_run_has_zero_traffic() {
+        let cfg = small_cfg(802, 2);
+        let data = tiny_dataset(3, 96, 48, cfg.seed);
+        let mut clients = build_clients(
+            &data,
+            Partitioner::Dirichlet { alpha: 0.5 },
+            &cfg,
+            &ModelArch::heterogeneous_rotation,
+        );
+        let mut algo = LocalOnly::new();
+        let result = run_federation(&mut clients, &mut algo, &cfg);
+        assert_eq!(result.downlink_bytes + result.uplink_bytes, 0);
+    }
+
+    #[test]
+    fn runs_are_reproducible() {
+        let run = || {
+            let cfg = small_cfg(803, 2);
+            let data = tiny_dataset(3, 96, 48, cfg.seed);
+            let mut clients = build_clients(
+                &data,
+                Partitioner::Dirichlet { alpha: 0.5 },
+                &cfg,
+                &ModelArch::heterogeneous_rotation,
+            );
+            let mut algo = FedClassAvg::new(cfg.feature_dim, 3, cfg.seed);
+            run_federation(&mut clients, &mut algo, &cfg)
+        };
+        let a = run();
+        let b = run();
+        assert_eq!(a.per_client_acc, b.per_client_acc, "non-deterministic run");
+        assert_eq!(a.downlink_bytes, b.downlink_bytes);
+    }
+
+    #[test]
+    fn fleet_weights_sum_to_one() {
+        let cfg = small_cfg(804, 1);
+        let data = tiny_dataset(3, 96, 48, cfg.seed);
+        let clients = build_clients(
+            &data,
+            Partitioner::Dirichlet { alpha: 0.5 },
+            &cfg,
+            &ModelArch::heterogeneous_rotation,
+        );
+        let total: f32 = clients.iter().map(|c| c.weight).sum();
+        assert!((total - 1.0).abs() < 1e-5);
+    }
+}

@@ -1,0 +1,16 @@
+//! # fca-metrics
+//!
+//! Post-hoc analysis tools for the FedClassAvg reproduction:
+//!
+//! * [`eval`] — accuracy evaluation helpers and learning-curve series.
+//! * [`tsne`] — a from-scratch t-SNE (perplexity calibration, early
+//!   exaggeration, momentum gradient descent) for the paper's Figure 8
+//!   feature-space visualizations.
+//! * [`conductance`] — layer conductance (integrated-gradients style unit
+//!   attribution) on the shared classifier, rank-score conversion, and the
+//!   cross-client rank-agreement statistic behind Figure 9.
+
+pub mod conductance;
+pub mod eval;
+pub mod fairness;
+pub mod tsne;

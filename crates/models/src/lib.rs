@@ -1,0 +1,23 @@
+//! # fca-models
+//!
+//! The heterogeneous model zoo of the FedClassAvg reproduction.
+//!
+//! The paper trains four CNN families — ResNet-18, ShuffleNetV2,
+//! GoogLeNet, AlexNet — modified so every model ends in a feature extractor
+//! `F_k` (backbone + one FC projecting to a shared feature dimension) and a
+//! classifier `C_k` (one FC layer of identical shape across all clients).
+//! This crate re-implements each family's *structural idiom* at micro scale
+//! (residual skips, grouped conv + channel shuffle, inception branches,
+//! plain deep stack) so that model heterogeneity is real while CPU training
+//! stays tractable, plus the homogeneous CNNs used by the FedAvg/FedProto
+//! comparisons, and **full-size parameter descriptors** used for the
+//! paper-scale communication-cost accounting of Table 5.
+
+pub mod classifier;
+pub mod descriptors;
+pub mod model;
+pub mod zoo;
+
+pub use classifier::Classifier;
+pub use model::{ClientModel, ModelArch};
+pub use zoo::build_model;

@@ -1,0 +1,235 @@
+//! [`ClientModel`]: the `f_k = C_k ∘ F_k` decomposition every algorithm in
+//! the reproduction operates on.
+
+use crate::classifier::{Classifier, ClassifierWeights};
+use fca_nn::module::{load_state_dict, state_dict, Module};
+use fca_nn::structure::Sequential;
+use fca_tensor::Tensor;
+
+/// The architecture families of the zoo (paper §4.1).
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub enum ModelArch {
+    /// Residual-block CNN (ResNet-18 idiom).
+    MicroResNet,
+    /// Grouped-conv + channel-shuffle CNN (ShuffleNetV2 idiom).
+    MicroShuffleNet,
+    /// Multi-branch inception CNN (GoogLeNet idiom).
+    MicroGoogLeNet,
+    /// Plain deep conv stack with dropout (AlexNet idiom).
+    MicroAlexNet,
+    /// The two-conv CNN of the FedAvg paper (homogeneous experiments).
+    CnnFedAvg,
+    /// FedProto's width-varied two-conv CNN; `width_variant` perturbs the
+    /// channel counts so clients are "less heterogeneous" as in the paper.
+    ProtoCnn {
+        /// Channel-width variant index (0–3 in the paper's scheme).
+        width_variant: usize,
+    },
+}
+
+impl ModelArch {
+    /// The paper's four-architecture rotation: clients `0,4,8,…` get
+    /// ResNet, `1,5,9,…` ShuffleNet, `2,6,10,…` GoogLeNet, `3,7,11,…`
+    /// AlexNet (matches the client→backbone map under Figure 9).
+    pub fn heterogeneous_rotation(client_id: usize) -> ModelArch {
+        match client_id % 4 {
+            0 => ModelArch::MicroResNet,
+            1 => ModelArch::MicroShuffleNet,
+            2 => ModelArch::MicroGoogLeNet,
+            _ => ModelArch::MicroAlexNet,
+        }
+    }
+
+    /// Short display name.
+    pub fn name(&self) -> &'static str {
+        match self {
+            ModelArch::MicroResNet => "MicroResNet",
+            ModelArch::MicroShuffleNet => "MicroShuffleNet",
+            ModelArch::MicroGoogLeNet => "MicroGoogLeNet",
+            ModelArch::MicroAlexNet => "MicroAlexNet",
+            ModelArch::CnnFedAvg => "CnnFedAvg",
+            ModelArch::ProtoCnn { .. } => "ProtoCnn",
+        }
+    }
+}
+
+/// A client model: feature extractor `F_k` + classifier `C_k`.
+pub struct ClientModel {
+    /// Architecture family.
+    pub arch: ModelArch,
+    /// The feature extractor (backbone + FC to `feature_dim`).
+    pub feature_extractor: Sequential,
+    /// The shared-shape classifier head.
+    pub classifier: Classifier,
+    feature_dim: usize,
+}
+
+impl ClientModel {
+    /// Assemble a model from its parts (used by the zoo builders).
+    pub fn new(arch: ModelArch, feature_extractor: Sequential, classifier: Classifier) -> Self {
+        let feature_dim = classifier.feature_dim();
+        ClientModel { arch, feature_extractor, classifier, feature_dim }
+    }
+
+    /// Shared feature dimension.
+    pub fn feature_dim(&self) -> usize {
+        self.feature_dim
+    }
+
+    /// Number of classes.
+    pub fn num_classes(&self) -> usize {
+        self.classifier.num_classes()
+    }
+
+    /// Forward through the extractor only.
+    pub fn forward_features(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let f = self.feature_extractor.forward(x, train);
+        assert_eq!(
+            f.dims()[1],
+            self.feature_dim,
+            "extractor produced {} dims, classifier expects {}",
+            f.dims()[1],
+            self.feature_dim
+        );
+        f
+    }
+
+    /// Full forward: `(features, logits)`.
+    pub fn forward(&mut self, x: &Tensor, train: bool) -> (Tensor, Tensor) {
+        let features = self.forward_features(x, train);
+        let logits = self.classifier.forward(&features, train);
+        (features, logits)
+    }
+
+    /// Inference pass returning logits only (eval mode, still caches —
+    /// use for evaluation loops where gradients are discarded).
+    pub fn predict(&mut self, x: &Tensor) -> Tensor {
+        let features = self.feature_extractor.forward(x, false);
+        self.classifier.forward_inference(&features)
+    }
+
+    /// Backward for the composite loss: `grad_logits` flows through the
+    /// classifier into the features; `grad_features_extra` (e.g. from the
+    /// contrastive loss) is added before the extractor backward.
+    pub fn backward(&mut self, grad_features_extra: Option<&Tensor>, grad_logits: &Tensor) {
+        let mut d_feat = self.classifier.backward(grad_logits);
+        if let Some(extra) = grad_features_extra {
+            d_feat.add_assign(extra);
+        }
+        let _ = self.feature_extractor.backward(&d_feat);
+    }
+
+    /// Backward when only a feature-space loss is present (no logits path).
+    pub fn backward_features_only(&mut self, grad_features: &Tensor) {
+        let _ = self.feature_extractor.backward(grad_features);
+    }
+
+    /// All trainable parameters: extractor first, then classifier.
+    pub fn params_mut(&mut self) -> Vec<&mut fca_nn::Param> {
+        let mut p = self.feature_extractor.params_mut();
+        p.extend(self.classifier.params_mut());
+        p
+    }
+
+    /// Zero all gradients.
+    pub fn zero_grad(&mut self) {
+        self.feature_extractor.zero_grad();
+        self.classifier.zero_grad();
+    }
+
+    /// Total trainable scalar count.
+    pub fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Full state snapshot (params + buffers), for `+weight` averaging.
+    pub fn full_state(&mut self) -> Vec<Tensor> {
+        let mut s = state_dict(&mut self.feature_extractor);
+        s.push(self.classifier.weights().weight);
+        s.push(self.classifier.weights().bias);
+        s
+    }
+
+    /// Load a snapshot from [`ClientModel::full_state`].
+    pub fn load_full_state(&mut self, state: &[Tensor]) {
+        assert!(state.len() >= 2, "state too short");
+        let (fe_state, cls) = state.split_at(state.len() - 2);
+        load_state_dict(&mut self.feature_extractor, fe_state);
+        self.classifier.set_weights(&ClassifierWeights {
+            weight: cls[0].clone(),
+            bias: cls[1].clone(),
+        });
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fca_nn::activation::Relu;
+    use fca_nn::linear::Linear;
+    use fca_nn::structure::Flatten;
+    use fca_tensor::rng::seeded_rng;
+
+    fn tiny_model(seed: u64) -> ClientModel {
+        let mut rng = seeded_rng(seed);
+        let fe = Sequential::new()
+            .push(Flatten::new())
+            .push(Linear::new(16, 8, &mut rng))
+            .push(Relu::new());
+        let cls = Classifier::new(8, 3, &mut rng);
+        ClientModel::new(ModelArch::CnnFedAvg, fe, cls)
+    }
+
+    #[test]
+    fn rotation_covers_four_archs() {
+        let archs: Vec<_> = (0..8).map(ModelArch::heterogeneous_rotation).collect();
+        assert_eq!(archs[0], ModelArch::MicroResNet);
+        assert_eq!(archs[1], ModelArch::MicroShuffleNet);
+        assert_eq!(archs[2], ModelArch::MicroGoogLeNet);
+        assert_eq!(archs[3], ModelArch::MicroAlexNet);
+        assert_eq!(archs[4], ModelArch::MicroResNet);
+    }
+
+    #[test]
+    fn forward_shapes() {
+        let mut m = tiny_model(411);
+        let mut rng = seeded_rng(412);
+        let x = Tensor::randn([5, 1, 4, 4], 1.0, &mut rng);
+        let (f, l) = m.forward(&x, true);
+        assert_eq!(f.dims(), &[5, 8]);
+        assert_eq!(l.dims(), &[5, 3]);
+    }
+
+    #[test]
+    fn full_state_roundtrip() {
+        let mut a = tiny_model(413);
+        let mut b = tiny_model(414);
+        let mut rng = seeded_rng(415);
+        let x = Tensor::randn([2, 1, 4, 4], 1.0, &mut rng);
+        let state = a.full_state();
+        b.load_full_state(&state);
+        let ya = a.predict(&x);
+        let yb = b.predict(&x);
+        assert_eq!(ya, yb);
+    }
+
+    #[test]
+    fn backward_accumulates_into_both_parts() {
+        let mut m = tiny_model(416);
+        let mut rng = seeded_rng(417);
+        let x = Tensor::randn([3, 1, 4, 4], 1.0, &mut rng);
+        m.zero_grad();
+        let (f, l) = m.forward(&x, true);
+        let gl = Tensor::ones([3, 3]);
+        let gf = Tensor::ones([3, 8]);
+        m.backward(Some(&gf), &gl);
+        assert!(m.params_mut().iter().any(|p| p.grad.max_abs() > 0.0));
+        let _ = (f, l);
+    }
+
+    #[test]
+    fn param_count_positive() {
+        let mut m = tiny_model(418);
+        assert_eq!(m.param_count(), 16 * 8 + 8 + 8 * 3 + 3);
+    }
+}

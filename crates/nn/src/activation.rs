@@ -1,0 +1,153 @@
+//! Pointwise activations: ReLU and (inverted) dropout.
+
+use crate::module::{Module, Param};
+use fca_tensor::rng::seeded_rng;
+use fca_tensor::Tensor;
+use rand::rngs::StdRng;
+use rand::Rng;
+
+/// Rectified linear unit.
+pub struct Relu {
+    mask: Vec<bool>,
+}
+
+impl Relu {
+    /// New ReLU.
+    pub fn new() -> Self {
+        Relu { mask: Vec::new() }
+    }
+}
+
+impl Default for Relu {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Relu {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.mask.clear();
+        self.mask.extend(x.data().iter().map(|&v| v > 0.0));
+        x.map(|v| v.max(0.0))
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.numel(), self.mask.len(), "backward before forward on Relu");
+        let mut g = grad_out.clone();
+        for (gi, &m) in g.data_mut().iter_mut().zip(&self.mask) {
+            if !m {
+                *gi = 0.0;
+            }
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// Inverted dropout: at train time zeroes each activation with probability
+/// `p` and scales survivors by `1/(1-p)`; identity at eval time.
+///
+/// The layer owns a seeded generator so training stays deterministic even
+/// when clients run on rayon worker threads.
+pub struct Dropout {
+    p: f32,
+    rng: StdRng,
+    mask: Vec<f32>,
+}
+
+impl Dropout {
+    /// New dropout layer with drop probability `p ∈ [0, 1)`.
+    pub fn new(p: f32, seed: u64) -> Self {
+        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1), got {p}");
+        Dropout { p, rng: seeded_rng(seed), mask: Vec::new() }
+    }
+}
+
+impl Module for Dropout {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        if !train || self.p == 0.0 {
+            self.mask.clear();
+            self.mask.resize(x.numel(), 1.0);
+            return x.clone();
+        }
+        let keep = 1.0 - self.p;
+        let scale = 1.0 / keep;
+        self.mask.clear();
+        self.mask.extend(
+            (0..x.numel()).map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 }),
+        );
+        let mut y = x.clone();
+        for (yi, &m) in y.data_mut().iter_mut().zip(&self.mask) {
+            *yi *= m;
+        }
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(grad_out.numel(), self.mask.len(), "backward before forward on Dropout");
+        let mut g = grad_out.clone();
+        for (gi, &m) in g.data_mut().iter_mut().zip(&self.mask) {
+            *gi *= m;
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fca_tensor::rng::seeded_rng;
+
+    #[test]
+    fn relu_clamps_and_masks_gradient() {
+        let mut relu = Relu::new();
+        let x = Tensor::from_vec([1, 4], vec![-1.0, 0.0, 2.0, -3.0]);
+        let y = relu.forward(&x, true);
+        assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
+        let g = relu.backward(&Tensor::ones([1, 4]));
+        assert_eq!(g.data(), &[0.0, 0.0, 1.0, 0.0]);
+    }
+
+    #[test]
+    fn dropout_eval_is_identity() {
+        let mut d = Dropout::new(0.5, 1);
+        let mut rng = seeded_rng(71);
+        let x = Tensor::randn([4, 8], 1.0, &mut rng);
+        let y = d.forward(&x, false);
+        assert_eq!(x, y);
+    }
+
+    #[test]
+    fn dropout_train_preserves_expectation() {
+        let mut d = Dropout::new(0.3, 2);
+        let x = Tensor::ones([100, 100]);
+        let y = d.forward(&x, true);
+        // E[y] = 1; with 10k samples the mean should be within a few percent.
+        assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
+        // Survivors are exactly scaled by 1/keep.
+        let keep = 0.7f32;
+        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 1.0 / keep).abs() < 1e-6));
+    }
+
+    #[test]
+    fn dropout_backward_uses_same_mask() {
+        let mut d = Dropout::new(0.5, 3);
+        let x = Tensor::ones([1, 64]);
+        let y = d.forward(&x, true);
+        let g = d.backward(&Tensor::ones([1, 64]));
+        assert_eq!(y.data(), g.data());
+    }
+
+    #[test]
+    #[should_panic(expected = "probability")]
+    fn dropout_rejects_p_one() {
+        Dropout::new(1.0, 0);
+    }
+}

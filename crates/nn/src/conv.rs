@@ -1,0 +1,457 @@
+//! 2-D convolution, lowered to im2col + GEMM, with stride, zero padding,
+//! and grouped convolution (needed by the ShuffleNet blocks).
+
+use crate::init::kaiming_normal;
+use crate::module::{Module, Param};
+use fca_tensor::linalg::{gemm_nn, gemm_nt, gemm_tn};
+use fca_tensor::Tensor;
+use rand::Rng;
+use rayon::prelude::*;
+
+/// Convolution geometry, shared by forward and backward.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub struct ConvGeometry {
+    /// Input channels.
+    pub in_channels: usize,
+    /// Output channels.
+    pub out_channels: usize,
+    /// Square kernel extent.
+    pub kernel: usize,
+    /// Stride in both dimensions.
+    pub stride: usize,
+    /// Zero padding in both dimensions.
+    pub padding: usize,
+    /// Channel groups (1 = dense convolution).
+    pub groups: usize,
+}
+
+impl ConvGeometry {
+    /// Output spatial size for an input of `(h, w)`.
+    pub fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
+        let oh = (h + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1;
+        let ow = (w + 2 * self.padding).saturating_sub(self.kernel) / self.stride + 1;
+        (oh, ow)
+    }
+}
+
+/// `Conv2d` layer over NCHW tensors.
+///
+/// The weight is stored pre-flattened as `(out_channels, in_channels/groups ·
+/// k·k)` so the forward pass is a single GEMM per image per group.
+pub struct Conv2d {
+    geom: ConvGeometry,
+    /// Flattened kernel weights.
+    pub weight: Param,
+    /// Per-output-channel bias.
+    pub bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Conv2d {
+    /// New convolution with Kaiming-normal weights.
+    ///
+    /// Panics if channel counts are not divisible by `groups`.
+    pub fn new(geom: ConvGeometry, rng: &mut impl Rng) -> Self {
+        assert!(geom.groups >= 1, "groups must be >= 1");
+        assert_eq!(geom.in_channels % geom.groups, 0, "in_channels must divide by groups");
+        assert_eq!(geom.out_channels % geom.groups, 0, "out_channels must divide by groups");
+        assert!(geom.stride >= 1, "stride must be >= 1");
+        assert!(geom.kernel >= 1, "kernel must be >= 1");
+        let k = geom.in_channels / geom.groups * geom.kernel * geom.kernel;
+        let fan_in = k;
+        Conv2d {
+            geom,
+            weight: Param::new("conv.weight", kaiming_normal([geom.out_channels, k], fan_in, rng)),
+            bias: Param::new("conv.bias", Tensor::zeros([geom.out_channels])),
+            cached_input: None,
+        }
+    }
+
+    /// Convenience constructor for dense convolutions.
+    pub fn basic(
+        in_channels: usize,
+        out_channels: usize,
+        kernel: usize,
+        stride: usize,
+        padding: usize,
+        rng: &mut impl Rng,
+    ) -> Self {
+        Conv2d::new(
+            ConvGeometry { in_channels, out_channels, kernel, stride, padding, groups: 1 },
+            rng,
+        )
+    }
+
+    /// The layer's geometry.
+    pub fn geometry(&self) -> ConvGeometry {
+        self.geom
+    }
+}
+
+/// Fill `col` (shape `icg·k·k × oh·ow`) from channels `[c_lo, c_hi)` of one
+/// image `img` (full image slice, `c·h·w`).
+#[allow(clippy::too_many_arguments)]
+fn im2col(
+    img: &[f32],
+    h: usize,
+    w: usize,
+    c_lo: usize,
+    c_hi: usize,
+    geom: &ConvGeometry,
+    oh: usize,
+    ow: usize,
+    col: &mut [f32],
+) {
+    let k = geom.kernel;
+    let (s, p) = (geom.stride, geom.padding);
+    let row_len = oh * ow;
+    debug_assert_eq!(col.len(), (c_hi - c_lo) * k * k * row_len);
+    let mut row = 0;
+    for c in c_lo..c_hi {
+        let plane = &img[c * h * w..(c + 1) * h * w];
+        for kh in 0..k {
+            for kw in 0..k {
+                let dst = &mut col[row * row_len..(row + 1) * row_len];
+                for oy in 0..oh {
+                    let iy = (oy * s + kh) as isize - p as isize;
+                    let base = oy * ow;
+                    if iy < 0 || iy >= h as isize {
+                        dst[base..base + ow].fill(0.0);
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * s + kw) as isize - p as isize;
+                        dst[base + ox] = if ix < 0 || ix >= w as isize {
+                            0.0
+                        } else {
+                            plane[iy * w + ix as usize]
+                        };
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+/// Scatter-add `col` (the gradient of the im2col matrix) back into the
+/// gradient image `dimg` for channels `[c_lo, c_hi)`.
+#[allow(clippy::too_many_arguments)]
+fn col2im(
+    col: &[f32],
+    h: usize,
+    w: usize,
+    c_lo: usize,
+    c_hi: usize,
+    geom: &ConvGeometry,
+    oh: usize,
+    ow: usize,
+    dimg: &mut [f32],
+) {
+    let k = geom.kernel;
+    let (s, p) = (geom.stride, geom.padding);
+    let row_len = oh * ow;
+    let mut row = 0;
+    for c in c_lo..c_hi {
+        let plane = &mut dimg[c * h * w..(c + 1) * h * w];
+        for kh in 0..k {
+            for kw in 0..k {
+                let src = &col[row * row_len..(row + 1) * row_len];
+                for oy in 0..oh {
+                    let iy = (oy * s + kh) as isize - p as isize;
+                    if iy < 0 || iy >= h as isize {
+                        continue;
+                    }
+                    let iy = iy as usize;
+                    for ox in 0..ow {
+                        let ix = (ox * s + kw) as isize - p as isize;
+                        if ix >= 0 && ix < w as isize {
+                            plane[iy * w + ix as usize] += src[oy * ow + ox];
+                        }
+                    }
+                }
+                row += 1;
+            }
+        }
+    }
+}
+
+impl Module for Conv2d {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let (n, c, h, w) = x.shape().as_nchw();
+        let g = self.geom;
+        assert_eq!(c, g.in_channels, "conv expects {} channels, got {c}", g.in_channels);
+        let (oh, ow) = g.out_hw(h, w);
+        assert!(oh > 0 && ow > 0, "conv output collapsed to zero for input {h}x{w}");
+        let icg = g.in_channels / g.groups;
+        let ocg = g.out_channels / g.groups;
+        let kdim = icg * g.kernel * g.kernel;
+        let row_len = oh * ow;
+
+        let mut out = Tensor::zeros([n, g.out_channels, oh, ow]);
+        let weight = self.weight.value.data();
+        let bias = self.bias.value.data();
+        let x_data = x.data();
+        let img_sz = c * h * w;
+        let out_img_sz = g.out_channels * row_len;
+
+        out.data_mut().par_chunks_mut(out_img_sz).enumerate().for_each(|(ni, out_img)| {
+            let img = &x_data[ni * img_sz..(ni + 1) * img_sz];
+            let mut col = vec![0.0f32; kdim * row_len];
+            for grp in 0..g.groups {
+                im2col(img, h, w, grp * icg, (grp + 1) * icg, &g, oh, ow, &mut col);
+                let w_g = &weight[grp * ocg * kdim..(grp + 1) * ocg * kdim];
+                let y_g = &mut out_img[grp * ocg * row_len..(grp + 1) * ocg * row_len];
+                gemm_nn(w_g, &col, y_g, ocg, kdim, row_len);
+            }
+            for (oc, plane) in out_img.chunks_mut(row_len).enumerate() {
+                let b = bias[oc];
+                if b != 0.0 {
+                    for v in plane.iter_mut() {
+                        *v += b;
+                    }
+                }
+            }
+        });
+
+        self.cached_input = Some(x.clone());
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward on Conv2d").clone();
+        let (n, c, h, w) = x.shape().as_nchw();
+        let g = self.geom;
+        let (_, oc, oh, ow) = grad_out.shape().as_nchw();
+        assert_eq!(oc, g.out_channels);
+        let icg = g.in_channels / g.groups;
+        let ocg = g.out_channels / g.groups;
+        let kdim = icg * g.kernel * g.kernel;
+        let row_len = oh * ow;
+        let img_sz = c * h * w;
+        let out_img_sz = oc * row_len;
+
+        let mut dx = Tensor::zeros([n, c, h, w]);
+        let x_data = x.data();
+        let gout = grad_out.data();
+        let weight = self.weight.value.data();
+        let wlen = self.weight.value.numel();
+
+        // Parallel over images; each rayon worker folds its own (dW, db)
+        // accumulator, reduced at the end (no shared mutable state).
+        let (dw_sum, db_sum) = dx
+            .data_mut()
+            .par_chunks_mut(img_sz)
+            .enumerate()
+            .fold(
+                || (vec![0.0f32; wlen], vec![0.0f32; oc]),
+                |(mut dw, mut db), (ni, dx_img)| {
+                    let img = &x_data[ni * img_sz..(ni + 1) * img_sz];
+                    let gy = &gout[ni * out_img_sz..(ni + 1) * out_img_sz];
+                    let mut col = vec![0.0f32; kdim * row_len];
+                    let mut dcol = vec![0.0f32; kdim * row_len];
+                    for grp in 0..g.groups {
+                        im2col(img, h, w, grp * icg, (grp + 1) * icg, &g, oh, ow, &mut col);
+                        let gy_g = &gy[grp * ocg * row_len..(grp + 1) * ocg * row_len];
+                        // dW_g += dY_g · colᵀ
+                        let dw_g = &mut dw[grp * ocg * kdim..(grp + 1) * ocg * kdim];
+                        gemm_nt(gy_g, &col, dw_g, ocg, row_len, kdim);
+                        // dcol = W_gᵀ · dY_g
+                        dcol.fill(0.0);
+                        let w_g = &weight[grp * ocg * kdim..(grp + 1) * ocg * kdim];
+                        gemm_tn(w_g, gy_g, &mut dcol, kdim, ocg, row_len);
+                        col2im(&dcol, h, w, grp * icg, (grp + 1) * icg, &g, oh, ow, dx_img);
+                    }
+                    for (ci, plane) in gy.chunks(row_len).enumerate() {
+                        db[ci] += plane.iter().sum::<f32>();
+                    }
+                    (dw, db)
+                },
+            )
+            .reduce(
+                || (vec![0.0f32; wlen], vec![0.0f32; oc]),
+                |(mut dwa, mut dba), (dwb, dbb)| {
+                    for (a, b) in dwa.iter_mut().zip(&dwb) {
+                        *a += b;
+                    }
+                    for (a, b) in dba.iter_mut().zip(&dbb) {
+                        *a += b;
+                    }
+                    (dwa, dba)
+                },
+            );
+
+        for (a, b) in self.weight.grad.data_mut().iter_mut().zip(&dw_sum) {
+            *a += b;
+        }
+        for (a, b) in self.bias.grad.data_mut().iter_mut().zip(&db_sum) {
+            *a += b;
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+/// Naive direct convolution, used as a test oracle.
+pub fn conv2d_reference(x: &Tensor, weight: &Tensor, bias: &Tensor, geom: &ConvGeometry) -> Tensor {
+    let (n, c, h, w) = x.shape().as_nchw();
+    assert_eq!(c, geom.in_channels);
+    let (oh, ow) = geom.out_hw(h, w);
+    let icg = geom.in_channels / geom.groups;
+    let ocg = geom.out_channels / geom.groups;
+    let k = geom.kernel;
+    let mut out = Tensor::zeros([n, geom.out_channels, oh, ow]);
+    for ni in 0..n {
+        for ocix in 0..geom.out_channels {
+            let grp = ocix / ocg;
+            for oy in 0..oh {
+                for ox in 0..ow {
+                    let mut acc = bias.at(ocix);
+                    for ci in 0..icg {
+                        let cin = grp * icg + ci;
+                        for kh in 0..k {
+                            for kw in 0..k {
+                                let iy = (oy * geom.stride + kh) as isize - geom.padding as isize;
+                                let ix = (ox * geom.stride + kw) as isize - geom.padding as isize;
+                                if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
+                                    continue;
+                                }
+                                let xi = x.data()[((ni * c + cin) * h + iy as usize) * w + ix as usize];
+                                let wi = weight.data()
+                                    [ocix * icg * k * k + (ci * k + kh) * k + kw];
+                                acc += xi * wi;
+                            }
+                        }
+                    }
+                    out.data_mut()[((ni * geom.out_channels + ocix) * oh + oy) * ow + ox] = acc;
+                }
+            }
+        }
+    }
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fca_tensor::rng::seeded_rng;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "elem {i}: {x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn forward_matches_reference_dense() {
+        let mut rng = seeded_rng(61);
+        for &(stride, padding) in &[(1, 0), (1, 1), (2, 1)] {
+            let geom = ConvGeometry { in_channels: 3, out_channels: 5, kernel: 3, stride, padding, groups: 1 };
+            let mut conv = Conv2d::new(geom, &mut rng);
+            let x = Tensor::randn([2, 3, 8, 8], 1.0, &mut rng);
+            let y = conv.forward(&x, true);
+            let yref = conv2d_reference(&x, &conv.weight.value, &conv.bias.value, &geom);
+            assert_close(&y, &yref, 1e-4);
+        }
+    }
+
+    #[test]
+    fn forward_matches_reference_grouped() {
+        let mut rng = seeded_rng(62);
+        let geom = ConvGeometry { in_channels: 4, out_channels: 8, kernel: 3, stride: 1, padding: 1, groups: 2 };
+        let mut conv = Conv2d::new(geom, &mut rng);
+        let x = Tensor::randn([2, 4, 6, 6], 1.0, &mut rng);
+        let y = conv.forward(&x, true);
+        let yref = conv2d_reference(&x, &conv.weight.value, &conv.bias.value, &geom);
+        assert_close(&y, &yref, 1e-4);
+    }
+
+    #[test]
+    fn output_geometry() {
+        let geom = ConvGeometry { in_channels: 1, out_channels: 1, kernel: 3, stride: 2, padding: 1, groups: 1 };
+        assert_eq!(geom.out_hw(32, 32), (16, 16));
+        assert_eq!(geom.out_hw(28, 28), (14, 14));
+    }
+
+    #[test]
+    fn one_by_one_conv_is_channel_mix() {
+        let mut rng = seeded_rng(63);
+        let geom = ConvGeometry { in_channels: 2, out_channels: 3, kernel: 1, stride: 1, padding: 0, groups: 1 };
+        let mut conv = Conv2d::new(geom, &mut rng);
+        let x = Tensor::randn([1, 2, 4, 4], 1.0, &mut rng);
+        let y = conv.forward(&x, true);
+        assert_eq!(y.dims(), &[1, 3, 4, 4]);
+        let yref = conv2d_reference(&x, &conv.weight.value, &conv.bias.value, &geom);
+        assert_close(&y, &yref, 1e-4);
+    }
+
+    #[test]
+    fn backward_input_grad_matches_finite_difference() {
+        let mut rng = seeded_rng(64);
+        let geom = ConvGeometry { in_channels: 2, out_channels: 3, kernel: 3, stride: 2, padding: 1, groups: 1 };
+        let mut conv = Conv2d::new(geom, &mut rng);
+        let x = Tensor::randn([1, 2, 5, 5], 1.0, &mut rng);
+        let gy_template = Tensor::randn([1, 3, 3, 3], 1.0, &mut rng);
+
+        let y = conv.forward(&x, true);
+        assert_eq!(y.dims(), gy_template.dims());
+        let dx = conv.backward(&gy_template);
+
+        let loss = |conv: &mut Conv2d, x: &Tensor| {
+            let y = conv.forward(x, true);
+            y.data().iter().zip(gy_template.data()).map(|(a, b)| a * b).sum::<f32>()
+        };
+        let h = 1e-2;
+        for i in (0..x.numel()).step_by(7) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let fd = (loss(&mut conv, &xp) - loss(&mut conv, &xm)) / (2.0 * h);
+            let an = dx.at(i);
+            assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "elem {i}: fd {fd} vs analytic {an}");
+        }
+    }
+
+    #[test]
+    fn backward_weight_grad_matches_finite_difference() {
+        let mut rng = seeded_rng(65);
+        let geom = ConvGeometry { in_channels: 2, out_channels: 2, kernel: 3, stride: 1, padding: 1, groups: 2 };
+        let mut conv = Conv2d::new(geom, &mut rng);
+        let x = Tensor::randn([2, 2, 4, 4], 1.0, &mut rng);
+        let gy = Tensor::ones([2, 2, 4, 4]);
+
+        let _ = conv.forward(&x, true);
+        conv.zero_grad();
+        let _ = conv.forward(&x, true);
+        let _ = conv.backward(&gy);
+        let analytic = conv.weight.grad.clone();
+
+        let h = 1e-2;
+        for i in 0..conv.weight.value.numel() {
+            let orig = conv.weight.value.at(i);
+            conv.weight.value.data_mut()[i] = orig + h;
+            let fp = conv.forward(&x, true).sum();
+            conv.weight.value.data_mut()[i] = orig - h;
+            let fm = conv.forward(&x, true).sum();
+            conv.weight.value.data_mut()[i] = orig;
+            let fd = (fp - fm) / (2.0 * h);
+            let an = analytic.at(i);
+            assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "w[{i}]: fd {fd} vs analytic {an}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "channels")]
+    fn channel_mismatch_panics() {
+        let mut rng = seeded_rng(66);
+        let mut conv = Conv2d::basic(3, 4, 3, 1, 1, &mut rng);
+        let x = Tensor::zeros([1, 2, 8, 8]);
+        conv.forward(&x, true);
+    }
+}

@@ -1,0 +1,189 @@
+//! Numeric gradient checking for whole modules.
+//!
+//! Used by this crate's own tests and by `fca-models` to validate that the
+//! composed architectures backpropagate correctly end to end.
+
+use crate::module::Module;
+use fca_tensor::Tensor;
+
+/// Result of a gradient check: worst relative error observed.
+#[derive(Debug, Clone, Copy)]
+pub struct GradCheckReport {
+    /// Worst `|fd − analytic| / (1 + |fd|)` across checked coordinates.
+    pub max_rel_err: f32,
+    /// Number of coordinates checked.
+    pub checked: usize,
+    /// Coordinates skipped because the objective was locally non-smooth
+    /// (e.g. a perturbation crossed a ReLU kink or a max-pool argmax flip).
+    pub skipped_nonsmooth: usize,
+}
+
+/// Two-step finite difference: returns `Some(fd)` when the `h` and `h/2`
+/// estimates agree (locally smooth objective), `None` at kinks.
+fn stable_fd(f: &mut dyn FnMut(f32) -> f32, orig: f32, h: f32) -> Option<f32> {
+    let fd1 = (f(orig + h) - f(orig - h)) / (2.0 * h);
+    let fd2 = (f(orig + h / 2.0) - f(orig - h / 2.0)) / h;
+    if (fd1 - fd2).abs() <= 0.05 * (1.0 + fd2.abs()) {
+        Some(fd2)
+    } else {
+        None
+    }
+}
+
+/// Check `∂L/∂θ` of `module` against central finite differences, where
+/// `L(x) = Σ (module(x) ⊙ probe)` for a fixed random-looking probe.
+///
+/// Only every `stride`-th parameter coordinate is checked to keep large
+/// models affordable. Forward passes run in training mode, so modules with
+/// batch statistics are exercised on their training path; modules with
+/// stochastic behaviour (dropout) must be checked with dropout disabled.
+pub fn check_param_gradients(
+    module: &mut dyn Module,
+    x: &Tensor,
+    probe: &Tensor,
+    h: f32,
+    stride: usize,
+) -> GradCheckReport {
+    // Analytic pass.
+    module.zero_grad();
+    let y = module.forward(x, true);
+    assert_eq!(y.dims(), probe.dims(), "probe must match module output shape");
+    let _ = module.backward(probe);
+    let analytic: Vec<Tensor> = module.params_mut().iter().map(|p| p.grad.clone()).collect();
+
+    let loss = |m: &mut dyn Module, x: &Tensor| -> f32 {
+        let y = m.forward(x, true);
+        y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum()
+    };
+
+    let mut max_rel_err = 0.0f32;
+    let mut checked = 0usize;
+    let mut skipped_nonsmooth = 0usize;
+    let n_params = module.params_mut().len();
+    for pi in 0..n_params {
+        let numel = module.params_mut()[pi].value.numel();
+        for ci in (0..numel).step_by(stride.max(1)) {
+            let orig = module.params_mut()[pi].value.at(ci);
+            let mut eval = |v: f32| {
+                module.params_mut()[pi].value.data_mut()[ci] = v;
+                let l = loss(module, x);
+                module.params_mut()[pi].value.data_mut()[ci] = orig;
+                l
+            };
+            match stable_fd(&mut eval, orig, h) {
+                Some(fd) => {
+                    let an = analytic[pi].at(ci);
+                    let rel = (fd - an).abs() / (1.0 + fd.abs());
+                    max_rel_err = max_rel_err.max(rel);
+                    checked += 1;
+                }
+                None => skipped_nonsmooth += 1,
+            }
+        }
+    }
+    GradCheckReport { max_rel_err, checked, skipped_nonsmooth }
+}
+
+/// Check `∂L/∂x` of `module` against central finite differences, same
+/// objective as [`check_param_gradients`].
+pub fn check_input_gradient(
+    module: &mut dyn Module,
+    x: &Tensor,
+    probe: &Tensor,
+    h: f32,
+    stride: usize,
+) -> GradCheckReport {
+    module.zero_grad();
+    let y = module.forward(x, true);
+    assert_eq!(y.dims(), probe.dims(), "probe must match module output shape");
+    let dx = module.backward(probe);
+
+    let loss = |m: &mut dyn Module, x: &Tensor| -> f32 {
+        let y = m.forward(x, true);
+        y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum()
+    };
+
+    let mut max_rel_err = 0.0f32;
+    let mut checked = 0usize;
+    let mut skipped_nonsmooth = 0usize;
+    for ci in (0..x.numel()).step_by(stride.max(1)) {
+        let orig = x.at(ci);
+        let mut eval = |v: f32| {
+            let mut xv = x.clone();
+            xv.data_mut()[ci] = v;
+            loss(module, &xv)
+        };
+        match stable_fd(&mut eval, orig, h) {
+            Some(fd) => {
+                let an = dx.at(ci);
+                let rel = (fd - an).abs() / (1.0 + fd.abs());
+                max_rel_err = max_rel_err.max(rel);
+                checked += 1;
+            }
+            None => skipped_nonsmooth += 1,
+        }
+    }
+    GradCheckReport { max_rel_err, checked, skipped_nonsmooth }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::conv::Conv2d;
+    use crate::linear::Linear;
+    use crate::norm::BatchNorm2d;
+    use crate::pool::{GlobalAvgPool, MaxPool2d};
+    use crate::structure::{Flatten, Residual, Sequential};
+    use fca_tensor::rng::seeded_rng;
+
+    #[test]
+    fn mlp_gradients_check_out() {
+        let mut rng = seeded_rng(121);
+        let mut mlp = Sequential::new()
+            .push(Linear::new(6, 10, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(10, 4, &mut rng));
+        let x = Tensor::randn([3, 6], 1.0, &mut rng);
+        let probe = Tensor::randn([3, 4], 1.0, &mut rng);
+        let rep = check_param_gradients(&mut mlp, &x, &probe, 1e-2, 1);
+        assert!(rep.max_rel_err < 3e-2, "param grad err {}", rep.max_rel_err);
+        let rep = check_input_gradient(&mut mlp, &x, &probe, 1e-2, 1);
+        assert!(rep.max_rel_err < 3e-2, "input grad err {}", rep.max_rel_err);
+    }
+
+    #[test]
+    fn small_cnn_gradients_check_out() {
+        let mut rng = seeded_rng(122);
+        let mut cnn = Sequential::new()
+            .push(Conv2d::basic(1, 4, 3, 1, 1, &mut rng))
+            .push(BatchNorm2d::new(4))
+            .push(Relu::new())
+            .push(MaxPool2d::new(2, 2))
+            .push(Flatten::new())
+            .push(Linear::new(4 * 3 * 3, 2, &mut rng));
+        let x = Tensor::randn([2, 1, 6, 6], 1.0, &mut rng);
+        let probe = Tensor::randn([2, 2], 1.0, &mut rng);
+        let rep = check_param_gradients(&mut cnn, &x, &probe, 1e-2, 3);
+        assert!(rep.max_rel_err < 5e-2, "param grad err {}", rep.max_rel_err);
+        assert!(rep.checked > 20);
+    }
+
+    #[test]
+    fn residual_block_gradients_check_out() {
+        let mut rng = seeded_rng(123);
+        let body = Sequential::new()
+            .push(Conv2d::basic(3, 3, 3, 1, 1, &mut rng))
+            .push(Relu::new())
+            .push(Conv2d::basic(3, 3, 3, 1, 1, &mut rng));
+        let mut block = Sequential::new()
+            .push(Residual::identity(body))
+            .push(GlobalAvgPool::new());
+        let x = Tensor::randn([2, 3, 5, 5], 1.0, &mut rng);
+        let probe = Tensor::randn([2, 3], 1.0, &mut rng);
+        let rep = check_param_gradients(&mut block, &x, &probe, 1e-2, 5);
+        assert!(rep.max_rel_err < 5e-2, "param grad err {}", rep.max_rel_err);
+        let rep = check_input_gradient(&mut block, &x, &probe, 1e-2, 3);
+        assert!(rep.max_rel_err < 5e-2, "input grad err {}", rep.max_rel_err);
+    }
+}

@@ -1,0 +1,134 @@
+//! Fully connected layer.
+
+use crate::init::kaiming_normal;
+use crate::module::{Module, Param};
+use fca_tensor::linalg::{matmul, matmul_nt, matmul_tn};
+use fca_tensor::ops::{add_bias_rows, sum_rows};
+use fca_tensor::Tensor;
+use rand::Rng;
+
+/// `y = x·Wᵀ + b` with `W: (out, in)`, operating on `(batch, in)` inputs.
+///
+/// The classifier layer `C_k` of every FedClassAvg client is a single
+/// `Linear`, and its `(W, b)` pair is exactly what crosses the wire each
+/// communication round.
+pub struct Linear {
+    /// Weight, shape `(out_features, in_features)`.
+    pub weight: Param,
+    /// Bias, shape `(out_features,)`.
+    pub bias: Param,
+    cached_input: Option<Tensor>,
+}
+
+impl Linear {
+    /// New layer with Kaiming-normal weights and zero bias.
+    pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
+        Linear {
+            weight: Param::new("linear.weight", kaiming_normal([out_features, in_features], in_features, rng)),
+            bias: Param::new("linear.bias", Tensor::zeros([out_features])),
+            cached_input: None,
+        }
+    }
+
+    /// Input feature count.
+    pub fn in_features(&self) -> usize {
+        self.weight.value.dims()[1]
+    }
+
+    /// Output feature count.
+    pub fn out_features(&self) -> usize {
+        self.weight.value.dims()[0]
+    }
+
+    /// Forward without caching (inference-only helper).
+    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
+        let mut y = matmul_nt(x, &self.weight.value);
+        add_bias_rows(&mut y, &self.bias.value);
+        y
+    }
+}
+
+impl Module for Linear {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        assert_eq!(
+            x.dims()[1],
+            self.in_features(),
+            "linear expects {} input features, got {}",
+            self.in_features(),
+            x.dims()[1]
+        );
+        let mut y = matmul_nt(x, &self.weight.value);
+        add_bias_rows(&mut y, &self.bias.value);
+        self.cached_input = Some(x.clone());
+        y
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let x = self.cached_input.as_ref().expect("backward before forward on Linear");
+        // dW = dYᵀ·X, db = colsum(dY), dX = dY·W.
+        let dw = matmul_tn(grad_out, x);
+        self.weight.grad.add_assign(&dw);
+        self.bias.grad.add_assign(&sum_rows(grad_out));
+        matmul(grad_out, &self.weight.value)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.weight, &mut self.bias]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fca_tensor::rng::seeded_rng;
+
+    #[test]
+    fn forward_matches_manual() {
+        let mut rng = seeded_rng(51);
+        let mut l = Linear::new(3, 2, &mut rng);
+        l.weight.value = Tensor::from_vec([2, 3], vec![1., 0., -1., 2., 1., 0.]);
+        l.bias.value = Tensor::from_vec([2], vec![0.5, -0.5]);
+        let x = Tensor::from_vec([1, 3], vec![1., 2., 3.]);
+        let y = l.forward(&x, true);
+        // y0 = 1*1 + 0*2 + -1*3 + 0.5 = -1.5 ; y1 = 2*1 + 1*2 + 0*3 - 0.5 = 3.5
+        assert_eq!(y.data(), &[-1.5, 3.5]);
+    }
+
+    #[test]
+    fn inference_forward_matches_train_forward() {
+        let mut rng = seeded_rng(52);
+        let mut l = Linear::new(5, 4, &mut rng);
+        let x = Tensor::randn([3, 5], 1.0, &mut rng);
+        let a = l.forward(&x, true);
+        let b = l.forward_inference(&x);
+        assert_eq!(a, b);
+    }
+
+    #[test]
+    fn backward_shapes() {
+        let mut rng = seeded_rng(53);
+        let mut l = Linear::new(4, 6, &mut rng);
+        let x = Tensor::randn([2, 4], 1.0, &mut rng);
+        let _ = l.forward(&x, true);
+        let g = Tensor::randn([2, 6], 1.0, &mut rng);
+        let dx = l.backward(&g);
+        assert_eq!(dx.dims(), &[2, 4]);
+        assert_eq!(l.weight.grad.dims(), &[6, 4]);
+        assert_eq!(l.bias.grad.dims(), &[6]);
+    }
+
+    #[test]
+    fn gradients_accumulate_across_backwards() {
+        let mut rng = seeded_rng(54);
+        let mut l = Linear::new(3, 3, &mut rng);
+        let x = Tensor::randn([2, 3], 1.0, &mut rng);
+        let g = Tensor::ones([2, 3]);
+        let _ = l.forward(&x, true);
+        let _ = l.backward(&g);
+        let first = l.weight.grad.clone();
+        let _ = l.forward(&x, true);
+        let _ = l.backward(&g);
+        let doubled = l.weight.grad.clone();
+        assert_eq!(doubled, first.scaled(2.0));
+    }
+}

@@ -1,0 +1,146 @@
+//! The [`Module`] trait and [`Param`] type: the backprop contract every
+//! layer implements.
+
+use fca_tensor::Tensor;
+
+/// A trainable parameter: a value tensor plus its accumulated gradient.
+#[derive(Clone, Debug)]
+pub struct Param {
+    /// Human-readable name, used in state dicts and diagnostics.
+    pub name: String,
+    /// Current parameter values.
+    pub value: Tensor,
+    /// Accumulated gradient (same shape as `value`).
+    pub grad: Tensor,
+}
+
+impl Param {
+    /// Create a parameter with a zeroed gradient.
+    pub fn new(name: impl Into<String>, value: Tensor) -> Self {
+        let grad = Tensor::zeros(value.shape().clone());
+        Param { name: name.into(), value, grad }
+    }
+
+    /// Zero the gradient in place.
+    pub fn zero_grad(&mut self) {
+        self.grad.fill(0.0);
+    }
+
+    /// Number of scalar parameters.
+    pub fn numel(&self) -> usize {
+        self.value.numel()
+    }
+}
+
+/// A neural-network layer (or composite of layers) with manual backprop.
+///
+/// Contract:
+/// * `forward` must cache whatever `backward` needs; calling `backward`
+///   without a preceding `forward` on the same batch is a logic error.
+/// * `backward` receives `∂L/∂output`, **accumulates** `∂L/∂θ` into each
+///   parameter's `grad`, and returns `∂L/∂input`.
+/// * `params_mut` returns parameters in a stable order (optimizer state is
+///   keyed positionally).
+/// * `buffers_mut` exposes non-trainable state (e.g. batch-norm running
+///   statistics) so federated weight averaging can include it.
+pub trait Module: Send {
+    /// Run the layer. `train` selects training-time behaviour
+    /// (batch statistics, dropout masks).
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+
+    /// Backpropagate: accumulate parameter gradients, return input gradient.
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+
+    /// All trainable parameters, in stable order.
+    fn params_mut(&mut self) -> Vec<&mut Param>;
+
+    /// Non-trainable state tensors (running stats), in stable order.
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    /// Zero all parameter gradients.
+    fn zero_grad(&mut self) {
+        for p in self.params_mut() {
+            p.zero_grad();
+        }
+    }
+
+    /// Total trainable scalar count.
+    fn param_count(&mut self) -> usize {
+        self.params_mut().iter().map(|p| p.numel()).sum()
+    }
+}
+
+/// Snapshot all parameter values (and buffers) of a module, in order.
+pub fn state_dict(m: &mut dyn Module) -> Vec<Tensor> {
+    let mut out: Vec<Tensor> = m.params_mut().iter().map(|p| p.value.clone()).collect();
+    out.extend(m.buffers_mut().iter().map(|b| (**b).clone()));
+    out
+}
+
+/// Load a snapshot produced by [`state_dict`] back into a module.
+///
+/// Panics if the tensor count or any shape mismatches — federated
+/// aggregation relies on architecturally identical modules.
+pub fn load_state_dict(m: &mut dyn Module, state: &[Tensor]) {
+    let n_params = m.params_mut().len();
+    let n_bufs = m.buffers_mut().len();
+    assert_eq!(
+        state.len(),
+        n_params + n_bufs,
+        "state dict has {} tensors, module expects {}",
+        state.len(),
+        n_params + n_bufs
+    );
+    for (p, s) in m.params_mut().into_iter().zip(state) {
+        assert_eq!(p.value.dims(), s.dims(), "shape mismatch loading param {}", p.name);
+        p.value = s.clone();
+    }
+    for (b, s) in m.buffers_mut().into_iter().zip(&state[n_params..]) {
+        assert_eq!(b.dims(), s.dims(), "shape mismatch loading buffer");
+        *b = s.clone();
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::linear::Linear;
+    use fca_tensor::rng::seeded_rng;
+
+    #[test]
+    fn param_zero_grad() {
+        let mut p = Param::new("w", Tensor::ones([2, 2]));
+        p.grad = Tensor::ones([2, 2]);
+        p.zero_grad();
+        assert!(p.grad.data().iter().all(|&g| g == 0.0));
+    }
+
+    #[test]
+    fn state_dict_roundtrip() {
+        let mut rng = seeded_rng(5);
+        let mut a = Linear::new(4, 3, &mut rng);
+        let mut b = Linear::new(4, 3, &mut rng);
+        let sd = state_dict(&mut a);
+        load_state_dict(&mut b, &sd);
+        let sa = state_dict(&mut a);
+        let sb = state_dict(&mut b);
+        assert_eq!(sa, sb);
+    }
+
+    #[test]
+    #[should_panic(expected = "state dict has")]
+    fn load_state_dict_count_mismatch() {
+        let mut rng = seeded_rng(6);
+        let mut a = Linear::new(4, 3, &mut rng);
+        load_state_dict(&mut a, &[Tensor::zeros([3, 4])]);
+    }
+
+    #[test]
+    fn param_count_counts_scalars() {
+        let mut rng = seeded_rng(7);
+        let mut a = Linear::new(4, 3, &mut rng);
+        assert_eq!(a.param_count(), 4 * 3 + 3);
+    }
+}

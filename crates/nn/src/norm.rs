@@ -1,0 +1,535 @@
+//! Batch normalization over NCHW tensors.
+
+use crate::module::{Module, Param};
+use fca_tensor::Tensor;
+
+/// `BatchNorm2d`: per-channel normalization with learned affine parameters
+/// and running statistics for inference (PyTorch semantics: `running ←
+/// (1−momentum)·running + momentum·batch`, unbiased variance in the running
+/// estimate, biased in the normalization itself).
+pub struct BatchNorm2d {
+    /// Scale γ, shape `(channels,)`.
+    pub gamma: Param,
+    /// Shift β, shape `(channels,)`.
+    pub beta: Param,
+    /// Running mean (inference).
+    pub running_mean: Tensor,
+    /// Running variance (inference).
+    pub running_var: Tensor,
+    momentum: f32,
+    eps: f32,
+    // Backward caches (training mode).
+    xhat: Option<Tensor>,
+    inv_std: Vec<f32>,
+    trained_forward: bool,
+}
+
+impl BatchNorm2d {
+    /// New batch norm over `channels` feature maps.
+    pub fn new(channels: usize) -> Self {
+        BatchNorm2d {
+            gamma: Param::new("bn.gamma", Tensor::ones([channels])),
+            beta: Param::new("bn.beta", Tensor::zeros([channels])),
+            running_mean: Tensor::zeros([channels]),
+            running_var: Tensor::ones([channels]),
+            momentum: 0.1,
+            eps: 1e-5,
+            xhat: None,
+            inv_std: Vec::new(),
+            trained_forward: false,
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.numel()
+    }
+}
+
+impl Module for BatchNorm2d {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let (n, c, h, w) = x.shape().as_nchw();
+        assert_eq!(c, self.channels(), "batchnorm expects {} channels, got {c}", self.channels());
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut out = Tensor::zeros([n, c, h, w]);
+        self.inv_std.clear();
+        self.inv_std.resize(c, 0.0);
+
+        if train {
+            let mut xhat = Tensor::zeros([n, c, h, w]);
+            for ci in 0..c {
+                // Batch statistics over (N, H, W) for channel ci.
+                let mut mean = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    mean += x.data()[base..base + plane].iter().map(|&v| v as f64).sum::<f64>();
+                }
+                let mean = (mean / m as f64) as f32;
+                let mut var = 0.0f64;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    var += x.data()[base..base + plane]
+                        .iter()
+                        .map(|&v| {
+                            let d = (v - mean) as f64;
+                            d * d
+                        })
+                        .sum::<f64>();
+                }
+                let var = (var / m as f64) as f32;
+                let inv_std = 1.0 / (var + self.eps).sqrt();
+                self.inv_std[ci] = inv_std;
+
+                let g = self.gamma.value.at(ci);
+                let b = self.beta.value.at(ci);
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for i in 0..plane {
+                        let xh = (x.data()[base + i] - mean) * inv_std;
+                        xhat.data_mut()[base + i] = xh;
+                        out.data_mut()[base + i] = g * xh + b;
+                    }
+                }
+
+                // Running stats (unbiased variance, PyTorch convention).
+                let unbiased = if m > 1.0 { var * m / (m - 1.0) } else { var };
+                let rm = self.running_mean.data_mut();
+                rm[ci] = (1.0 - self.momentum) * rm[ci] + self.momentum * mean;
+                let rv = self.running_var.data_mut();
+                rv[ci] = (1.0 - self.momentum) * rv[ci] + self.momentum * unbiased;
+            }
+            self.xhat = Some(xhat);
+            self.trained_forward = true;
+        } else {
+            for ci in 0..c {
+                let mean = self.running_mean.at(ci);
+                let inv_std = 1.0 / (self.running_var.at(ci) + self.eps).sqrt();
+                self.inv_std[ci] = inv_std;
+                let g = self.gamma.value.at(ci);
+                let b = self.beta.value.at(ci);
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for i in 0..plane {
+                        out.data_mut()[base + i] = g * (x.data()[base + i] - mean) * inv_std + b;
+                    }
+                }
+            }
+            self.xhat = None;
+            self.trained_forward = false;
+        }
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let (n, c, h, w) = grad_out.shape().as_nchw();
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        let mut dx = Tensor::zeros([n, c, h, w]);
+
+        if self.trained_forward {
+            let xhat = self.xhat.as_ref().expect("backward before forward on BatchNorm2d");
+            for ci in 0..c {
+                let mut dbeta = 0.0f32;
+                let mut dgamma = 0.0f32;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for i in 0..plane {
+                        let g = grad_out.data()[base + i];
+                        dbeta += g;
+                        dgamma += g * xhat.data()[base + i];
+                    }
+                }
+                self.beta.grad.data_mut()[ci] += dbeta;
+                self.gamma.grad.data_mut()[ci] += dgamma;
+
+                let scale = self.gamma.value.at(ci) * self.inv_std[ci];
+                let mean_dy = dbeta / m;
+                let mean_dyxhat = dgamma / m;
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for i in 0..plane {
+                        let g = grad_out.data()[base + i];
+                        let xh = xhat.data()[base + i];
+                        dx.data_mut()[base + i] = scale * (g - mean_dy - xh * mean_dyxhat);
+                    }
+                }
+            }
+        } else {
+            // Eval-mode backward: running stats are constants.
+            for ci in 0..c {
+                let scale = self.gamma.value.at(ci) * self.inv_std[ci];
+                for ni in 0..n {
+                    let base = (ni * c + ci) * plane;
+                    for i in 0..plane {
+                        dx.data_mut()[base + i] = scale * grad_out.data()[base + i];
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        vec![&mut self.running_mean, &mut self.running_var]
+    }
+}
+
+/// `GroupNorm` (Wu & He 2018): per-sample normalization over channel
+/// groups — batch-size independent, which matters in federated settings
+/// where BatchNorm's batch statistics leak and drift under non-iid data
+/// (the motivation for the `ext_groupnorm` ablation).
+pub struct GroupNorm {
+    groups: usize,
+    /// Scale γ, shape `(channels,)`.
+    pub gamma: Param,
+    /// Shift β, shape `(channels,)`.
+    pub beta: Param,
+    eps: f32,
+    xhat: Option<Tensor>,
+    inv_std: Vec<f32>, // one per (sample, group)
+}
+
+impl GroupNorm {
+    /// New group norm over `channels` split into `groups`.
+    pub fn new(groups: usize, channels: usize) -> Self {
+        assert!(groups >= 1 && channels % groups == 0, "channels {channels} must divide into {groups} groups");
+        GroupNorm {
+            groups,
+            gamma: Param::new("gn.gamma", Tensor::ones([channels])),
+            beta: Param::new("gn.beta", Tensor::zeros([channels])),
+            eps: 1e-5,
+            xhat: None,
+            inv_std: Vec::new(),
+        }
+    }
+
+    /// Number of channels.
+    pub fn channels(&self) -> usize {
+        self.gamma.value.numel()
+    }
+}
+
+impl Module for GroupNorm {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let (n, c, h, w) = x.shape().as_nchw();
+        assert_eq!(c, self.channels(), "groupnorm expects {} channels, got {c}", self.channels());
+        let cg = c / self.groups;
+        let plane = h * w;
+        let m = (cg * plane) as f32;
+        let mut out = Tensor::zeros([n, c, h, w]);
+        let mut xhat = Tensor::zeros([n, c, h, w]);
+        self.inv_std.clear();
+        self.inv_std.resize(n * self.groups, 0.0);
+
+        for ni in 0..n {
+            for g in 0..self.groups {
+                let c_lo = g * cg;
+                // Statistics over (C/G, H, W) of this sample.
+                let mut mean = 0.0f64;
+                for ci in c_lo..c_lo + cg {
+                    let base = (ni * c + ci) * plane;
+                    mean += x.data()[base..base + plane].iter().map(|&v| v as f64).sum::<f64>();
+                }
+                let mean = (mean / m as f64) as f32;
+                let mut var = 0.0f64;
+                for ci in c_lo..c_lo + cg {
+                    let base = (ni * c + ci) * plane;
+                    var += x.data()[base..base + plane]
+                        .iter()
+                        .map(|&v| {
+                            let d = (v - mean) as f64;
+                            d * d
+                        })
+                        .sum::<f64>();
+                }
+                let var = (var / m as f64) as f32;
+                let inv_std = 1.0 / (var + self.eps).sqrt();
+                self.inv_std[ni * self.groups + g] = inv_std;
+                for ci in c_lo..c_lo + cg {
+                    let base = (ni * c + ci) * plane;
+                    let gam = self.gamma.value.at(ci);
+                    let bet = self.beta.value.at(ci);
+                    for i in 0..plane {
+                        let xh = (x.data()[base + i] - mean) * inv_std;
+                        xhat.data_mut()[base + i] = xh;
+                        out.data_mut()[base + i] = gam * xh + bet;
+                    }
+                }
+            }
+        }
+        self.xhat = Some(xhat);
+        out
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let xhat = self.xhat.as_ref().expect("backward before forward on GroupNorm");
+        let (n, c, h, w) = grad_out.shape().as_nchw();
+        let cg = c / self.groups;
+        let plane = h * w;
+        let m = (cg * plane) as f32;
+        let mut dx = Tensor::zeros([n, c, h, w]);
+
+        // Parameter gradients (per channel, over all samples).
+        for ci in 0..c {
+            let mut dgamma = 0.0f32;
+            let mut dbeta = 0.0f32;
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                for i in 0..plane {
+                    let g = grad_out.data()[base + i];
+                    dbeta += g;
+                    dgamma += g * xhat.data()[base + i];
+                }
+            }
+            self.gamma.grad.data_mut()[ci] += dgamma;
+            self.beta.grad.data_mut()[ci] += dbeta;
+        }
+
+        // Input gradient, per (sample, group): with ĝ = γ⊙dy,
+        // dx = inv_std · (ĝ − mean(ĝ) − x̂·mean(ĝ⊙x̂)).
+        for ni in 0..n {
+            for g in 0..self.groups {
+                let c_lo = g * cg;
+                let inv_std = self.inv_std[ni * self.groups + g];
+                let mut mean_gh = 0.0f32;
+                let mut mean_ghx = 0.0f32;
+                for ci in c_lo..c_lo + cg {
+                    let base = (ni * c + ci) * plane;
+                    let gam = self.gamma.value.at(ci);
+                    for i in 0..plane {
+                        let gh = gam * grad_out.data()[base + i];
+                        mean_gh += gh;
+                        mean_ghx += gh * xhat.data()[base + i];
+                    }
+                }
+                mean_gh /= m;
+                mean_ghx /= m;
+                for ci in c_lo..c_lo + cg {
+                    let base = (ni * c + ci) * plane;
+                    let gam = self.gamma.value.at(ci);
+                    for i in 0..plane {
+                        let gh = gam * grad_out.data()[base + i];
+                        let xh = xhat.data()[base + i];
+                        dx.data_mut()[base + i] = inv_std * (gh - mean_gh - xh * mean_ghx);
+                    }
+                }
+            }
+        }
+        dx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        vec![&mut self.gamma, &mut self.beta]
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use fca_tensor::rng::seeded_rng;
+
+    #[test]
+    fn train_forward_normalizes_per_channel() {
+        let mut rng = seeded_rng(91);
+        let x = Tensor::randn([4, 3, 6, 6], 2.0, &mut rng).map(|v| v + 5.0);
+        let mut bn = BatchNorm2d::new(3);
+        let y = bn.forward(&x, true);
+        // Each channel of y should have mean ≈ 0 and var ≈ 1.
+        let (n, c, h, w) = y.shape().as_nchw();
+        let plane = h * w;
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                vals.extend_from_slice(&y.data()[base..base + plane]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
+            assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
+        }
+    }
+
+    #[test]
+    fn running_stats_converge_to_batch_stats() {
+        let mut rng = seeded_rng(92);
+        let x = Tensor::randn([8, 2, 4, 4], 1.0, &mut rng).map(|v| v * 3.0 + 2.0);
+        let mut bn = BatchNorm2d::new(2);
+        for _ in 0..200 {
+            bn.forward(&x, true);
+        }
+        // Repeating the same batch, running stats converge to the *batch*
+        // mean and unbiased batch variance of each channel.
+        let (n, c, h, w) = x.shape().as_nchw();
+        let plane = h * w;
+        let m = (n * plane) as f32;
+        for ci in 0..c {
+            let mut vals = Vec::new();
+            for ni in 0..n {
+                let base = (ni * c + ci) * plane;
+                vals.extend_from_slice(&x.data()[base..base + plane]);
+            }
+            let mean: f32 = vals.iter().sum::<f32>() / m;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (m - 1.0);
+            assert!(
+                (bn.running_mean.at(ci) - mean).abs() < 1e-2,
+                "running mean {} vs batch mean {mean}",
+                bn.running_mean.at(ci)
+            );
+            assert!(
+                (bn.running_var.at(ci) - var).abs() < var * 1e-2,
+                "running var {} vs batch var {var}",
+                bn.running_var.at(ci)
+            );
+        }
+    }
+
+    #[test]
+    fn eval_uses_running_stats() {
+        let mut bn = BatchNorm2d::new(1);
+        bn.running_mean = Tensor::from_vec([1], vec![1.0]);
+        bn.running_var = Tensor::from_vec([1], vec![4.0]);
+        let x = Tensor::from_vec([1, 1, 1, 2], vec![3.0, 1.0]);
+        let y = bn.forward(&x, false);
+        assert!((y.at(0) - 1.0).abs() < 1e-3); // (3-1)/2
+        assert!(y.at(1).abs() < 1e-3); // (1-1)/2
+    }
+
+    #[test]
+    fn backward_matches_finite_difference() {
+        let mut rng = seeded_rng(93);
+        let x = Tensor::randn([2, 2, 3, 3], 1.0, &mut rng);
+        let gy = Tensor::randn([2, 2, 3, 3], 1.0, &mut rng);
+        let mut bn = BatchNorm2d::new(2);
+        bn.gamma.value = Tensor::from_vec([2], vec![1.5, 0.7]);
+        bn.beta.value = Tensor::from_vec([2], vec![0.1, -0.2]);
+
+        let _ = bn.forward(&x, true);
+        let dx = bn.backward(&gy);
+
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor| {
+            let y = bn.forward(x, true);
+            y.data().iter().zip(gy.data()).map(|(a, b)| a * b).sum::<f32>()
+        };
+        let h = 1e-2;
+        for i in 0..x.numel() {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let fd = (loss(&mut bn, &xp) - loss(&mut bn, &xm)) / (2.0 * h);
+            let an = dx.at(i);
+            assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "elem {i}: fd {fd} vs analytic {an}");
+        }
+    }
+
+    #[test]
+    fn gamma_beta_grads_match_finite_difference() {
+        let mut rng = seeded_rng(94);
+        let x = Tensor::randn([2, 1, 4, 4], 1.0, &mut rng);
+        let mut bn = BatchNorm2d::new(1);
+        let _ = bn.forward(&x, true);
+        bn.zero_grad();
+        let _ = bn.forward(&x, true);
+        let _ = bn.backward(&Tensor::ones([2, 1, 4, 4]));
+        let h = 1e-2;
+        // dgamma.
+        let analytic = bn.gamma.grad.at(0);
+        let orig = bn.gamma.value.at(0);
+        bn.gamma.value.data_mut()[0] = orig + h;
+        let fp = bn.forward(&x, true).sum();
+        bn.gamma.value.data_mut()[0] = orig - h;
+        let fm = bn.forward(&x, true).sum();
+        bn.gamma.value.data_mut()[0] = orig;
+        let fd = (fp - fm) / (2.0 * h);
+        assert!((fd - analytic).abs() < 5e-2 * (1.0 + fd.abs()), "dgamma fd {fd} vs {analytic}");
+        // dbeta = m (all-ones upstream).
+        assert!((bn.beta.grad.at(0) - 32.0).abs() < 1e-3);
+    }
+
+    #[test]
+    fn buffers_exposed_for_averaging() {
+        let mut bn = BatchNorm2d::new(4);
+        assert_eq!(bn.buffers_mut().len(), 2);
+    }
+
+    #[test]
+    fn groupnorm_normalizes_per_sample_group() {
+        let mut rng = seeded_rng(95);
+        let x = Tensor::randn([3, 4, 5, 5], 2.0, &mut rng).map(|v| v + 3.0);
+        let mut gn = GroupNorm::new(2, 4);
+        let y = gn.forward(&x, true);
+        // Each (sample, group) block of y has mean ≈ 0, var ≈ 1.
+        let plane = 25;
+        for ni in 0..3 {
+            for g in 0..2 {
+                let mut vals = Vec::new();
+                for ci in (g * 2)..(g * 2 + 2) {
+                    let base = (ni * 4 + ci) * plane;
+                    vals.extend_from_slice(&y.data()[base..base + plane]);
+                }
+                let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
+                let var: f32 =
+                    vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+                assert!(mean.abs() < 1e-4, "sample {ni} group {g} mean {mean}");
+                assert!((var - 1.0).abs() < 1e-2, "sample {ni} group {g} var {var}");
+            }
+        }
+    }
+
+    #[test]
+    fn groupnorm_is_batch_size_independent() {
+        // The same sample produces the same output regardless of what else
+        // is in the batch — the property BatchNorm lacks.
+        let mut rng = seeded_rng(96);
+        let a = Tensor::randn([1, 4, 3, 3], 1.0, &mut rng);
+        let b = Tensor::randn([1, 4, 3, 3], 5.0, &mut rng);
+        let both = Tensor::from_vec(
+            [2, 4, 3, 3],
+            a.data().iter().chain(b.data()).copied().collect::<Vec<_>>(),
+        );
+        let mut gn = GroupNorm::new(2, 4);
+        let solo = gn.forward(&a, true);
+        let joint = gn.forward(&both, true);
+        for (x, y) in solo.data().iter().zip(&joint.data()[..solo.numel()]) {
+            assert!((x - y).abs() < 1e-5);
+        }
+    }
+
+    #[test]
+    fn groupnorm_backward_matches_finite_difference() {
+        let mut rng = seeded_rng(97);
+        let x = Tensor::randn([2, 4, 3, 3], 1.0, &mut rng);
+        let gy = Tensor::randn([2, 4, 3, 3], 1.0, &mut rng);
+        let mut gn = GroupNorm::new(2, 4);
+        gn.gamma.value = Tensor::from_vec([4], vec![1.2, 0.8, 1.5, 0.5]);
+        let _ = gn.forward(&x, true);
+        let dx = gn.backward(&gy);
+        let loss = |gn: &mut GroupNorm, x: &Tensor| {
+            let y = gn.forward(x, true);
+            y.data().iter().zip(gy.data()).map(|(a, b)| a * b).sum::<f32>()
+        };
+        let h = 1e-2;
+        for i in (0..x.numel()).step_by(3) {
+            let mut xp = x.clone();
+            xp.data_mut()[i] += h;
+            let mut xm = x.clone();
+            xm.data_mut()[i] -= h;
+            let fd = (loss(&mut gn, &xp) - loss(&mut gn, &xm)) / (2.0 * h);
+            let an = dx.at(i);
+            assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "elem {i}: fd {fd} vs {an}");
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "divide into")]
+    fn groupnorm_rejects_indivisible_channels() {
+        GroupNorm::new(3, 4);
+    }
+}

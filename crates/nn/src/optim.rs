@@ -1,0 +1,288 @@
+//! Optimizers: SGD with momentum/weight-decay and Adam.
+//!
+//! Optimizer state is keyed by parameter position, relying on the stable
+//! ordering guaranteed by [`crate::Module::params_mut`].
+
+use crate::module::Param;
+use fca_tensor::Tensor;
+
+/// A gradient-descent optimizer over a parameter list.
+pub trait Optimizer: Send {
+    /// Apply one update step using each parameter's accumulated gradient.
+    fn step(&mut self, params: &mut [&mut Param]);
+
+    /// Current learning rate.
+    fn learning_rate(&self) -> f32;
+
+    /// Change the learning rate (schedules).
+    fn set_learning_rate(&mut self, lr: f32);
+}
+
+/// Stochastic gradient descent with optional momentum and weight decay.
+pub struct Sgd {
+    lr: f32,
+    momentum: f32,
+    weight_decay: f32,
+    velocity: Vec<Tensor>,
+}
+
+impl Sgd {
+    /// Plain SGD.
+    pub fn new(lr: f32) -> Self {
+        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+    }
+
+    /// SGD with momentum and L2 weight decay.
+    pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
+        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+    }
+}
+
+impl Optimizer for Sgd {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.velocity.is_empty() && self.momentum > 0.0 {
+            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape().clone())).collect();
+        }
+        for (i, p) in params.iter_mut().enumerate() {
+            if self.momentum > 0.0 {
+                let v = &mut self.velocity[i];
+                assert_eq!(v.dims(), p.grad.dims(), "optimizer state shape drift");
+                for ((vi, &gi), &wi) in
+                    v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data())
+                {
+                    *vi = self.momentum * *vi + gi + self.weight_decay * wi;
+                }
+                p.value.axpy(-self.lr, v);
+            } else if self.weight_decay > 0.0 {
+                let lr = self.lr;
+                let wd = self.weight_decay;
+                for (wi, &gi) in p.value.data_mut().iter_mut().zip(p.grad.data()) {
+                    *wi -= lr * (gi + wd * *wi);
+                }
+            } else {
+                p.value.axpy(-self.lr, &p.grad);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Adam (Kingma & Ba), the optimizer the paper's hyperparameter table
+/// assumes (small learning rates around 1e-4).
+pub struct Adam {
+    lr: f32,
+    beta1: f32,
+    beta2: f32,
+    eps: f32,
+    t: u64,
+    m: Vec<Tensor>,
+    v: Vec<Tensor>,
+}
+
+impl Adam {
+    /// Adam with the standard (0.9, 0.999, 1e-8) defaults.
+    pub fn new(lr: f32) -> Self {
+        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+    }
+}
+
+impl Optimizer for Adam {
+    fn step(&mut self, params: &mut [&mut Param]) {
+        if self.m.is_empty() {
+            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape().clone())).collect();
+            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape().clone())).collect();
+        }
+        self.t += 1;
+        let bc1 = 1.0 - self.beta1.powi(self.t as i32);
+        let bc2 = 1.0 - self.beta2.powi(self.t as i32);
+        for (i, p) in params.iter_mut().enumerate() {
+            let m = &mut self.m[i];
+            let v = &mut self.v[i];
+            assert_eq!(m.dims(), p.grad.dims(), "optimizer state shape drift");
+            for (((mi, vi), &gi), wi) in m
+                .data_mut()
+                .iter_mut()
+                .zip(v.data_mut().iter_mut())
+                .zip(p.grad.data())
+                .zip(p.value.data_mut())
+            {
+                *mi = self.beta1 * *mi + (1.0 - self.beta1) * gi;
+                *vi = self.beta2 * *vi + (1.0 - self.beta2) * gi * gi;
+                let mhat = *mi / bc1;
+                let vhat = *vi / bc2;
+                *wi -= self.lr * mhat / (vhat.sqrt() + self.eps);
+            }
+        }
+    }
+
+    fn learning_rate(&self) -> f32 {
+        self.lr
+    }
+
+    fn set_learning_rate(&mut self, lr: f32) {
+        self.lr = lr;
+    }
+}
+
+/// Learning-rate schedules over communication rounds.
+///
+/// The paper trains with a constant rate; schedules are provided for the
+/// longer-horizon runs this library supports (applied by calling
+/// [`Schedule::rate_at`] each round and `set_learning_rate` on the
+/// optimizer).
+#[derive(Clone, Copy, Debug, PartialEq)]
+pub enum Schedule {
+    /// Constant rate.
+    Constant,
+    /// Multiply by `gamma` every `every` rounds.
+    Step {
+        /// Interval between decays (rounds).
+        every: usize,
+        /// Multiplicative decay factor.
+        gamma: f32,
+    },
+    /// Cosine annealing from the base rate to `min_lr` over `horizon`
+    /// rounds (held at `min_lr` afterwards).
+    Cosine {
+        /// Total annealing horizon (rounds).
+        horizon: usize,
+        /// Terminal learning rate.
+        min_lr: f32,
+    },
+}
+
+impl Schedule {
+    /// The learning rate at `round` (0-based) for a base rate `base`.
+    pub fn rate_at(&self, base: f32, round: usize) -> f32 {
+        match *self {
+            Schedule::Constant => base,
+            Schedule::Step { every, gamma } => {
+                let decays = if every == 0 { 0 } else { round / every };
+                base * gamma.powi(decays as i32)
+            }
+            Schedule::Cosine { horizon, min_lr } => {
+                if horizon == 0 || round >= horizon {
+                    return min_lr;
+                }
+                let t = round as f32 / horizon as f32;
+                min_lr + 0.5 * (base - min_lr) * (1.0 + (std::f32::consts::PI * t).cos())
+            }
+        }
+    }
+
+    /// Apply the schedule to an optimizer for the given round.
+    pub fn apply(&self, opt: &mut dyn Optimizer, base: f32, round: usize) {
+        opt.set_learning_rate(self.rate_at(base, round));
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn quadratic_param(x0: f32) -> Param {
+        Param::new("x", Tensor::from_vec([1], vec![x0]))
+    }
+
+    /// Minimize f(x) = x² with the given optimizer; return final |x|.
+    fn minimize(opt: &mut dyn Optimizer, steps: usize) -> f32 {
+        let mut p = quadratic_param(5.0);
+        for _ in 0..steps {
+            let x = p.value.at(0);
+            p.grad = Tensor::from_vec([1], vec![2.0 * x]);
+            opt.step(&mut [&mut p]);
+        }
+        p.value.at(0).abs()
+    }
+
+    #[test]
+    fn sgd_converges_on_quadratic() {
+        let mut opt = Sgd::new(0.1);
+        assert!(minimize(&mut opt, 100) < 1e-3);
+    }
+
+    #[test]
+    fn sgd_momentum_converges_on_quadratic() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9, 0.0);
+        assert!(minimize(&mut opt, 200) < 1e-3);
+    }
+
+    #[test]
+    fn adam_converges_on_quadratic() {
+        let mut opt = Adam::new(0.3);
+        assert!(minimize(&mut opt, 300) < 1e-2);
+    }
+
+    #[test]
+    fn weight_decay_shrinks_weights_without_gradient() {
+        let mut opt = Sgd::with_momentum(0.1, 0.0, 0.5);
+        let mut p = quadratic_param(2.0);
+        p.grad = Tensor::zeros([1]);
+        let mut ps = [&mut p];
+        opt.step(&mut ps);
+        // w ← w − lr·wd·w = 2 · (1 − 0.05) = 1.9
+        assert!((ps[0].value.at(0) - 1.9).abs() < 1e-6);
+    }
+
+    #[test]
+    fn learning_rate_accessors() {
+        let mut opt = Adam::new(0.01);
+        assert_eq!(opt.learning_rate(), 0.01);
+        opt.set_learning_rate(0.005);
+        assert_eq!(opt.learning_rate(), 0.005);
+    }
+
+    #[test]
+    fn step_schedule_decays_at_intervals() {
+        let s = Schedule::Step { every: 10, gamma: 0.5 };
+        assert_eq!(s.rate_at(1.0, 0), 1.0);
+        assert_eq!(s.rate_at(1.0, 9), 1.0);
+        assert_eq!(s.rate_at(1.0, 10), 0.5);
+        assert_eq!(s.rate_at(1.0, 25), 0.25);
+    }
+
+    #[test]
+    fn cosine_schedule_endpoints_and_monotonicity() {
+        let s = Schedule::Cosine { horizon: 100, min_lr: 0.01 };
+        assert!((s.rate_at(1.0, 0) - 1.0).abs() < 1e-6);
+        assert!((s.rate_at(1.0, 100) - 0.01).abs() < 1e-6);
+        assert!((s.rate_at(1.0, 500) - 0.01).abs() < 1e-6);
+        let mid = s.rate_at(1.0, 50);
+        assert!((mid - 0.505).abs() < 1e-3, "midpoint {mid}");
+        for r in 1..100 {
+            assert!(s.rate_at(1.0, r) <= s.rate_at(1.0, r - 1) + 1e-6);
+        }
+    }
+
+    #[test]
+    fn constant_schedule_is_constant() {
+        let s = Schedule::Constant;
+        assert_eq!(s.rate_at(0.3, 0), 0.3);
+        assert_eq!(s.rate_at(0.3, 1000), 0.3);
+    }
+
+    #[test]
+    fn schedule_applies_to_optimizer() {
+        let mut opt = Sgd::new(1.0);
+        Schedule::Step { every: 1, gamma: 0.1 }.apply(&mut opt, 1.0, 2);
+        assert!((opt.learning_rate() - 0.01).abs() < 1e-7);
+    }
+
+    #[test]
+    fn adam_first_step_size_is_lr() {
+        // With bias correction the first Adam step is ≈ lr regardless of
+        // gradient magnitude.
+        let mut opt = Adam::new(0.1);
+        let mut p = quadratic_param(1.0);
+        p.grad = Tensor::from_vec([1], vec![1234.0]);
+        opt.step(&mut [&mut p]);
+        assert!((p.value.at(0) - 0.9).abs() < 1e-3, "got {}", p.value.at(0));
+    }
+}

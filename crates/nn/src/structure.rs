@@ -1,0 +1,392 @@
+//! Composite modules: sequential containers, residual blocks, inception
+//! blocks, flattening, and channel shuffle — the structural idioms of the
+//! paper's four CNN families.
+
+use crate::module::{Module, Param};
+use fca_tensor::Tensor;
+
+/// A chain of modules applied in order.
+///
+/// ```
+/// use fca_nn::prelude::*;
+/// use fca_tensor::{rng::seeded_rng, Tensor};
+///
+/// let mut rng = seeded_rng(1);
+/// let mut mlp = Sequential::new()
+///     .push(Linear::new(4, 8, &mut rng))
+///     .push(Relu::new())
+///     .push(Linear::new(8, 2, &mut rng));
+/// let x = Tensor::randn([3, 4], 1.0, &mut rng);
+/// let y = mlp.forward(&x, true);
+/// assert_eq!(y.dims(), &[3, 2]);
+/// let dx = mlp.backward(&Tensor::ones([3, 2]));
+/// assert_eq!(dx.dims(), &[3, 4]);
+/// ```
+pub struct Sequential {
+    layers: Vec<Box<dyn Module>>,
+}
+
+impl Sequential {
+    /// Empty container.
+    pub fn new() -> Self {
+        Sequential { layers: Vec::new() }
+    }
+
+    /// Builder-style push.
+    pub fn push(mut self, layer: impl Module + 'static) -> Self {
+        self.layers.push(Box::new(layer));
+        self
+    }
+
+    /// Push a boxed module.
+    pub fn push_boxed(mut self, layer: Box<dyn Module>) -> Self {
+        self.layers.push(layer);
+        self
+    }
+
+    /// Number of child modules.
+    pub fn len(&self) -> usize {
+        self.layers.len()
+    }
+
+    /// True if the container has no children.
+    pub fn is_empty(&self) -> bool {
+        self.layers.is_empty()
+    }
+}
+
+impl Default for Sequential {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Sequential {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let mut cur = x.clone();
+        for layer in &mut self.layers {
+            cur = layer.forward(&cur, train);
+        }
+        cur
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut g = grad_out.clone();
+        for layer in self.layers.iter_mut().rev() {
+            g = layer.backward(&g);
+        }
+        g
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.layers.iter_mut().flat_map(|l| l.buffers_mut()).collect()
+    }
+}
+
+/// Residual block: `y = body(x) + shortcut(x)`.
+///
+/// `shortcut` is `None` for an identity skip (requires matching shapes) or
+/// a projection (1×1 strided conv + norm) when the body changes geometry.
+pub struct Residual {
+    body: Sequential,
+    shortcut: Option<Sequential>,
+}
+
+impl Residual {
+    /// Identity-skip residual block.
+    pub fn identity(body: Sequential) -> Self {
+        Residual { body, shortcut: None }
+    }
+
+    /// Projection-skip residual block.
+    pub fn projected(body: Sequential, shortcut: Sequential) -> Self {
+        Residual { body, shortcut: Some(shortcut) }
+    }
+}
+
+impl Module for Residual {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let main = self.body.forward(x, train);
+        let skip = match &mut self.shortcut {
+            Some(s) => s.forward(x, train),
+            None => x.clone(),
+        };
+        assert_eq!(
+            main.dims(),
+            skip.dims(),
+            "residual branch shapes diverge: {:?} vs {:?}",
+            main.dims(),
+            skip.dims()
+        );
+        main.add(&skip)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let mut gx = self.body.backward(grad_out);
+        let gskip = match &mut self.shortcut {
+            Some(s) => s.backward(grad_out),
+            None => grad_out.clone(),
+        };
+        gx.add_assign(&gskip);
+        gx
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        let mut p = self.body.params_mut();
+        if let Some(s) = &mut self.shortcut {
+            p.extend(s.params_mut());
+        }
+        p
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        let mut b = self.body.buffers_mut();
+        if let Some(s) = &mut self.shortcut {
+            b.extend(s.buffers_mut());
+        }
+        b
+    }
+}
+
+/// Inception-style block: parallel branches whose NCHW outputs are
+/// concatenated along the channel dimension (GoogLeNet idiom).
+pub struct InceptionBlock {
+    branches: Vec<Sequential>,
+    branch_channels: Vec<usize>,
+}
+
+impl InceptionBlock {
+    /// Block from parallel branches. Channel splits are recorded during the
+    /// first forward pass.
+    pub fn new(branches: Vec<Sequential>) -> Self {
+        assert!(!branches.is_empty(), "inception block needs at least one branch");
+        InceptionBlock { branches, branch_channels: Vec::new() }
+    }
+}
+
+impl Module for InceptionBlock {
+    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+        let outs: Vec<Tensor> = self.branches.iter_mut().map(|b| b.forward(x, train)).collect();
+        self.branch_channels = outs.iter().map(|o| o.shape().as_nchw().1).collect();
+        let refs: Vec<&Tensor> = outs.iter().collect();
+        Tensor::concat_channels(&refs)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        assert_eq!(
+            self.branch_channels.len(),
+            self.branches.len(),
+            "backward before forward on InceptionBlock"
+        );
+        let parts = grad_out.split_channels(&self.branch_channels);
+        let mut acc: Option<Tensor> = None;
+        for (branch, g) in self.branches.iter_mut().zip(&parts) {
+            let gx = branch.backward(g);
+            match &mut acc {
+                Some(a) => a.add_assign(&gx),
+                None => acc = Some(gx),
+            }
+        }
+        acc.expect("inception block has branches")
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        self.branches.iter_mut().flat_map(|b| b.params_mut()).collect()
+    }
+
+    fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        self.branches.iter_mut().flat_map(|b| b.buffers_mut()).collect()
+    }
+}
+
+/// Flatten `(N, C, H, W) → (N, C·H·W)`.
+pub struct Flatten {
+    in_dims: [usize; 4],
+}
+
+impl Flatten {
+    /// New flatten layer.
+    pub fn new() -> Self {
+        Flatten { in_dims: [0; 4] }
+    }
+}
+
+impl Default for Flatten {
+    fn default() -> Self {
+        Self::new()
+    }
+}
+
+impl Module for Flatten {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        let (n, c, h, w) = x.shape().as_nchw();
+        self.in_dims = [n, c, h, w];
+        x.reshaped([n, c * h * w])
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        let [n, c, h, w] = self.in_dims;
+        grad_out.reshaped([n, c, h, w])
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+/// ShuffleNet channel shuffle: reshape `(g, c/g)` channel blocks and
+/// transpose so grouped convolutions exchange information across groups.
+pub struct ChannelShuffle {
+    groups: usize,
+}
+
+impl ChannelShuffle {
+    /// New shuffle over `groups` channel groups.
+    pub fn new(groups: usize) -> Self {
+        assert!(groups >= 1);
+        ChannelShuffle { groups }
+    }
+
+    fn permute(&self, x: &Tensor, inverse: bool) -> Tensor {
+        let (n, c, h, w) = x.shape().as_nchw();
+        assert_eq!(c % self.groups, 0, "channels {c} not divisible by groups {}", self.groups);
+        let per = c / self.groups;
+        let plane = h * w;
+        let mut out = Tensor::zeros([n, c, h, w]);
+        for ni in 0..n {
+            for ci in 0..c {
+                // Forward: channel (g, p) → (p, g).
+                let (src, dst) = if !inverse {
+                    let g = ci / per;
+                    let p = ci % per;
+                    (ci, p * self.groups + g)
+                } else {
+                    let p = ci / self.groups;
+                    let g = ci % self.groups;
+                    (ci, g * per + p)
+                };
+                let s = (ni * c + src) * plane;
+                let d = (ni * c + dst) * plane;
+                let (src_slice, dst_slice) = (s..s + plane, d..d + plane);
+                let tmp: Vec<f32> = x.data()[src_slice].to_vec();
+                out.data_mut()[dst_slice].copy_from_slice(&tmp);
+            }
+        }
+        out
+    }
+}
+
+impl Module for ChannelShuffle {
+    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+        self.permute(x, false)
+    }
+
+    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+        self.permute(grad_out, true)
+    }
+
+    fn params_mut(&mut self) -> Vec<&mut Param> {
+        Vec::new()
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::activation::Relu;
+    use crate::linear::Linear;
+    use fca_tensor::rng::seeded_rng;
+
+    #[test]
+    fn sequential_chains_layers() {
+        let mut rng = seeded_rng(101);
+        let mut seq = Sequential::new()
+            .push(Linear::new(4, 8, &mut rng))
+            .push(Relu::new())
+            .push(Linear::new(8, 2, &mut rng));
+        let x = Tensor::randn([3, 4], 1.0, &mut rng);
+        let y = seq.forward(&x, true);
+        assert_eq!(y.dims(), &[3, 2]);
+        let gx = seq.backward(&Tensor::ones([3, 2]));
+        assert_eq!(gx.dims(), &[3, 4]);
+        assert_eq!(seq.params_mut().len(), 4);
+    }
+
+    #[test]
+    fn residual_identity_adds_input() {
+        // Body that multiplies by 0 (zero weights): residual output == input.
+        let mut rng = seeded_rng(102);
+        let mut lin = Linear::new(3, 3, &mut rng);
+        lin.weight.value.fill(0.0);
+        let mut res = Residual::identity(Sequential::new().push(lin));
+        let x = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
+        let y = res.forward(&x, true);
+        assert_eq!(y, x);
+        // Gradient doubles through the two branches into dW but the input
+        // grad is grad_out (body weights are zero) + grad_out (skip)?
+        // Body with zero weight contributes zero input grad, skip passes it.
+        let g = res.backward(&Tensor::ones([2, 3]));
+        assert_eq!(g.data(), Tensor::ones([2, 3]).data());
+    }
+
+    #[test]
+    fn flatten_roundtrip() {
+        let mut f = Flatten::new();
+        let x = Tensor::from_vec([2, 2, 2, 2], (0..16).map(|v| v as f32).collect());
+        let y = f.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 8]);
+        let g = f.backward(&y);
+        assert_eq!(g.dims(), &[2, 2, 2, 2]);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn channel_shuffle_is_a_permutation() {
+        let mut cs = ChannelShuffle::new(2);
+        // 4 channels, groups=2: order (0,1,2,3) → channel c goes to slot
+        // p*g+gi: ch0→0, ch1→2, ch2→1, ch3→3.
+        let x = Tensor::from_vec([1, 4, 1, 1], vec![10., 11., 12., 13.]);
+        let y = cs.forward(&x, true);
+        assert_eq!(y.data(), &[10., 12., 11., 13.]);
+        // Backward must invert the permutation.
+        let g = cs.backward(&y);
+        assert_eq!(g.data(), x.data());
+    }
+
+    #[test]
+    fn channel_shuffle_backward_inverts_forward_for_random_input() {
+        let mut rng = seeded_rng(103);
+        let mut cs = ChannelShuffle::new(3);
+        let x = Tensor::randn([2, 6, 3, 3], 1.0, &mut rng);
+        let y = cs.forward(&x, true);
+        let back = cs.backward(&y);
+        assert_eq!(back, x);
+    }
+
+    #[test]
+    fn inception_concat_and_split() {
+        let mut rng = seeded_rng(104);
+        use crate::conv::Conv2d;
+        let b1 = Sequential::new().push(Conv2d::basic(2, 3, 1, 1, 0, &mut rng));
+        let b2 = Sequential::new().push(Conv2d::basic(2, 5, 3, 1, 1, &mut rng));
+        let mut inc = InceptionBlock::new(vec![b1, b2]);
+        let x = Tensor::randn([2, 2, 4, 4], 1.0, &mut rng);
+        let y = inc.forward(&x, true);
+        assert_eq!(y.dims(), &[2, 8, 4, 4]);
+        let gx = inc.backward(&Tensor::ones([2, 8, 4, 4]));
+        assert_eq!(gx.dims(), &[2, 2, 4, 4]);
+    }
+
+    #[test]
+    #[should_panic(expected = "diverge")]
+    fn residual_shape_mismatch_panics() {
+        let mut rng = seeded_rng(105);
+        let body = Sequential::new().push(Linear::new(3, 4, &mut rng));
+        let mut res = Residual::identity(body);
+        res.forward(&Tensor::zeros([1, 3]), true);
+    }
+}

@@ -1,0 +1,34 @@
+//! # fca-tensor
+//!
+//! Dense, row-major, `f32` tensor library underpinning the FedClassAvg
+//! reproduction. The design goals, in order:
+//!
+//! 1. **Correctness** — every numeric kernel has a naive reference
+//!    implementation it is property-tested against.
+//! 2. **Throughput on CPU** — convolutions lower to im2col + a blocked,
+//!    rayon-parallel GEMM; elementwise kernels operate on contiguous slices
+//!    so LLVM can autovectorize them.
+//! 3. **Determinism** — all randomness flows through explicitly seeded
+//!    generators from [`rng`]; no global RNG state.
+//!
+//! The API is deliberately small: the [`Tensor`] type plus free-function
+//! kernels in [`linalg`] and [`ops`]. Higher layers (`fca-nn`) build layer
+//! semantics on top.
+
+pub mod linalg;
+pub mod ops;
+pub mod rng;
+pub mod serialize;
+pub mod shape;
+pub mod tensor;
+
+pub use shape::Shape;
+pub use tensor::Tensor;
+
+/// Convenience prelude importing the types and traits most users need.
+pub mod prelude {
+    pub use crate::linalg::{matmul, matmul_nt, matmul_tn};
+    pub use crate::rng::{derive_seed, seeded_rng};
+    pub use crate::shape::Shape;
+    pub use crate::tensor::Tensor;
+}

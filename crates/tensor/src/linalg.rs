@@ -1,0 +1,228 @@
+//! Matrix multiplication kernels.
+//!
+//! All three GEMM variants needed by backprop are provided:
+//!
+//! * [`matmul`]    — `C = A·B`       (forward passes)
+//! * [`matmul_tn`] — `C = Aᵀ·B`      (weight gradients: `dW = Xᵀ·dY`)
+//! * [`matmul_nt`] — `C = A·Bᵀ`      (input gradients: `dX = dY·Wᵀ`)
+//!
+//! The kernels use an `ikj` loop order (axpy over rows) so the innermost
+//! loop streams contiguous rows of `B` and `C`, which LLVM autovectorizes,
+//! and parallelize over blocks of output rows with rayon once the work is
+//! large enough to amortize the fork/join.
+
+use crate::tensor::Tensor;
+use rayon::prelude::*;
+
+/// Below this many multiply-adds the kernels stay single-threaded.
+const PAR_THRESHOLD: usize = 64 * 1024;
+
+/// `C = A·B` for `A: (m,k)` and `B: (k,n)`.
+pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_matrix();
+    let (kb, n) = b.shape().as_matrix();
+    assert_eq!(k, kb, "matmul inner-dimension mismatch: {k} vs {kb}");
+    let mut c = Tensor::zeros([m, n]);
+    gemm_nn(a.data(), b.data(), c.data_mut(), m, k, n);
+    c
+}
+
+/// `C = Aᵀ·B` for `A: (k,m)` and `B: (k,n)`.
+pub fn matmul_tn(a: &Tensor, b: &Tensor) -> Tensor {
+    let (k, m) = a.shape().as_matrix();
+    let (kb, n) = b.shape().as_matrix();
+    assert_eq!(k, kb, "matmul_tn inner-dimension mismatch: {k} vs {kb}");
+    let mut c = Tensor::zeros([m, n]);
+    gemm_tn(a.data(), b.data(), c.data_mut(), m, k, n);
+    c
+}
+
+/// `C = A·Bᵀ` for `A: (m,k)` and `B: (n,k)`.
+pub fn matmul_nt(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_matrix();
+    let (n, kb) = b.shape().as_matrix();
+    assert_eq!(k, kb, "matmul_nt inner-dimension mismatch: {k} vs {kb}");
+    let mut c = Tensor::zeros([m, n]);
+    gemm_nt(a.data(), b.data(), c.data_mut(), m, k, n);
+    c
+}
+
+/// Raw `C += A·B` on flat slices, `A: m×k`, `B: k×n`, `C: m×n`.
+pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let body = |(i, c_row): (usize, &mut [f32])| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (kk, &aik) in a_row.iter().enumerate() {
+            if aik != 0.0 {
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += aik * bj;
+                }
+            }
+        }
+    };
+    if m * k * n >= PAR_THRESHOLD && n > 0 {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else if n > 0 {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// Raw `C += Aᵀ·B` on flat slices, `A: k×m`, `B: k×n`, `C: m×n`.
+pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    let body = |(i, c_row): (usize, &mut [f32])| {
+        for kk in 0..k {
+            let aik = a[kk * m + i];
+            if aik != 0.0 {
+                let b_row = &b[kk * n..(kk + 1) * n];
+                for (cj, &bj) in c_row.iter_mut().zip(b_row) {
+                    *cj += aik * bj;
+                }
+            }
+        }
+    };
+    if m * k * n >= PAR_THRESHOLD && n > 0 {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else if n > 0 {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// Raw `C += A·Bᵀ` on flat slices, `A: m×k`, `B: n×k`, `C: m×n`.
+///
+/// Here both operand rows are contiguous, so the kernel is a row-dot
+/// product with a 4-way unrolled accumulator.
+pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    let body = |(i, c_row): (usize, &mut [f32])| {
+        let a_row = &a[i * k..(i + 1) * k];
+        for (j, cj) in c_row.iter_mut().enumerate() {
+            let b_row = &b[j * k..(j + 1) * k];
+            *cj += dot(a_row, b_row);
+        }
+    };
+    if m * k * n >= PAR_THRESHOLD && n > 0 {
+        c.par_chunks_mut(n).enumerate().for_each(body);
+    } else if n > 0 {
+        c.chunks_mut(n).enumerate().for_each(body);
+    }
+}
+
+/// Dot product with 4 independent accumulators (helps autovectorization).
+#[inline]
+pub fn dot(a: &[f32], b: &[f32]) -> f32 {
+    debug_assert_eq!(a.len(), b.len());
+    let mut acc = [0.0f32; 4];
+    let chunks = a.len() / 4;
+    for i in 0..chunks {
+        let ia = i * 4;
+        acc[0] += a[ia] * b[ia];
+        acc[1] += a[ia + 1] * b[ia + 1];
+        acc[2] += a[ia + 2] * b[ia + 2];
+        acc[3] += a[ia + 3] * b[ia + 3];
+    }
+    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
+    for i in chunks * 4..a.len() {
+        s += a[i] * b[i];
+    }
+    s
+}
+
+/// Naive triple-loop reference GEMM, used by tests and property checks.
+pub fn matmul_reference(a: &Tensor, b: &Tensor) -> Tensor {
+    let (m, k) = a.shape().as_matrix();
+    let (kb, n) = b.shape().as_matrix();
+    assert_eq!(k, kb);
+    let mut c = Tensor::zeros([m, n]);
+    for i in 0..m {
+        for j in 0..n {
+            let mut s = 0.0;
+            for kk in 0..k {
+                s += a.get2(i, kk) * b.get2(kk, j);
+            }
+            c.set2(i, j, s);
+        }
+    }
+    c
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
+        assert_eq!(a.dims(), b.dims());
+        for (x, y) in a.data().iter().zip(b.data()) {
+            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "{x} vs {y}");
+        }
+    }
+
+    #[test]
+    fn matmul_matches_reference() {
+        let mut rng = seeded_rng(11);
+        for &(m, k, n) in &[(1, 1, 1), (3, 4, 5), (17, 9, 23), (64, 64, 64)] {
+            let a = Tensor::randn([m, k], 1.0, &mut rng);
+            let b = Tensor::randn([k, n], 1.0, &mut rng);
+            assert_close(&matmul(&a, &b), &matmul_reference(&a, &b), 1e-4);
+        }
+    }
+
+    #[test]
+    fn matmul_tn_matches_transpose() {
+        let mut rng = seeded_rng(12);
+        let a = Tensor::randn([7, 5], 1.0, &mut rng);
+        let b = Tensor::randn([7, 9], 1.0, &mut rng);
+        assert_close(&matmul_tn(&a, &b), &matmul(&a.transpose(), &b), 1e-4);
+    }
+
+    #[test]
+    fn matmul_nt_matches_transpose() {
+        let mut rng = seeded_rng(13);
+        let a = Tensor::randn([6, 5], 1.0, &mut rng);
+        let b = Tensor::randn([8, 5], 1.0, &mut rng);
+        assert_close(&matmul_nt(&a, &b), &matmul(&a, &b.transpose()), 1e-4);
+    }
+
+    #[test]
+    fn large_parallel_path_matches_reference() {
+        let mut rng = seeded_rng(14);
+        let a = Tensor::randn([96, 80], 1.0, &mut rng);
+        let b = Tensor::randn([80, 112], 1.0, &mut rng);
+        assert_close(&matmul(&a, &b), &matmul_reference(&a, &b), 1e-3);
+    }
+
+    #[test]
+    fn identity_is_neutral() {
+        let mut rng = seeded_rng(15);
+        let a = Tensor::randn([5, 5], 1.0, &mut rng);
+        let mut eye = Tensor::zeros([5, 5]);
+        for i in 0..5 {
+            eye.set2(i, i, 1.0);
+        }
+        assert_close(&matmul(&a, &eye), &a, 1e-6);
+        assert_close(&matmul(&eye, &a), &a, 1e-6);
+    }
+
+    #[test]
+    #[should_panic(expected = "inner-dimension mismatch")]
+    fn mismatched_inner_dims_panic() {
+        let a = Tensor::zeros([2, 3]);
+        let b = Tensor::zeros([4, 2]);
+        matmul(&a, &b);
+    }
+
+    #[test]
+    fn dot_handles_remainders() {
+        let a: Vec<f32> = (1..=7).map(|x| x as f32).collect();
+        let b = vec![1.0f32; 7];
+        assert_eq!(dot(&a, &b), 28.0);
+    }
+}

@@ -1,0 +1,347 @@
+//! Wire serialization for tensors.
+//!
+//! The FL communication layer measures *actual serialized bytes* per round
+//! (paper Table 5), so tensors get a compact little-endian wire format:
+//!
+//! ```text
+//! u8 rank | rank × u32 dims | numel × f32 data
+//! ```
+
+use crate::shape::Shape;
+use crate::tensor::Tensor;
+use bytes::{Buf, BufMut, Bytes, BytesMut};
+
+/// Errors produced while decoding a tensor from the wire.
+#[derive(Debug, PartialEq, Eq)]
+pub enum WireError {
+    /// The buffer ended before the declared payload was complete.
+    Truncated,
+    /// The declared shape is implausibly large (corruption guard).
+    ShapeTooLarge,
+}
+
+impl std::fmt::Display for WireError {
+    fn fmt(&self, f: &mut std::fmt::Formatter<'_>) -> std::fmt::Result {
+        match self {
+            WireError::Truncated => write!(f, "wire buffer truncated"),
+            WireError::ShapeTooLarge => write!(f, "declared tensor shape too large"),
+        }
+    }
+}
+
+impl std::error::Error for WireError {}
+
+/// Maximum element count accepted by the decoder (guards against
+/// corrupted length prefixes allocating unbounded memory).
+const MAX_WIRE_NUMEL: usize = 1 << 28;
+
+/// Number of bytes [`encode_tensor`] will produce for this tensor.
+pub fn encoded_len(t: &Tensor) -> usize {
+    1 + 4 * t.shape().rank() + 4 * t.numel()
+}
+
+/// Append the tensor's wire encoding to `buf`.
+pub fn encode_tensor(t: &Tensor, buf: &mut BytesMut) {
+    buf.reserve(encoded_len(t));
+    buf.put_u8(t.shape().rank() as u8);
+    for &d in t.dims() {
+        buf.put_u32_le(d as u32);
+    }
+    for &v in t.data() {
+        buf.put_f32_le(v);
+    }
+}
+
+/// Encode a tensor into a standalone buffer.
+pub fn to_bytes(t: &Tensor) -> Bytes {
+    let mut buf = BytesMut::with_capacity(encoded_len(t));
+    encode_tensor(t, &mut buf);
+    buf.freeze()
+}
+
+/// Decode one tensor from the front of `buf`, advancing it.
+pub fn decode_tensor(buf: &mut Bytes) -> Result<Tensor, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    let rank = buf.get_u8() as usize;
+    if buf.remaining() < 4 * rank {
+        return Err(WireError::Truncated);
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(buf.get_u32_le() as usize);
+    }
+    let shape = Shape::new(&dims);
+    let numel = shape.numel();
+    if numel > MAX_WIRE_NUMEL {
+        return Err(WireError::ShapeTooLarge);
+    }
+    if buf.remaining() < 4 * numel {
+        return Err(WireError::Truncated);
+    }
+    let mut data = Vec::with_capacity(numel);
+    for _ in 0..numel {
+        data.push(buf.get_f32_le());
+    }
+    Ok(Tensor::from_vec(shape, data))
+}
+
+// --------------------------------------------------------------------
+// Half-precision (IEEE 754 binary16) wire variant.
+//
+// FedClassAvg's selling point is communication efficiency; halving the
+// payload with f16 is the natural next step the paper's §5.4 cost model
+// invites. Conversion is implemented in-repo (no `half` dependency) and
+// is exact for zeros/infinities, round-to-nearest-even otherwise.
+// --------------------------------------------------------------------
+
+/// Convert an `f32` to IEEE binary16 bits (round-to-nearest-even,
+/// overflow to ±inf, flush of sub-subnormals to ±0).
+pub fn f32_to_f16_bits(x: f32) -> u16 {
+    let bits = x.to_bits();
+    let sign = ((bits >> 16) & 0x8000) as u16;
+    let exp = ((bits >> 23) & 0xFF) as i32;
+    let mant = bits & 0x007F_FFFF;
+
+    if exp == 0xFF {
+        // Inf / NaN.
+        return sign | 0x7C00 | if mant != 0 { 0x0200 } else { 0 };
+    }
+    // Re-bias: f32 exp-127, f16 exp-15.
+    let unbiased = exp - 127;
+    if unbiased > 15 {
+        return sign | 0x7C00; // overflow → inf
+    }
+    if unbiased >= -14 {
+        // Normal f16: keep 10 mantissa bits with round-to-nearest-even.
+        let exp16 = (unbiased + 15) as u32;
+        let mant16 = mant >> 13;
+        let round_bit = (mant >> 12) & 1;
+        let sticky = mant & 0x0FFF;
+        let mut out = ((exp16 << 10) | mant16) as u16;
+        if round_bit == 1 && (sticky != 0 || (mant16 & 1) == 1) {
+            out += 1; // may carry into the exponent — that is correct
+        }
+        sign | out
+    } else if unbiased >= -24 {
+        // Subnormal f16: value = mant16 · 2⁻²⁴, so the 24-bit significand
+        // (implicit bit included) shifts right by −unbiased−1 ∈ 14..=23.
+        let shift = (-1 - unbiased) as u32;
+        let full = mant | 0x0080_0000;
+        let mant16 = full >> shift;
+        let round_bit = (full >> (shift - 1)) & 1;
+        let sticky = full & ((1 << (shift - 1)) - 1);
+        let mut out = mant16 as u16;
+        if round_bit == 1 && (sticky != 0 || (out & 1) == 1) {
+            out += 1;
+        }
+        sign | out
+    } else {
+        sign // underflow → ±0
+    }
+}
+
+/// Convert IEEE binary16 bits back to `f32` (exact).
+pub fn f16_bits_to_f32(h: u16) -> f32 {
+    let sign = ((h as u32) & 0x8000) << 16;
+    let exp = ((h >> 10) & 0x1F) as u32;
+    let mant = (h & 0x03FF) as u32;
+    let bits = if exp == 0x1F {
+        sign | 0x7F80_0000 | (mant << 13)
+    } else if exp == 0 {
+        if mant == 0 {
+            sign
+        } else {
+            // Subnormal: value = mant·2⁻²⁴; normalize so bit 10 is the
+            // implicit leading one, giving exponent −14−k for k shifts.
+            let mut k = 0i32;
+            let mut m = mant;
+            while m & 0x0400 == 0 {
+                m <<= 1;
+                k += 1;
+            }
+            let exp32 = (127 - 14 - k) as u32;
+            sign | (exp32 << 23) | ((m & 0x03FF) << 13)
+        }
+    } else {
+        sign | ((exp + 127 - 15) << 23) | (mant << 13)
+    };
+    f32::from_bits(bits)
+}
+
+/// Bytes [`encode_tensor_f16`] will produce.
+pub fn encoded_len_f16(t: &Tensor) -> usize {
+    1 + 4 * t.shape().rank() + 2 * t.numel()
+}
+
+/// Append the tensor's half-precision wire encoding to `buf` (same
+/// header as the f32 format; the caller's framing distinguishes them).
+pub fn encode_tensor_f16(t: &Tensor, buf: &mut BytesMut) {
+    buf.reserve(encoded_len_f16(t));
+    buf.put_u8(t.shape().rank() as u8);
+    for &d in t.dims() {
+        buf.put_u32_le(d as u32);
+    }
+    for &v in t.data() {
+        buf.put_u16_le(f32_to_f16_bits(v));
+    }
+}
+
+/// Decode one half-precision tensor from the front of `buf`.
+pub fn decode_tensor_f16(buf: &mut Bytes) -> Result<Tensor, WireError> {
+    if buf.remaining() < 1 {
+        return Err(WireError::Truncated);
+    }
+    let rank = buf.get_u8() as usize;
+    if buf.remaining() < 4 * rank {
+        return Err(WireError::Truncated);
+    }
+    let mut dims = Vec::with_capacity(rank);
+    for _ in 0..rank {
+        dims.push(buf.get_u32_le() as usize);
+    }
+    let shape = Shape::new(&dims);
+    let numel = shape.numel();
+    if numel > MAX_WIRE_NUMEL {
+        return Err(WireError::ShapeTooLarge);
+    }
+    if buf.remaining() < 2 * numel {
+        return Err(WireError::Truncated);
+    }
+    let mut data = Vec::with_capacity(numel);
+    for _ in 0..numel {
+        data.push(f16_bits_to_f32(buf.get_u16_le()));
+    }
+    Ok(Tensor::from_vec(shape, data))
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::rng::seeded_rng;
+
+    #[test]
+    fn roundtrip_preserves_tensor() {
+        let mut rng = seeded_rng(31);
+        for dims in [vec![], vec![7], vec![3, 4], vec![2, 3, 4, 5]] {
+            let t = Tensor::randn(Shape::new(&dims), 1.0, &mut rng);
+            let mut wire = to_bytes(&t);
+            let back = decode_tensor(&mut wire).unwrap();
+            assert_eq!(t, back);
+            assert_eq!(wire.remaining(), 0);
+        }
+    }
+
+    #[test]
+    fn encoded_len_is_exact() {
+        let t = Tensor::zeros([4, 6]);
+        assert_eq!(to_bytes(&t).len(), encoded_len(&t));
+        assert_eq!(encoded_len(&t), 1 + 8 + 4 * 24);
+    }
+
+    #[test]
+    fn truncated_buffer_errors() {
+        let t = Tensor::zeros([4, 4]);
+        let full = to_bytes(&t);
+        let mut cut = full.slice(0..full.len() - 3);
+        assert_eq!(decode_tensor(&mut cut), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn empty_buffer_errors() {
+        let mut empty = Bytes::new();
+        assert_eq!(decode_tensor(&mut empty), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn oversized_shape_rejected() {
+        let mut buf = BytesMut::new();
+        buf.put_u8(2);
+        buf.put_u32_le(u32::MAX);
+        buf.put_u32_le(u32::MAX);
+        let mut wire = buf.freeze();
+        assert_eq!(decode_tensor(&mut wire), Err(WireError::ShapeTooLarge));
+    }
+
+    #[test]
+    fn f16_roundtrip_exact_values() {
+        // Values exactly representable in binary16 survive unchanged.
+        for v in [0.0f32, -0.0, 1.0, -1.0, 0.5, 2.0, 65504.0, -65504.0, 0.25] {
+            let back = f16_bits_to_f32(f32_to_f16_bits(v));
+            assert_eq!(back, v, "f16 roundtrip of {v}");
+        }
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::INFINITY)).is_infinite());
+        assert!(f16_bits_to_f32(f32_to_f16_bits(f32::NAN)).is_nan());
+    }
+
+    #[test]
+    fn f16_relative_error_bounded() {
+        let mut rng = seeded_rng(37);
+        let t = Tensor::randn([64, 8], 1.0, &mut rng);
+        for &v in t.data() {
+            let back = f16_bits_to_f32(f32_to_f16_bits(v));
+            // binary16 has 11 significand bits → rel. error ≤ 2^-11.
+            assert!(
+                (back - v).abs() <= v.abs() * f32::powi(2.0, -11) + 1e-7,
+                "{v} → {back}"
+            );
+        }
+    }
+
+    #[test]
+    fn f16_overflow_saturates_to_infinity() {
+        assert!(f16_bits_to_f32(f32_to_f16_bits(1e6)).is_infinite());
+        assert!(f16_bits_to_f32(f32_to_f16_bits(-1e6)).is_infinite());
+    }
+
+    #[test]
+    fn f16_subnormals_roundtrip() {
+        // Smallest positive f16 subnormal is 2^-24.
+        let tiny = f32::powi(2.0, -24);
+        let back = f16_bits_to_f32(f32_to_f16_bits(tiny));
+        assert_eq!(back, tiny);
+        // Below half of it, flush to zero.
+        let below = f32::powi(2.0, -26);
+        assert_eq!(f16_bits_to_f32(f32_to_f16_bits(below)), 0.0);
+    }
+
+    #[test]
+    fn f16_tensor_roundtrip_and_size() {
+        let mut rng = seeded_rng(38);
+        let t = Tensor::randn([10, 6], 1.0, &mut rng);
+        let mut buf = BytesMut::new();
+        encode_tensor_f16(&t, &mut buf);
+        assert_eq!(buf.len(), encoded_len_f16(&t));
+        // Half the payload bytes of the f32 format (same 9-byte header).
+        assert_eq!(encoded_len(&t) - encoded_len_f16(&t), 2 * t.numel());
+        let mut wire = buf.freeze();
+        let back = decode_tensor_f16(&mut wire).expect("decode");
+        assert_eq!(back.dims(), t.dims());
+        for (a, b) in back.data().iter().zip(t.data()) {
+            assert!((a - b).abs() <= b.abs() * 1e-3 + 1e-6);
+        }
+    }
+
+    #[test]
+    fn f16_truncated_errors() {
+        let t = Tensor::zeros([4]);
+        let mut buf = BytesMut::new();
+        encode_tensor_f16(&t, &mut buf);
+        let full = buf.freeze();
+        let mut cut = full.slice(0..full.len() - 1);
+        assert_eq!(decode_tensor_f16(&mut cut), Err(WireError::Truncated));
+    }
+
+    #[test]
+    fn multiple_tensors_stream() {
+        let a = Tensor::from_vec([2], vec![1.0, 2.0]);
+        let b = Tensor::from_vec([1, 2], vec![3.0, 4.0]);
+        let mut buf = BytesMut::new();
+        encode_tensor(&a, &mut buf);
+        encode_tensor(&b, &mut buf);
+        let mut wire = buf.freeze();
+        assert_eq!(decode_tensor(&mut wire).unwrap(), a);
+        assert_eq!(decode_tensor(&mut wire).unwrap(), b);
+    }
+}

@@ -1,0 +1,132 @@
+//! Tensor shapes: a thin wrapper over a small dimension vector with
+//! row-major stride math.
+
+use std::fmt;
+
+/// The shape of a tensor: an ordered list of dimension extents.
+///
+/// Shapes are row-major ("C order"): the last dimension is contiguous in
+/// memory. Rank 0 (scalar) through rank 4 (NCHW image batches) are used in
+/// practice; higher ranks are permitted but untested.
+#[derive(Clone, PartialEq, Eq, Hash)]
+pub struct Shape(pub(crate) Vec<usize>);
+
+impl Shape {
+    /// Create a shape from dimension extents.
+    pub fn new(dims: &[usize]) -> Self {
+        Shape(dims.to_vec())
+    }
+
+    /// Number of dimensions.
+    pub fn rank(&self) -> usize {
+        self.0.len()
+    }
+
+    /// Dimension extents as a slice.
+    pub fn dims(&self) -> &[usize] {
+        &self.0
+    }
+
+    /// Extent of dimension `i`. Panics if out of range.
+    pub fn dim(&self, i: usize) -> usize {
+        self.0[i]
+    }
+
+    /// Total number of elements (product of extents; 1 for scalars).
+    pub fn numel(&self) -> usize {
+        self.0.iter().product()
+    }
+
+    /// Row-major strides, in elements.
+    pub fn strides(&self) -> Vec<usize> {
+        let mut strides = vec![1usize; self.0.len()];
+        for i in (0..self.0.len().saturating_sub(1)).rev() {
+            strides[i] = strides[i + 1] * self.0[i + 1];
+        }
+        strides
+    }
+
+    /// Interpret as a matrix `(rows, cols)`. Panics unless rank == 2.
+    pub fn as_matrix(&self) -> (usize, usize) {
+        assert_eq!(self.rank(), 2, "expected rank-2 shape, got {self}");
+        (self.0[0], self.0[1])
+    }
+
+    /// Interpret as an NCHW batch `(n, c, h, w)`. Panics unless rank == 4.
+    pub fn as_nchw(&self) -> (usize, usize, usize, usize) {
+        assert_eq!(self.rank(), 4, "expected rank-4 shape, got {self}");
+        (self.0[0], self.0[1], self.0[2], self.0[3])
+    }
+}
+
+impl fmt::Debug for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "Shape{:?}", self.0)
+    }
+}
+
+impl fmt::Display for Shape {
+    fn fmt(&self, f: &mut fmt::Formatter<'_>) -> fmt::Result {
+        write!(f, "{:?}", self.0)
+    }
+}
+
+impl From<&[usize]> for Shape {
+    fn from(dims: &[usize]) -> Self {
+        Shape::new(dims)
+    }
+}
+
+impl<const N: usize> From<[usize; N]> for Shape {
+    fn from(dims: [usize; N]) -> Self {
+        Shape(dims.to_vec())
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn numel_and_rank() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.rank(), 3);
+        assert_eq!(s.numel(), 24);
+    }
+
+    #[test]
+    fn scalar_shape() {
+        let s = Shape::new(&[]);
+        assert_eq!(s.rank(), 0);
+        assert_eq!(s.numel(), 1);
+        assert!(s.strides().is_empty());
+    }
+
+    #[test]
+    fn row_major_strides() {
+        let s = Shape::new(&[2, 3, 4]);
+        assert_eq!(s.strides(), vec![12, 4, 1]);
+    }
+
+    #[test]
+    fn matrix_view() {
+        assert_eq!(Shape::new(&[5, 7]).as_matrix(), (5, 7));
+    }
+
+    #[test]
+    #[should_panic(expected = "rank-2")]
+    fn matrix_view_rejects_rank3() {
+        Shape::new(&[5, 7, 2]).as_matrix();
+    }
+
+    #[test]
+    fn nchw_view() {
+        assert_eq!(Shape::new(&[8, 3, 32, 32]).as_nchw(), (8, 3, 32, 32));
+    }
+
+    #[test]
+    fn from_array() {
+        let s: Shape = [4, 4].into();
+        assert_eq!(s.dims(), &[4, 4]);
+    }
+}

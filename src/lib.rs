@@ -1,0 +1,24 @@
+//! # fedclassavg-suite
+//!
+//! Umbrella crate for the Rust reproduction of *FedClassAvg: Local
+//! Representation Learning for Personalized Federated Learning on
+//! Heterogeneous Neural Networks* (ICPP 2022).
+//!
+//! It re-exports the whole stack so examples and integration tests can use
+//! one import, and hosts the runnable examples under `examples/`.
+//!
+//! Layering (bottom to top):
+//!
+//! * [`tensor`] — dense f32 tensors, parallel GEMM, wire serialization.
+//! * [`nn`] — layers with manual backprop, losses, optimizers.
+//! * [`data`] — synthetic datasets, augmentation, non-iid partitioners.
+//! * [`models`] — the heterogeneous micro-CNN zoo.
+//! * [`fed`] — the federated-learning core: algorithms + communication.
+//! * [`metrics`] — evaluation, t-SNE, layer conductance.
+
+pub use fca_data as data;
+pub use fca_metrics as metrics;
+pub use fca_models as models;
+pub use fca_nn as nn;
+pub use fca_tensor as tensor;
+pub use fedclassavg as fed;

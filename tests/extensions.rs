@@ -1,0 +1,122 @@
+//! Integration tests of the beyond-paper extensions: half-precision
+//! classifier exchange, FedMD, GroupNorm-in-a-model, and LR schedules
+//! driving a federation.
+
+use fedclassavg_suite::data::partition::Partitioner;
+use fedclassavg_suite::data::synth::SynthConfig;
+use fedclassavg_suite::fed::algo::{FedClassAvg, FedMd};
+use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
+use fedclassavg_suite::fed::sim::{build_clients, run_federation};
+use fedclassavg_suite::models::ModelArch;
+use fedclassavg_suite::nn::optim::Schedule;
+
+const CLASSES: usize = 4;
+const FEAT: usize = 12;
+
+fn data(seed: u64) -> fedclassavg_suite::data::synth::SynthDataset {
+    let mut cfg = SynthConfig::synth_fashion(seed).with_sizes(240, 120);
+    cfg.num_classes = CLASSES;
+    cfg.height = 12;
+    cfg.width = 12;
+    cfg.generate()
+}
+
+fn cfg(seed: u64, rounds: usize) -> FedConfig {
+    FedConfig {
+        num_clients: 4,
+        sample_rate: 1.0,
+        rounds,
+        feature_dim: FEAT,
+        eval_every: rounds,
+        seed,
+        hp: HyperParams::micro_default().with_lr(3e-3),
+    }
+}
+
+#[test]
+fn f16_federation_matches_f32_within_tolerance_and_halves_traffic() {
+    let run = |half: bool| {
+        let d = data(61);
+        let c = cfg(61, 6);
+        let mut clients = build_clients(
+            &d,
+            Partitioner::Dirichlet { alpha: 0.5 },
+            &c,
+            &ModelArch::heterogeneous_rotation,
+        );
+        let mut algo = FedClassAvg::new(FEAT, CLASSES, c.seed);
+        if half {
+            algo = algo.with_half_precision();
+        }
+        run_federation(&mut clients, &mut algo, &c)
+    };
+    let full = run(false);
+    let half = run(true);
+    // Byte savings: payload halves; headers are a few bytes per message.
+    let ratio = half.downlink_bytes as f64 / full.downlink_bytes as f64;
+    assert!(
+        (0.45..0.62).contains(&ratio),
+        "f16 downlink ratio {ratio} not ≈ 0.5 ({} vs {})",
+        half.downlink_bytes,
+        full.downlink_bytes
+    );
+    // Accuracy unharmed (quantization noise ≪ training noise).
+    assert!(
+        (half.final_mean - full.final_mean).abs() < 0.1,
+        "f16 accuracy {:.3} diverged from f32 {:.3}",
+        half.final_mean,
+        full.final_mean
+    );
+}
+
+#[test]
+fn fedmd_learns_above_chance_on_heterogeneous_fleet() {
+    let d = data(67);
+    let c = cfg(67, 5);
+    let mut public_cfg = SynthConfig::synth_fashion(68).with_sizes(32, 1);
+    public_cfg.num_classes = CLASSES;
+    public_cfg.height = 12;
+    public_cfg.width = 12;
+    let public = public_cfg.generate().train.images;
+    let mut clients = build_clients(
+        &d,
+        Partitioner::Dirichlet { alpha: 0.5 },
+        &c,
+        &ModelArch::heterogeneous_rotation,
+    );
+    let mut algo = FedMd::new(public).with_local_epochs(2);
+    let r = run_federation(&mut clients, &mut algo, &c);
+    assert!(r.final_mean > 0.3, "FedMD final accuracy {:.3} not above chance", r.final_mean);
+    assert!(r.downlink_bytes > 0 && r.uplink_bytes > 0);
+}
+
+#[test]
+fn schedule_driven_federation_decays_client_rates() {
+    // Drive rounds manually, applying a cosine schedule to every client's
+    // optimizer between rounds — the intended integration pattern.
+    use fedclassavg_suite::fed::comm::Network;
+    use fedclassavg_suite::fed::algo::Algorithm as _;
+
+    let d = data(71);
+    let c = cfg(71, 1);
+    let mut clients = build_clients(
+        &d,
+        Partitioner::Dirichlet { alpha: 0.5 },
+        &c,
+        &ModelArch::heterogeneous_rotation,
+    );
+    let mut algo = FedClassAvg::new(FEAT, CLASSES, c.seed);
+    let net = Network::new(clients.len());
+    let schedule = Schedule::Cosine { horizon: 10, min_lr: 1e-4 };
+    let base = c.hp.lr;
+    let mut rates = Vec::new();
+    for round in 0..5 {
+        rates.push(schedule.rate_at(base, round));
+        for client in clients.iter_mut() {
+            client.set_learning_rate(schedule.rate_at(base, round));
+        }
+        algo.round(round, &mut clients, &[0, 1, 2, 3], &net, &c.hp);
+    }
+    assert!(rates.windows(2).all(|w| w[1] < w[0]), "cosine rates not decreasing: {rates:?}");
+    assert!(clients.iter_mut().all(|cl| cl.evaluate().is_finite()));
+}

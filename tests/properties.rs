@@ -1,0 +1,249 @@
+//! Property-based tests (proptest) over the numeric substrate and the
+//! federation invariants.
+
+use fedclassavg_suite::data::partition::Partitioner;
+use fedclassavg_suite::data::synth::SynthConfig;
+use fedclassavg_suite::fed::comm::WireMessage;
+use fedclassavg_suite::models::classifier::ClassifierWeights;
+use fedclassavg_suite::nn::conv::{conv2d_reference, Conv2d, ConvGeometry};
+use fedclassavg_suite::nn::loss::{cross_entropy, supervised_contrastive};
+use fedclassavg_suite::nn::Module;
+use fedclassavg_suite::tensor::linalg::{matmul, matmul_nt, matmul_reference, matmul_tn};
+use fedclassavg_suite::tensor::ops::{logsumexp_rows, softmax_rows};
+use fedclassavg_suite::tensor::rng::seeded_rng;
+use fedclassavg_suite::tensor::serialize::{decode_tensor, to_bytes};
+use fedclassavg_suite::tensor::{Shape, Tensor};
+use proptest::prelude::*;
+
+fn close(a: f32, b: f32, tol: f32) -> bool {
+    (a - b).abs() <= tol * (1.0 + a.abs().max(b.abs()))
+}
+
+fn tensor_strategy(max_dim: usize) -> impl Strategy<Value = Tensor> {
+    (1..=max_dim, 1..=max_dim, any::<u64>()).prop_map(|(r, c, seed)| {
+        let mut rng = seeded_rng(seed);
+        Tensor::randn([r, c], 1.0, &mut rng)
+    })
+}
+
+proptest! {
+    #![proptest_config(ProptestConfig::with_cases(24))]
+
+    #[test]
+    fn gemm_matches_reference(
+        m in 1usize..12, k in 1usize..12, n in 1usize..12, seed in any::<u64>()
+    ) {
+        let mut rng = seeded_rng(seed);
+        let a = Tensor::randn([m, k], 1.0, &mut rng);
+        let b = Tensor::randn([k, n], 1.0, &mut rng);
+        let fast = matmul(&a, &b);
+        let slow = matmul_reference(&a, &b);
+        for (x, y) in fast.data().iter().zip(slow.data()) {
+            prop_assert!(close(*x, *y, 1e-4));
+        }
+    }
+
+    #[test]
+    fn gemm_transpose_variants_agree(
+        m in 1usize..8, k in 1usize..8, n in 1usize..8, seed in any::<u64>()
+    ) {
+        let mut rng = seeded_rng(seed);
+        let a = Tensor::randn([k, m], 1.0, &mut rng);
+        let b = Tensor::randn([k, n], 1.0, &mut rng);
+        let tn = matmul_tn(&a, &b);
+        let explicit = matmul(&a.transpose(), &b);
+        for (x, y) in tn.data().iter().zip(explicit.data()) {
+            prop_assert!(close(*x, *y, 1e-4));
+        }
+        let c = Tensor::randn([m, k], 1.0, &mut rng);
+        let d = Tensor::randn([n, k], 1.0, &mut rng);
+        let nt = matmul_nt(&c, &d);
+        let explicit = matmul(&c, &d.transpose());
+        for (x, y) in nt.data().iter().zip(explicit.data()) {
+            prop_assert!(close(*x, *y, 1e-4));
+        }
+    }
+
+    #[test]
+    fn conv_forward_matches_direct(
+        cin in 1usize..4, cout in 1usize..4, stride in 1usize..3,
+        padding in 0usize..2, seed in any::<u64>()
+    ) {
+        let geom = ConvGeometry {
+            in_channels: cin, out_channels: cout, kernel: 3, stride, padding, groups: 1,
+        };
+        let mut rng = seeded_rng(seed);
+        if geom.out_hw(7, 7).0 == 0 { return Ok(()); }
+        let mut conv = Conv2d::new(geom, &mut rng);
+        let x = Tensor::randn([2, cin, 7, 7], 1.0, &mut rng);
+        let fast = conv.forward(&x, true);
+        let slow = conv2d_reference(&x, &conv.weight.value, &conv.bias.value, &geom);
+        for (a, b) in fast.data().iter().zip(slow.data()) {
+            prop_assert!(close(*a, *b, 1e-3));
+        }
+    }
+
+    #[test]
+    fn softmax_rows_are_distributions(t in tensor_strategy(10)) {
+        let s = softmax_rows(&t);
+        let (rows, _) = s.shape().as_matrix();
+        for r in 0..rows {
+            let sum: f32 = s.row(r).iter().sum();
+            prop_assert!((sum - 1.0).abs() < 1e-4);
+            prop_assert!(s.row(r).iter().all(|&p| p >= 0.0));
+        }
+    }
+
+    #[test]
+    fn logsumexp_bounds(t in tensor_strategy(10)) {
+        // max ≤ logsumexp ≤ max + ln(n)
+        let lse = logsumexp_rows(&t);
+        let (rows, cols) = t.shape().as_matrix();
+        for r in 0..rows {
+            let mx = t.row(r).iter().cloned().fold(f32::NEG_INFINITY, f32::max);
+            prop_assert!(lse[r] >= mx - 1e-4);
+            prop_assert!(lse[r] <= mx + (cols as f32).ln() + 1e-4);
+        }
+    }
+
+    #[test]
+    fn wire_roundtrip_any_shape(
+        dims in proptest::collection::vec(1usize..6, 0..4), seed in any::<u64>()
+    ) {
+        let mut rng = seeded_rng(seed);
+        let t = Tensor::randn(Shape::new(&dims), 1.0, &mut rng);
+        let mut bytes = to_bytes(&t);
+        let back = decode_tensor(&mut bytes).expect("roundtrip");
+        prop_assert_eq!(t, back);
+    }
+
+    #[test]
+    fn classifier_message_roundtrip(feat in 1usize..24, classes in 2usize..12, seed in any::<u64>()) {
+        let mut rng = seeded_rng(seed);
+        let w = ClassifierWeights {
+            weight: Tensor::randn([classes, feat], 1.0, &mut rng),
+            bias: Tensor::randn([classes], 1.0, &mut rng),
+        };
+        let msg = WireMessage::Classifier(w);
+        let decoded = WireMessage::decode(msg.encode()).expect("decode");
+        prop_assert_eq!(decoded, msg);
+    }
+
+    #[test]
+    fn cross_entropy_nonnegative_and_grad_sums_zero(
+        rows in 1usize..8, cols in 2usize..10, seed in any::<u64>()
+    ) {
+        let mut rng = seeded_rng(seed);
+        let logits = Tensor::randn([rows, cols], 2.0, &mut rng);
+        let targets: Vec<usize> = (0..rows).map(|i| i % cols).collect();
+        let (loss, grad) = cross_entropy(&logits, &targets);
+        prop_assert!(loss >= 0.0);
+        for r in 0..rows {
+            let s: f32 = grad.row(r).iter().sum();
+            prop_assert!(s.abs() < 1e-4);
+        }
+    }
+
+    #[test]
+    fn supcon_invariant_to_anchor_permutation(seed in any::<u64>()) {
+        let mut rng = seeded_rng(seed);
+        let feats = Tensor::randn([6, 5], 1.0, &mut rng);
+        let labels = vec![0usize, 1, 0, 1, 2, 2];
+        let (l1, _) = supervised_contrastive(&feats, &labels, 0.5);
+        // Permute rows (and labels identically): loss must be unchanged.
+        let perm = [3usize, 0, 5, 1, 4, 2];
+        let mut pdata = Vec::new();
+        let mut plabels = Vec::new();
+        for &i in &perm {
+            pdata.extend_from_slice(feats.row(i));
+            plabels.push(labels[i]);
+        }
+        let pfeats = Tensor::from_vec([6, 5], pdata);
+        let (l2, _) = supervised_contrastive(&pfeats, &plabels, 0.5);
+        prop_assert!(close(l1, l2, 1e-4));
+    }
+
+    #[test]
+    fn classifier_averaging_idempotent_and_permutation_invariant(
+        seed in any::<u64>(), k in 2usize..6
+    ) {
+        let mut rng = seeded_rng(seed);
+        let parts: Vec<ClassifierWeights> = (0..k)
+            .map(|_| ClassifierWeights {
+                weight: Tensor::randn([3, 4], 1.0, &mut rng),
+                bias: Tensor::randn([3], 1.0, &mut rng),
+            })
+            .collect();
+        let avg = |order: &[usize]| {
+            let mut acc = ClassifierWeights::zeros(4, 3);
+            for &i in order {
+                acc.axpy(1.0 / k as f32, &parts[i]);
+            }
+            acc
+        };
+        let fwd: Vec<usize> = (0..k).collect();
+        let rev: Vec<usize> = (0..k).rev().collect();
+        let a = avg(&fwd);
+        let b = avg(&rev);
+        for (x, y) in a.weight.data().iter().zip(b.weight.data()) {
+            prop_assert!(close(*x, *y, 1e-4));
+        }
+        // Averaging identical classifiers returns them unchanged.
+        let same = ClassifierWeights {
+            weight: parts[0].weight.clone(),
+            bias: parts[0].bias.clone(),
+        };
+        let mut acc = ClassifierWeights::zeros(4, 3);
+        for _ in 0..k {
+            acc.axpy(1.0 / k as f32, &same);
+        }
+        for (x, y) in acc.weight.data().iter().zip(same.weight.data()) {
+            prop_assert!(close(*x, *y, 1e-4));
+        }
+    }
+
+    #[test]
+    fn f16_roundtrip_error_bound(v in -1e4f32..1e4f32) {
+        use fedclassavg_suite::tensor::serialize::{f16_bits_to_f32, f32_to_f16_bits};
+        let back = f16_bits_to_f32(f32_to_f16_bits(v));
+        // binary16: 11-bit significand → relative error ≤ 2⁻¹¹ for
+        // normal values; 6e-5 absolute floor covers the subnormal range.
+        prop_assert!(
+            (back - v).abs() <= v.abs() * f32::powi(2.0, -11) + 6e-5,
+            "{v} → {back}"
+        );
+    }
+
+    #[test]
+    fn f16_conversion_preserves_order(a in -100f32..100f32, b in -100f32..100f32) {
+        use fedclassavg_suite::tensor::serialize::{f16_bits_to_f32, f32_to_f16_bits};
+        let fa = f16_bits_to_f32(f32_to_f16_bits(a));
+        let fb = f16_bits_to_f32(f32_to_f16_bits(b));
+        if a <= b {
+            prop_assert!(fa <= fb, "order flipped: {a}→{fa}, {b}→{fb}");
+        }
+    }
+
+    #[test]
+    fn partition_conserves_examples(
+        clients in 2usize..8, alpha in 0.1f64..4.0, seed in any::<u64>()
+    ) {
+        let mut cfg = SynthConfig::synth_fashion(seed).with_sizes(120, 40);
+        cfg.num_classes = 4;
+        cfg.height = 10;
+        cfg.width = 10;
+        let d = cfg.generate();
+        let splits = Partitioner::Dirichlet { alpha }.split(&d.train, &d.test, clients, seed);
+        let mut all: Vec<usize> = splits.iter().flat_map(|s| s.train_indices.clone()).collect();
+        let total = all.len();
+        all.sort_unstable();
+        all.dedup();
+        prop_assert_eq!(all.len(), total, "duplicate assignment");
+        prop_assert!(total <= d.train.len());
+        // Equal shares (±1).
+        let sizes: Vec<usize> = splits.iter().map(|s| s.train_indices.len()).collect();
+        let min = *sizes.iter().min().unwrap();
+        let max = *sizes.iter().max().unwrap();
+        prop_assert!(max - min <= 1, "unequal shards {:?}", sizes);
+    }
+}

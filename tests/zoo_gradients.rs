@@ -1,0 +1,125 @@
+//! End-to-end gradient verification of every architecture in the zoo:
+//! central finite differences against the manual backprop, through the
+//! full composed network (conv + norm + pooling + skip/shuffle/inception
+//! structure + FC), catching any mis-assembled backward path that the
+//! per-layer unit tests cannot.
+
+use fedclassavg_suite::models::{build_model, ModelArch};
+use fedclassavg_suite::nn::gradcheck::{check_input_gradient, check_param_gradients};
+use fedclassavg_suite::nn::Module as _;
+use fedclassavg_suite::tensor::rng::seeded_rng;
+use fedclassavg_suite::tensor::Tensor;
+
+/// Architectures whose forward pass is deterministic given fixed weights
+/// (dropout-free), so finite differences are well defined.
+const DETERMINISTIC_ARCHS: [ModelArch; 5] = [
+    ModelArch::MicroResNet,
+    ModelArch::MicroShuffleNet,
+    ModelArch::MicroGoogLeNet,
+    ModelArch::CnnFedAvg,
+    ModelArch::ProtoCnn { width_variant: 2 },
+];
+
+fn gradcheck_arch(arch: ModelArch, seed: u64) {
+    let mut model = build_model(arch, (1, 12, 12), 6, 3, seed);
+    let mut rng = seeded_rng(seed ^ 0xABCD);
+    let x = Tensor::randn([2, 1, 12, 12], 1.0, &mut rng);
+    let probe = Tensor::randn([2, 6], 1.0, &mut rng);
+
+    // Check the feature extractor end to end (the part with the
+    // architecture-specific structure; the classifier is a plain Linear
+    // covered elsewhere).
+    // The worst-coordinate bound is a smoke threshold: per-layer unit
+    // tests already pin the exact gradients tightly; end-to-end, f32
+    // cancellation through max-pool near-ties leaves ~0.1 relative noise
+    // in the finite differences of deep compositions.
+    let fe = &mut model.feature_extractor;
+    let params = check_param_gradients(fe, &x, &probe, 1e-2, 97);
+    assert!(
+        params.max_rel_err < 0.15,
+        "{arch:?}: parameter gradient error {} over {} coords ({} non-smooth skipped)",
+        params.max_rel_err,
+        params.checked,
+        params.skipped_nonsmooth
+    );
+    assert!(params.checked > 10, "{arch:?}: too few smooth coordinates checked");
+
+    let input = check_input_gradient(fe, &x, &probe, 1e-2, 41);
+    assert!(
+        input.max_rel_err < 0.15,
+        "{arch:?}: input gradient error {} over {} coords",
+        input.max_rel_err,
+        input.checked
+    );
+}
+
+#[test]
+fn micro_resnet_gradients() {
+    gradcheck_arch(ModelArch::MicroResNet, 1001);
+}
+
+#[test]
+fn micro_shufflenet_gradients() {
+    gradcheck_arch(ModelArch::MicroShuffleNet, 1002);
+}
+
+#[test]
+fn micro_googlenet_gradients() {
+    gradcheck_arch(ModelArch::MicroGoogLeNet, 1003);
+}
+
+#[test]
+fn cnn_fedavg_gradients() {
+    gradcheck_arch(ModelArch::CnnFedAvg, 1004);
+}
+
+#[test]
+fn proto_cnn_gradients() {
+    gradcheck_arch(ModelArch::ProtoCnn { width_variant: 2 }, 1005);
+}
+
+#[test]
+fn alexnet_gradients_with_dropout_disabled() {
+    // MicroAlexNet contains dropout; at eval time the forward is
+    // deterministic, but gradcheck runs in train mode. Instead verify the
+    // *loss decreases* under its own gradients — a weaker but valid check
+    // that train-mode gradients point downhill in expectation.
+    use fedclassavg_suite::nn::loss::cross_entropy;
+    use fedclassavg_suite::nn::optim::{Adam, Optimizer};
+    let mut model = build_model(ModelArch::MicroAlexNet, (1, 12, 12), 6, 3, 1006);
+    let mut rng = seeded_rng(1007);
+    let x = Tensor::randn([8, 1, 12, 12], 1.0, &mut rng);
+    let y: Vec<usize> = (0..8).map(|i| i % 3).collect();
+    let mut opt = Adam::new(3e-3);
+    let mut first = None;
+    let mut last = 0.0;
+    for _ in 0..30 {
+        model.zero_grad();
+        let (_, logits) = model.forward(&x, true);
+        let (loss, d) = cross_entropy(&logits, &y);
+        model.backward(None, &d);
+        opt.step(&mut model.params_mut());
+        if first.is_none() {
+            first = Some(loss);
+        }
+        last = loss;
+    }
+    let first = first.expect("ran");
+    assert!(last < first * 0.8, "MicroAlexNet loss barely moved: {first} → {last}");
+}
+
+#[test]
+fn all_deterministic_archs_are_rerun_stable() {
+    // Same weights + same input ⇒ identical outputs across repeated
+    // forwards (guards against accidental RNG use in forward paths).
+    let mut rng = seeded_rng(1008);
+    let x = Tensor::randn([2, 1, 12, 12], 1.0, &mut rng);
+    for arch in DETERMINISTIC_ARCHS {
+        let mut m = build_model(arch, (1, 12, 12), 6, 3, 2000);
+        let a = m.forward_features(&x, true);
+        let b = m.forward_features(&x, true);
+        // BatchNorm updates running stats but train-mode output depends
+        // only on batch statistics, so outputs must match exactly.
+        assert_eq!(a, b, "{arch:?} forward is not deterministic");
+    }
+}
