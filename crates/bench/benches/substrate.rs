@@ -9,7 +9,7 @@ use fca_nn::loss::{cross_entropy, supervised_contrastive};
 use fca_nn::Module;
 use fca_tensor::linalg::matmul;
 use fca_tensor::rng::seeded_rng;
-use fca_tensor::Tensor;
+use fca_tensor::{Tensor, Workspace};
 use fedclassavg::comm::WireMessage;
 use std::time::Duration;
 
@@ -44,16 +44,51 @@ fn bench_conv(c: &mut Criterion) {
         groups: 1,
     };
     let mut conv = Conv2d::new(geom, &mut rng);
-    let x = Tensor::randn([8, 16, 14, 14], 1.0, &mut rng);
-    g.bench_function("forward_8x16x14x14", |bch| bch.iter(|| conv.forward(&x, true)));
-    let y = conv.forward(&x, true);
-    let gy = Tensor::ones(y.shape().clone());
-    g.bench_function("backward_8x16x14x14", |bch| {
-        bch.iter(|| {
-            conv.zero_grad();
-            conv.backward(&gy)
-        })
-    });
+    // One workspace reused across iterations: after the first iteration the
+    // pool is warm and the hot loop allocates nothing.
+    let mut ws = Workspace::new();
+    for &batch in &[8usize, 32] {
+        let x = Tensor::randn([batch, 16, 14, 14], 1.0, &mut rng);
+        g.bench_with_input(
+            BenchmarkId::new("forward_16x14x14", batch),
+            &batch,
+            |bch, _| {
+                bch.iter(|| {
+                    let y = conv.forward(&x, true, &mut ws);
+                    ws.recycle(y);
+                })
+            },
+        );
+        let y = conv.forward(&x, true, &mut ws);
+        let gy = Tensor::ones(y.shape().clone());
+        ws.recycle(y);
+        g.bench_with_input(
+            BenchmarkId::new("backward_16x14x14", batch),
+            &batch,
+            |bch, _| {
+                bch.iter(|| {
+                    conv.zero_grad();
+                    let dx = conv.backward(&gy, &mut ws);
+                    ws.recycle(dx);
+                })
+            },
+        );
+        // The pair is the honest number: backward alone reuses the im2col
+        // cache the preceding forward left in the workspace.
+        g.bench_with_input(
+            BenchmarkId::new("fwd_bwd_16x14x14", batch),
+            &batch,
+            |bch, _| {
+                bch.iter(|| {
+                    conv.zero_grad();
+                    let y = conv.forward(&x, true, &mut ws);
+                    let dx = conv.backward(&gy, &mut ws);
+                    ws.recycle(y);
+                    ws.recycle(dx);
+                })
+            },
+        );
+    }
     g.finish();
 }
 
@@ -100,5 +135,12 @@ fn bench_wire(c: &mut Criterion) {
     g.finish();
 }
 
-criterion_group!(benches, bench_gemm, bench_conv, bench_losses, bench_augment, bench_wire);
+criterion_group!(
+    benches,
+    bench_gemm,
+    bench_conv,
+    bench_losses,
+    bench_augment,
+    bench_wire
+);
 criterion_main!(benches);

@@ -7,7 +7,9 @@
 //! units. We print the rank heat map and the mean pairwise Spearman
 //! agreement, contrasted with the local-only baseline.
 
-use fca_bench::experiments::{run_heterogeneous_keep_clients, DatasetKind, ExperimentContext, Method};
+use fca_bench::experiments::{
+    run_heterogeneous_keep_clients, DatasetKind, ExperimentContext, Method,
+};
 use fca_bench::report::write_json;
 use fca_data::partition::Partitioner;
 use fca_metrics::conductance::{
@@ -37,18 +39,25 @@ fn main() {
             // Find the label with the most clients answering correctly on a
             // shared probe image (the paper samples such labels).
             let probe_data = d.generate(&ctx).test;
+            let mut ws = fca_tensor::Workspace::new();
             let mut best: Option<(usize, usize, Vec<usize>)> = None; // (label, img_idx, correct clients)
             for i in 0..probe_data.len().min(60) {
                 let (x, y) = probe_data.gather_batch(&[i]);
                 let label = y[0];
                 let mut correct: Vec<usize> = Vec::new();
                 for c in clients.iter_mut() {
-                    let logits = c.model.predict(&x);
-                    if logits.argmax_rows()[0] == label {
+                    let logits = c.model.predict(&x, &mut ws);
+                    let hit = logits.argmax_rows()[0] == label;
+                    ws.recycle(logits);
+                    if hit {
                         correct.push(c.id);
                     }
                 }
-                if best.as_ref().map(|(_, _, b)| correct.len() > b.len()).unwrap_or(true) {
+                if best
+                    .as_ref()
+                    .map(|(_, _, b)| correct.len() > b.len())
+                    .unwrap_or(true)
+                {
                     best = Some((label, i, correct));
                 }
             }
@@ -62,7 +71,7 @@ fn main() {
                 if !correct.contains(&c.id) {
                     continue;
                 }
-                let feats = c.model.feature_extractor.forward(&x, false);
+                let feats = c.model.feature_extractor.forward(&x, false, &mut ws);
                 let baseline = vec![0.0f32; feats.dims()[1]];
                 let cond = layer_conductance(
                     &c.model.classifier.weights(),

@@ -17,7 +17,9 @@ impl FedAvg {
     /// (all clients must share the architecture).
     pub fn new(initial_state: Vec<Tensor>) -> Self {
         assert!(!initial_state.is_empty(), "initial state empty");
-        FedAvg { global_state: initial_state }
+        FedAvg {
+            global_state: initial_state,
+        }
     }
 
     /// Current global state (for tests/analysis).
@@ -86,7 +88,10 @@ impl FedProx {
     /// New FedProx server with proximal weight `mu`.
     pub fn new(initial_state: Vec<Tensor>, mu: f32) -> Self {
         assert!(mu >= 0.0, "mu must be non-negative");
-        FedProx { inner: FedAvg::new(initial_state), mu }
+        FedProx {
+            inner: FedAvg::new(initial_state),
+            mu,
+        }
     }
 
     /// Current global state.
@@ -119,8 +124,12 @@ impl Algorithm for FedProx {
             c.model.load_full_state(&state);
             // Snapshot the just-loaded global parameters in params_mut
             // order so the proximal pull aligns exactly.
-            let snapshot: Vec<Tensor> =
-                c.model.params_mut().iter().map(|p| p.value.clone()).collect();
+            let snapshot: Vec<Tensor> = c
+                .model
+                .params_mut()
+                .iter()
+                .map(|p| p.value.clone())
+                .collect();
             c.local_update_fedprox(&snapshot, mu, hp);
             net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
         });

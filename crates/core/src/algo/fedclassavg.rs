@@ -41,7 +41,10 @@ impl FedClassAvg {
         FedClassAvg {
             global: init.weights(),
             global_state: None,
-            objective: LocalObjective { contrastive: true, rho: f32::NAN },
+            objective: LocalObjective {
+                contrastive: true,
+                rho: f32::NAN,
+            },
             share_full_weights: false,
             half_precision: false,
         }
@@ -51,7 +54,10 @@ impl FedClassAvg {
     /// per-round payload. Relative quantization error is ≤ 2⁻¹¹ per
     /// weight; `ext_quantized_comm` measures the accuracy impact.
     pub fn with_half_precision(mut self) -> Self {
-        assert!(!self.share_full_weights, "half precision applies to classifier exchange");
+        assert!(
+            !self.share_full_weights,
+            "half precision applies to classifier exchange"
+        );
         self.half_precision = true;
         self
     }
@@ -103,7 +109,11 @@ impl FedClassAvg {
     fn objective_for(&self, hp: &HyperParams) -> LocalObjective {
         LocalObjective {
             contrastive: self.objective.contrastive,
-            rho: if self.objective.rho.is_nan() { hp.rho } else { self.objective.rho },
+            rho: if self.objective.rho.is_nan() {
+                hp.rho
+            } else {
+                self.objective.rho
+            },
         }
     }
 }
@@ -134,7 +144,10 @@ impl Algorithm for FedClassAvg {
         for &k in sampled {
             let msg = if self.share_full_weights {
                 WireMessage::FullModel(
-                    self.global_state.as_ref().expect("+weight state initialized").clone(),
+                    self.global_state
+                        .as_ref()
+                        .expect("+weight state initialized")
+                        .clone(),
                 )
             } else if self.half_precision {
                 WireMessage::ClassifierF16(self.global.clone())
@@ -146,42 +159,40 @@ impl Algorithm for FedClassAvg {
 
         // Local updates (parallel).
         let share_full = self.share_full_weights;
-        for_sampled_parallel(clients, sampled, |c| {
-            match net.client_recv(c.id) {
-                WireMessage::Classifier(global) => {
-                    c.model.classifier.set_weights(&global);
-                    c.local_update_fedclassavg(Some(&global), hp, obj);
-                    net.send_to_server(
-                        c.id,
-                        &WireMessage::Classifier(c.model.classifier.weights()),
-                    );
-                }
-                WireMessage::ClassifierF16(global) => {
-                    c.model.classifier.set_weights(&global);
-                    c.local_update_fedclassavg(Some(&global), hp, obj);
-                    net.send_to_server(
-                        c.id,
-                        &WireMessage::ClassifierF16(c.model.classifier.weights()),
-                    );
-                }
-                WireMessage::FullModel(state) => {
-                    debug_assert!(share_full);
-                    c.model.load_full_state(&state);
-                    let n = state.len();
-                    let global_cls = ClassifierWeights {
-                        weight: state[n - 2].clone(),
-                        bias: state[n - 1].clone(),
-                    };
-                    c.local_update_fedclassavg(Some(&global_cls), hp, obj);
-                    net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
-                }
-                other => panic!("unexpected broadcast {other:?}"),
+        for_sampled_parallel(clients, sampled, |c| match net.client_recv(c.id) {
+            WireMessage::Classifier(global) => {
+                c.model.classifier.set_weights(&global);
+                c.local_update_fedclassavg(Some(&global), hp, obj);
+                net.send_to_server(c.id, &WireMessage::Classifier(c.model.classifier.weights()));
             }
+            WireMessage::ClassifierF16(global) => {
+                c.model.classifier.set_weights(&global);
+                c.local_update_fedclassavg(Some(&global), hp, obj);
+                net.send_to_server(
+                    c.id,
+                    &WireMessage::ClassifierF16(c.model.classifier.weights()),
+                );
+            }
+            WireMessage::FullModel(state) => {
+                debug_assert!(share_full);
+                c.model.load_full_state(&state);
+                let n = state.len();
+                let global_cls = ClassifierWeights {
+                    weight: state[n - 2].clone(),
+                    bias: state[n - 1].clone(),
+                };
+                c.local_update_fedclassavg(Some(&global_cls), hp, obj);
+                net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
+            }
+            other => panic!("unexpected broadcast {other:?}"),
         });
 
         // Aggregate (Eq. 3), deterministically ordered by client id.
         let replies = net.server_collect(sampled.len());
-        let weights = normalized_weights(clients, &replies.iter().map(|(k, _)| *k).collect::<Vec<_>>());
+        let weights = normalized_weights(
+            clients,
+            &replies.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
+        );
 
         if self.share_full_weights {
             let mut acc: Option<Vec<Tensor>> = None;
@@ -208,8 +219,10 @@ impl Algorithm for FedClassAvg {
             };
             self.global_state = Some(state);
         } else {
-            let mut acc =
-                ClassifierWeights::zeros(self.global.weight.dims()[1], self.global.weight.dims()[0]);
+            let mut acc = ClassifierWeights::zeros(
+                self.global.weight.dims()[1],
+                self.global.weight.dims()[0],
+            );
             for ((_, msg), &w) in replies.iter().zip(&weights) {
                 let cw = match msg {
                     WireMessage::Classifier(cw) | WireMessage::ClassifierF16(cw) => cw,
@@ -264,7 +277,13 @@ mod tests {
         // must still produce that classifier (sanity of normalization).
         let g = algo.global_classifier().clone();
         algo.round(1, &mut clients, &[0, 1], &net, &hp);
-        for (a, b) in algo.global_classifier().weight.data().iter().zip(g.weight.data()) {
+        for (a, b) in algo
+            .global_classifier()
+            .weight
+            .data()
+            .iter()
+            .zip(g.weight.data())
+        {
             assert!((a - b).abs() < 1e-5);
         }
     }
@@ -277,7 +296,10 @@ mod tests {
         algo.round(0, &mut clients, &[0, 1, 2, 3], &net, &hp);
         // Classifier = 8·3 + 3 floats; per client down+up ≈ 2 × ~140 B.
         let per_client = net.stats().total_bytes() / 4;
-        assert!(per_client < 1024, "per-client traffic {per_client} B too large");
+        assert!(
+            per_client < 1024,
+            "per-client traffic {per_client} B too large"
+        );
     }
 
     #[test]
@@ -289,7 +311,10 @@ mod tests {
         algo.round(0, &mut clients, &[0, 1], &net, &hp);
         // Traffic must be much larger than classifier-only.
         let per_client = net.stats().total_bytes() / 2;
-        assert!(per_client > 10_000, "per-client traffic {per_client} B too small for +weight");
+        assert!(
+            per_client > 10_000,
+            "per-client traffic {per_client} B too small for +weight"
+        );
         // And both clients hold identical weights at round start of next
         // round (broadcast dominates); check global state exists.
         assert!(algo.global_state.is_some());
@@ -316,7 +341,10 @@ mod tests {
         // The aggregated classifiers stay close despite quantization.
         let dist = full_global.l2_distance(&half_global);
         let scale = full_global.weight.norm();
-        assert!(dist < 0.05 * (1.0 + scale), "quantized run diverged: {dist}");
+        assert!(
+            dist < 0.05 * (1.0 + scale),
+            "quantized run diverged: {dist}"
+        );
     }
 
     #[test]

@@ -138,7 +138,11 @@ mod tests {
             let mut total = 0usize;
             for i in 0..preds.len() {
                 for j in (i + 1)..preds.len() {
-                    diff += preds[i].iter().zip(&preds[j]).filter(|(a, b)| a != b).count();
+                    diff += preds[i]
+                        .iter()
+                        .zip(&preds[j])
+                        .filter(|(a, b)| a != b)
+                        .count();
                     total += preds[i].len();
                 }
             }

@@ -69,7 +69,11 @@ impl Algorithm for FedProto {
             let WireMessage::Prototypes(protos) = msg else {
                 panic!("expected Prototypes uplink")
             };
-            assert_eq!(protos.len(), self.num_classes, "prototype class-count mismatch");
+            assert_eq!(
+                protos.len(),
+                self.num_classes,
+                "prototype class-count mismatch"
+            );
             let w = clients[*k].weight;
             for (c, p) in protos.iter().enumerate() {
                 if let Some(p) = p {

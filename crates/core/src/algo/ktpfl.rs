@@ -109,7 +109,11 @@ impl KtPfl {
     }
 
     /// Personalized soft targets for each sampled client.
-    fn personalized_targets(&self, sampled: &[usize], soft: &[(usize, Tensor)]) -> Vec<(usize, Tensor)> {
+    fn personalized_targets(
+        &self,
+        sampled: &[usize],
+        soft: &[(usize, Tensor)],
+    ) -> Vec<(usize, Tensor)> {
         let coeff = softmax_rows(&self.theta);
         let by_id: std::collections::HashMap<usize, &Tensor> =
             soft.iter().map(|(k, t)| (*k, t)).collect();
@@ -223,8 +227,9 @@ impl KtPflWeight {
     /// similarity-driven stand-in for the parameterized update — see
     /// DESIGN.md substitutions).
     fn refresh_coefficients(&mut self) {
-        let known: Vec<usize> =
-            (0..self.states.len()).filter(|&k| self.states[k].is_some()).collect();
+        let known: Vec<usize> = (0..self.states.len())
+            .filter(|&k| self.states[k].is_some())
+            .collect();
         if known.len() < 2 {
             return;
         }
@@ -247,7 +252,8 @@ impl KtPflWeight {
         let sigma2 = (mean / pairs.max(1) as f32).max(1e-6);
         for (i, &a) in known.iter().enumerate() {
             for (j, &b) in known.iter().enumerate() {
-                self.theta.set2(a, b, -self.coeff_sharpness * d2[i][j] / sigma2);
+                self.theta
+                    .set2(a, b, -self.coeff_sharpness * d2[i][j] / sigma2);
             }
         }
     }
@@ -374,7 +380,10 @@ mod tests {
         let up_after_r0 = net.stats().downlink_bytes();
         assert_eq!(up_after_r0, 0, "round 0 should not broadcast");
         algo.round(1, &mut clients, &[0, 1], &net, &hp);
-        assert!(net.stats().downlink_bytes() > 0, "round 1 must broadcast mixtures");
+        assert!(
+            net.stats().downlink_bytes() > 0,
+            "round 1 must broadcast mixtures"
+        );
     }
 
     #[test]

@@ -57,15 +57,26 @@ pub(crate) fn normalized_weights(clients: &[Client], sampled: &[usize]) -> Vec<f
 
 /// Run `f` on every sampled client in parallel (rayon), leaving the rest
 /// untouched. `f` must communicate results through the network.
+///
+/// `sampled` must be sorted and distinct ([`crate::sim::sample_clients`]
+/// guarantees this); the walk below carves disjoint `&mut` references out
+/// of the slice so rayon only ever sees the sampled clients — no scan over
+/// the full fleet, no hash set.
 pub(crate) fn for_sampled_parallel<F>(clients: &mut [Client], sampled: &[usize], f: F)
 where
     F: Fn(&mut Client) + Sync,
 {
     use rayon::prelude::*;
-    let sampled_set: std::collections::HashSet<usize> = sampled.iter().copied().collect();
-    clients
-        .par_iter_mut()
-        .enumerate()
-        .filter(|(i, _)| sampled_set.contains(i))
-        .for_each(|(_, c)| f(c));
+    let mut picked: Vec<&mut Client> = Vec::with_capacity(sampled.len());
+    let mut rest = clients;
+    let mut offset = 0usize;
+    for &k in sampled {
+        assert!(k >= offset, "sampled indices must be sorted and distinct");
+        let tail = rest.split_at_mut(k - offset).1;
+        let (c, tail) = tail.split_first_mut().expect("sampled index out of range");
+        picked.push(c);
+        rest = tail;
+        offset = k + 1;
+    }
+    picked.into_par_iter().for_each(|c| f(c));
 }

@@ -7,10 +7,10 @@ use fca_data::Dataset;
 use fca_models::classifier::ClassifierWeights;
 use fca_models::ClientModel;
 use fca_nn::loss::{accuracy, cross_entropy, prototype_loss, supervised_contrastive};
-use fca_nn::Module as _;
 use fca_nn::optim::{Adam, Optimizer, Sgd};
+use fca_nn::Module as _;
 use fca_tensor::rng::derived_rng;
-use fca_tensor::Tensor;
+use fca_tensor::{Tensor, Workspace, WorkspaceStats};
 use rand::rngs::StdRng;
 
 /// Diagnostics from one local update.
@@ -52,6 +52,13 @@ pub struct Client {
     pub weight: f32,
     optimizer: Box<dyn Optimizer>,
     rng: StdRng,
+    /// Scratch shared by every forward/backward this client runs. Batch
+    /// shapes repeat across epochs, so the pool converges after the first
+    /// epoch and steady-state training allocates nothing.
+    workspace: Workspace,
+    batch_idx: Vec<usize>,
+    batch_images: Vec<f32>,
+    batch_labels: Vec<usize>,
 }
 
 impl Client {
@@ -66,12 +73,16 @@ impl Client {
         hp: &HyperParams,
         seed: u64,
     ) -> Self {
-        assert!(!train_data.is_empty(), "client {id} has an empty training shard");
+        assert!(
+            !train_data.is_empty(),
+            "client {id} has an empty training shard"
+        );
         let optimizer: Box<dyn Optimizer> = match hp.optimizer {
             OptKind::Adam => Box::new(Adam::new(hp.lr)),
-            OptKind::Sgd { momentum, weight_decay } => {
-                Box::new(Sgd::with_momentum(hp.lr, momentum, weight_decay))
-            }
+            OptKind::Sgd {
+                momentum,
+                weight_decay,
+            } => Box::new(Sgd::with_momentum(hp.lr, momentum, weight_decay)),
         };
         Client {
             id,
@@ -82,6 +93,10 @@ impl Client {
             weight,
             optimizer,
             rng: derived_rng(seed, 0xC0FFEE + id as u64),
+            workspace: Workspace::new(),
+            batch_idx: Vec::new(),
+            batch_images: Vec::new(),
+            batch_labels: Vec::new(),
         }
     }
 
@@ -96,6 +111,17 @@ impl Client {
         self.optimizer.learning_rate()
     }
 
+    /// Allocation counters of the client's scratch workspace.
+    pub fn workspace_stats(&self) -> WorkspaceStats {
+        self.workspace.stats()
+    }
+
+    /// Reset the workspace counters (buffers are kept — only the stats
+    /// restart, so a warmed-up client can prove it no longer allocates).
+    pub fn reset_workspace_stats(&mut self) {
+        self.workspace.reset_stats();
+    }
+
     /// Local accuracy on the client's test shard (eval mode, batched).
     pub fn evaluate(&mut self) -> f32 {
         if self.test_data.is_empty() {
@@ -104,15 +130,26 @@ impl Client {
         let mut correct = 0.0f32;
         let mut total = 0usize;
         let n = self.test_data.len();
+        let (c, h, w) = self.test_data.image_shape();
         let bs = 256;
         let mut i = 0;
         while i < n {
             let hi = (i + bs).min(n);
-            let idx: Vec<usize> = (i..hi).collect();
-            let (x, y) = self.test_data.gather_batch(&idx);
-            let logits = self.model.predict(&x);
-            correct += accuracy(&logits, &y) * y.len() as f32;
-            total += y.len();
+            self.batch_idx.clear();
+            self.batch_idx.extend(i..hi);
+            self.test_data.gather_batch_into(
+                &self.batch_idx,
+                &mut self.batch_images,
+                &mut self.batch_labels,
+            );
+            let bsz = self.batch_labels.len();
+            let mut x = self.workspace.tensor([bsz, c, h, w]);
+            x.data_mut().copy_from_slice(&self.batch_images);
+            let logits = self.model.predict(&x, &mut self.workspace);
+            correct += accuracy(&logits, &self.batch_labels) * bsz as f32;
+            total += bsz;
+            self.workspace.recycle(logits);
+            self.workspace.recycle(x);
             i = hi;
         }
         correct / total as f32
@@ -145,21 +182,31 @@ impl Client {
                     ]);
                     let (_, c, h, w) = x.shape().as_nchw();
                     let both = both.reshape([2 * b, c, h, w]);
-                    let features = self.model.forward_features(&both, true);
+                    let features = self
+                        .model
+                        .forward_features(&both, true, &mut self.workspace);
 
                     // CE on view-1 logits (paper: ŷ predicted from x').
                     let feats1 = features.rows(0, b);
-                    let logits = self.model.classifier.forward(&feats1, true);
+                    let logits = self
+                        .model
+                        .classifier
+                        .forward(&feats1, true, &mut self.workspace);
                     let (ce, d_logits) = cross_entropy(&logits, &y);
+                    self.workspace.recycle(logits);
 
                     // SupCon over both views.
                     let labels2: Vec<usize> = y.iter().chain(y.iter()).copied().collect();
                     let (cl, d_feat_cl) =
                         supervised_contrastive(&features, &labels2, hp.temperature);
+                    self.workspace.recycle(features);
 
                     // Backward: classifier path first, then the extractor
                     // sees CE-gradient (view 1 rows) + contrastive gradient.
-                    let d_feat_ce = self.model.classifier.backward(&d_logits);
+                    let d_feat_ce = self
+                        .model
+                        .classifier
+                        .backward(&d_logits, &mut self.workspace);
                     let mut d_feat = d_feat_cl;
                     for r in 0..b {
                         let dst = d_feat.row_mut(r);
@@ -167,22 +214,26 @@ impl Client {
                             *di += si;
                         }
                     }
+                    self.workspace.recycle(d_feat_ce);
                     if let (Some(g), true) = (global, obj.rho > 0.0) {
                         stats.prox_dist += self.model.classifier.accumulate_proximal(g, obj.rho);
                     }
-                    self.model.backward_features_only(&d_feat);
+                    self.model
+                        .backward_features_only(&d_feat, &mut self.workspace);
 
                     stats.ce_loss += ce;
                     stats.cl_loss += cl;
                 } else {
                     // CE (and optionally proximal) only — the CA / CA+PR
                     // ablation rows.
-                    let (_, logits) = self.model.forward(&x, true);
+                    let (features, logits) = self.model.forward(&x, true, &mut self.workspace);
                     let (ce, d_logits) = cross_entropy(&logits, &y);
+                    self.workspace.recycle(features);
+                    self.workspace.recycle(logits);
                     if let (Some(g), true) = (global, obj.rho > 0.0) {
                         stats.prox_dist += self.model.classifier.accumulate_proximal(g, obj.rho);
                     }
-                    self.model.backward(None, &d_logits);
+                    self.model.backward(None, &d_logits, &mut self.workspace);
                     stats.ce_loss += ce;
                 }
 
@@ -202,9 +253,11 @@ impl Client {
             for batch in self.train_data.batch_indices(hp.batch_size, &mut self.rng) {
                 let (x, y) = self.train_data.gather_batch(&batch);
                 self.model.zero_grad();
-                let (_, logits) = self.model.forward(&x, true);
+                let (features, logits) = self.model.forward(&x, true, &mut self.workspace);
                 let (ce, d_logits) = cross_entropy(&logits, &y);
-                self.model.backward(None, &d_logits);
+                self.workspace.recycle(features);
+                self.workspace.recycle(logits);
+                self.model.backward(None, &d_logits, &mut self.workspace);
                 self.optimizer.step(&mut self.model.params_mut());
                 stats.ce_loss += ce;
                 stats.batches += 1;
@@ -227,9 +280,11 @@ impl Client {
             for batch in self.train_data.batch_indices(hp.batch_size, &mut self.rng) {
                 let (x, y) = self.train_data.gather_batch(&batch);
                 self.model.zero_grad();
-                let (_, logits) = self.model.forward(&x, true);
+                let (features, logits) = self.model.forward(&x, true, &mut self.workspace);
                 let (ce, d_logits) = cross_entropy(&logits, &y);
-                self.model.backward(None, &d_logits);
+                self.workspace.recycle(features);
+                self.workspace.recycle(logits);
+                self.model.backward(None, &d_logits, &mut self.workspace);
                 // Proximal pull on every trainable parameter.
                 {
                     let mut params = self.model.params_mut();
@@ -263,11 +318,14 @@ impl Client {
             for batch in self.train_data.batch_indices(hp.batch_size, &mut self.rng) {
                 let (x, y) = self.train_data.gather_batch(&batch);
                 self.model.zero_grad();
-                let (features, logits) = self.model.forward(&x, true);
+                let (features, logits) = self.model.forward(&x, true, &mut self.workspace);
                 let (ce, d_logits) = cross_entropy(&logits, &y);
                 let (pl, mut d_feat) = prototype_loss(&features, &y, prototypes);
+                self.workspace.recycle(features);
+                self.workspace.recycle(logits);
                 d_feat.scale(lambda);
-                self.model.backward(Some(&d_feat), &d_logits);
+                self.model
+                    .backward(Some(&d_feat), &d_logits, &mut self.workspace);
                 self.optimizer.step(&mut self.model.params_mut());
                 stats.ce_loss += ce;
                 stats.cl_loss += pl * lambda;
@@ -290,15 +348,20 @@ impl Client {
         let mut i = 0;
         while i < n {
             let hi = (i + bs).min(n);
-            let idx: Vec<usize> = (i..hi).collect();
-            let (x, y) = self.train_data.gather_batch(&idx);
-            let features = self.model.feature_extractor.forward(&x, false);
+            self.batch_idx.clear();
+            self.batch_idx.extend(i..hi);
+            let (x, y) = self.train_data.gather_batch(&self.batch_idx);
+            let features = self
+                .model
+                .feature_extractor
+                .forward(&x, false, &mut self.workspace);
             for (r, &label) in y.iter().enumerate() {
                 for (s, &f) in sums[label].data_mut().iter_mut().zip(features.row(r)) {
                     *s += f;
                 }
                 counts[label] += 1;
             }
+            self.workspace.recycle(features);
             i = hi;
         }
         sums.into_iter()
@@ -316,7 +379,7 @@ impl Client {
 
     /// Logits on an external batch (KT-pFL public data), eval mode.
     pub fn logits_on(&mut self, x: &Tensor) -> Tensor {
-        self.model.predict(x)
+        self.model.predict(x, &mut self.workspace)
     }
 
     /// Distill toward soft targets on external data for `steps` batches of
@@ -338,13 +401,16 @@ impl Client {
             if hi <= lo {
                 continue;
             }
-            let idx: Vec<usize> = (lo..hi).collect();
-            let x = gather_images(public, &idx);
-            let t = gather_rows(targets, &idx);
+            self.batch_idx.clear();
+            self.batch_idx.extend(lo..hi);
+            let x = gather_images(public, &self.batch_idx);
+            let t = gather_rows(targets, &self.batch_idx);
             self.model.zero_grad();
-            let (_, logits) = self.model.forward(&x, true);
+            let (features, logits) = self.model.forward(&x, true, &mut self.workspace);
             let (kl, d_logits) = kl_distillation(&logits, &t, temperature);
-            self.model.backward(None, &d_logits);
+            self.workspace.recycle(features);
+            self.workspace.recycle(logits);
+            self.model.backward(None, &d_logits, &mut self.workspace);
             self.optimizer.step(&mut self.model.params_mut());
             total += kl;
         }
@@ -429,7 +495,10 @@ mod tests {
         let stats = c.local_update_fedclassavg(
             Some(&global),
             &hp,
-            LocalObjective { contrastive: true, rho: 0.1 },
+            LocalObjective {
+                contrastive: true,
+                rho: 0.1,
+            },
         );
         assert!(stats.batches > 0);
         assert!(stats.ce_loss > 0.0);
@@ -445,7 +514,10 @@ mod tests {
         let stats = c.local_update_fedclassavg(
             Some(&global),
             &hp,
-            LocalObjective { contrastive: false, rho: 0.0 },
+            LocalObjective {
+                contrastive: false,
+                rho: 0.0,
+            },
         );
         assert_eq!(stats.cl_loss, 0.0);
         assert_eq!(stats.prox_dist, 0.0);
@@ -493,14 +565,22 @@ mod tests {
             .iter()
             .map(|p| Tensor::zeros(p.value.shape().clone()))
             .collect();
-        let norm_before: f32 =
-            c.model.params_mut().iter().map(|p| p.value.sq_norm()).sum::<f32>();
+        let norm_before: f32 = c
+            .model
+            .params_mut()
+            .iter()
+            .map(|p| p.value.sq_norm())
+            .sum::<f32>();
         // Huge μ dominates: weights should shrink toward zero.
         for _ in 0..5 {
             c.local_update_fedprox(&global, 50.0, &hp);
         }
-        let norm_after: f32 =
-            c.model.params_mut().iter().map(|p| p.value.sq_norm()).sum::<f32>();
+        let norm_after: f32 = c
+            .model
+            .params_mut()
+            .iter()
+            .map(|p| p.value.sq_norm())
+            .sum::<f32>();
         assert!(norm_after < norm_before, "{norm_before} → {norm_after}");
     }
 
@@ -525,6 +605,48 @@ mod tests {
             kl_distillation(&logits, &targets, 2.0).0
         };
         assert!(kl1 < kl0, "distillation did not reduce KL: {kl0} → {kl1}");
+    }
+
+    #[test]
+    fn workspace_reaches_steady_state_after_warmup() {
+        let mut c = tiny_client(610);
+        let hp = HyperParams::micro_default().with_lr(5e-3);
+        // Warm-up: two full train+eval cycles let the pool converge (batch
+        // shapes repeat identically from epoch to epoch).
+        for _ in 0..2 {
+            c.local_update_supervised(1, &hp);
+            c.evaluate();
+        }
+        c.reset_workspace_stats();
+        c.local_update_supervised(1, &hp);
+        c.evaluate();
+        let stats = c.workspace_stats();
+        assert_eq!(
+            stats.allocations, 0,
+            "steady-state epoch allocated fresh buffers: {stats:?}"
+        );
+        assert!(stats.reuses > 0, "workspace was never exercised: {stats:?}");
+    }
+
+    #[test]
+    fn contrastive_update_reaches_steady_state_too() {
+        let mut c = tiny_client(611);
+        let hp = HyperParams::micro_default();
+        let global = ClassifierWeights::zeros(8, 3);
+        let obj = LocalObjective {
+            contrastive: true,
+            rho: 0.1,
+        };
+        for _ in 0..2 {
+            c.local_update_fedclassavg(Some(&global), &hp, obj);
+        }
+        c.reset_workspace_stats();
+        c.local_update_fedclassavg(Some(&global), &hp, obj);
+        let stats = c.workspace_stats();
+        assert_eq!(
+            stats.allocations, 0,
+            "steady-state contrastive epoch allocated: {stats:?}"
+        );
     }
 
     #[test]

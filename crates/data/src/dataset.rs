@@ -24,7 +24,11 @@ impl Dataset {
             labels.iter().all(|&l| l < num_classes),
             "label out of range for {num_classes} classes"
         );
-        Dataset { images, labels, num_classes }
+        Dataset {
+            images,
+            labels,
+            num_classes,
+        }
     }
 
     /// Number of examples.
@@ -54,7 +58,11 @@ impl Dataset {
             data.extend_from_slice(self.images.image(i));
             labels.push(self.labels[i]);
         }
-        Dataset::new(Tensor::from_vec([indices.len(), c, h, w], data), labels, self.num_classes)
+        Dataset::new(
+            Tensor::from_vec([indices.len(), c, h, w], data),
+            labels,
+            self.num_classes,
+        )
     }
 
     /// Batch `indices` into an NCHW tensor + labels (no copy avoidance —
@@ -62,6 +70,23 @@ impl Dataset {
     pub fn gather_batch(&self, indices: &[usize]) -> (Tensor, Vec<usize>) {
         let sub = self.subset(indices);
         (sub.images, sub.labels)
+    }
+
+    /// Gather `indices` into caller-owned buffers, reusing their capacity.
+    /// `images` ends up holding the batch in NCHW layout
+    /// (`indices.len() × c·h·w` floats); `labels` the matching labels.
+    pub fn gather_batch_into(
+        &self,
+        indices: &[usize],
+        images: &mut Vec<f32>,
+        labels: &mut Vec<usize>,
+    ) {
+        images.clear();
+        labels.clear();
+        for &i in indices {
+            images.extend_from_slice(self.images.image(i));
+            labels.push(self.labels[i]);
+        }
     }
 
     /// Shuffled mini-batch index lists covering the whole dataset once.
@@ -110,6 +135,22 @@ mod tests {
         let mut all: Vec<usize> = batches.into_iter().flatten().collect();
         all.sort_unstable();
         assert_eq!(all, vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn gather_batch_into_matches_gather_batch() {
+        let d = toy();
+        let (imgs, labs) = d.gather_batch(&[3, 1]);
+        let mut buf = Vec::new();
+        let mut lbuf = Vec::new();
+        d.gather_batch_into(&[3, 1], &mut buf, &mut lbuf);
+        assert_eq!(buf, imgs.data());
+        assert_eq!(lbuf, labs);
+        // Reuse keeps capacity: a smaller gather must not shrink it.
+        let cap = buf.capacity();
+        d.gather_batch_into(&[0], &mut buf, &mut lbuf);
+        assert_eq!(buf.capacity(), cap);
+        assert_eq!(lbuf, vec![0]);
     }
 
     #[test]

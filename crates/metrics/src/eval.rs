@@ -20,6 +20,8 @@ pub struct FleetFeatures {
 /// the Figure 8 t-SNE.
 pub fn extract_fleet_features(clients: &mut [Client], per_client: usize) -> FleetFeatures {
     use fca_nn::Module as _;
+    use fca_tensor::Workspace;
+    let mut ws = Workspace::new();
     let mut parts: Vec<Tensor> = Vec::new();
     let mut labels = Vec::new();
     let mut client_ids = Vec::new();
@@ -30,21 +32,29 @@ pub fn extract_fleet_features(clients: &mut [Client], per_client: usize) -> Flee
         }
         let idx: Vec<usize> = (0..n).collect();
         let (x, y) = c.test_data.gather_batch(&idx);
-        let f = c.model.feature_extractor.forward(&x, false);
+        let f = c.model.feature_extractor.forward(&x, false, &mut ws);
         parts.push(f);
         labels.extend(y);
         client_ids.extend(std::iter::repeat(c.id).take(n));
     }
     assert!(!parts.is_empty(), "no client produced features");
     let refs: Vec<&Tensor> = parts.iter().collect();
-    FleetFeatures { features: Tensor::concat_rows(&refs), labels, client_ids }
+    FleetFeatures {
+        features: Tensor::concat_rows(&refs),
+        labels,
+        client_ids,
+    }
 }
 
 /// Render a learning curve as an ASCII table (`epochs  mean±std`).
 pub fn curve_table(curve: &[RoundMetrics]) -> String {
     use std::fmt::Write as _;
     let mut out = String::new();
-    let _ = writeln!(out, "{:>7} {:>7} {:>10} {:>10}", "round", "epochs", "mean_acc", "std_acc");
+    let _ = writeln!(
+        out,
+        "{:>7} {:>7} {:>10} {:>10}",
+        "round", "epochs", "mean_acc", "std_acc"
+    );
     for p in curve {
         let _ = writeln!(
             out,
@@ -89,8 +99,18 @@ mod tests {
     #[test]
     fn curve_table_formats_rows() {
         let curve = vec![
-            RoundMetrics { round: 0, epochs: 0, mean_acc: 0.1, std_acc: 0.01 },
-            RoundMetrics { round: 1, epochs: 1, mean_acc: 0.5, std_acc: 0.02 },
+            RoundMetrics {
+                round: 0,
+                epochs: 0,
+                mean_acc: 0.1,
+                std_acc: 0.01,
+            },
+            RoundMetrics {
+                round: 1,
+                epochs: 1,
+                mean_acc: 0.5,
+                std_acc: 0.02,
+            },
         ];
         let t = curve_table(&curve);
         assert_eq!(t.lines().count(), 3);

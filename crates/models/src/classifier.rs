@@ -3,7 +3,7 @@
 
 use fca_nn::linear::Linear;
 use fca_nn::module::Module;
-use fca_tensor::Tensor;
+use fca_tensor::{Tensor, Workspace};
 use rand::Rng;
 
 /// Classifier weights as a plain value pair — the unit of aggregation and
@@ -52,7 +52,9 @@ pub struct Classifier {
 impl Classifier {
     /// New classifier head.
     pub fn new(feature_dim: usize, num_classes: usize, rng: &mut impl Rng) -> Self {
-        Classifier { linear: Linear::new(feature_dim, num_classes, rng) }
+        Classifier {
+            linear: Linear::new(feature_dim, num_classes, rng),
+        }
     }
 
     /// Feature dimension this head expects.
@@ -75,25 +77,33 @@ impl Classifier {
 
     /// Overwrite the weights (server → client broadcast).
     pub fn set_weights(&mut self, w: &ClassifierWeights) {
-        assert_eq!(self.linear.weight.value.dims(), w.weight.dims(), "classifier shape mismatch");
-        assert_eq!(self.linear.bias.value.dims(), w.bias.dims(), "classifier bias shape mismatch");
+        assert_eq!(
+            self.linear.weight.value.dims(),
+            w.weight.dims(),
+            "classifier shape mismatch"
+        );
+        assert_eq!(
+            self.linear.bias.value.dims(),
+            w.bias.dims(),
+            "classifier bias shape mismatch"
+        );
         self.linear.weight.value = w.weight.clone();
         self.linear.bias.value = w.bias.clone();
     }
 
     /// Forward producing logits (training mode caches for backward).
-    pub fn forward(&mut self, features: &Tensor, train: bool) -> Tensor {
-        self.linear.forward(features, train)
+    pub fn forward(&mut self, features: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        self.linear.forward(features, train, ws)
     }
 
     /// Inference-only forward (no caching).
-    pub fn forward_inference(&self, features: &Tensor) -> Tensor {
-        self.linear.forward_inference(features)
+    pub fn forward_inference(&self, features: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.linear.forward_inference(features, ws)
     }
 
     /// Backward: accumulate classifier grads, return `∂L/∂features`.
-    pub fn backward(&mut self, grad_logits: &Tensor) -> Tensor {
-        self.linear.backward(grad_logits)
+    pub fn backward(&mut self, grad_logits: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.linear.backward(grad_logits, ws)
     }
 
     /// Add the proximal-regularizer gradient `ρ · ∂‖C_k − C‖₂/∂C_k`

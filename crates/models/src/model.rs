@@ -4,7 +4,7 @@
 use crate::classifier::{Classifier, ClassifierWeights};
 use fca_nn::module::{load_state_dict, state_dict, Module};
 use fca_nn::structure::Sequential;
-use fca_tensor::Tensor;
+use fca_tensor::{Tensor, Workspace};
 
 /// The architecture families of the zoo (paper §4.1).
 #[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
@@ -68,7 +68,12 @@ impl ClientModel {
     /// Assemble a model from its parts (used by the zoo builders).
     pub fn new(arch: ModelArch, feature_extractor: Sequential, classifier: Classifier) -> Self {
         let feature_dim = classifier.feature_dim();
-        ClientModel { arch, feature_extractor, classifier, feature_dim }
+        ClientModel {
+            arch,
+            feature_extractor,
+            classifier,
+            feature_dim,
+        }
     }
 
     /// Shared feature dimension.
@@ -82,8 +87,8 @@ impl ClientModel {
     }
 
     /// Forward through the extractor only.
-    pub fn forward_features(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let f = self.feature_extractor.forward(x, train);
+    pub fn forward_features(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let f = self.feature_extractor.forward(x, train, ws);
         assert_eq!(
             f.dims()[1],
             self.feature_dim,
@@ -95,33 +100,43 @@ impl ClientModel {
     }
 
     /// Full forward: `(features, logits)`.
-    pub fn forward(&mut self, x: &Tensor, train: bool) -> (Tensor, Tensor) {
-        let features = self.forward_features(x, train);
-        let logits = self.classifier.forward(&features, train);
+    pub fn forward(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> (Tensor, Tensor) {
+        let features = self.forward_features(x, train, ws);
+        let logits = self.classifier.forward(&features, train, ws);
         (features, logits)
     }
 
     /// Inference pass returning logits only (eval mode, still caches —
     /// use for evaluation loops where gradients are discarded).
-    pub fn predict(&mut self, x: &Tensor) -> Tensor {
-        let features = self.feature_extractor.forward(x, false);
-        self.classifier.forward_inference(&features)
+    pub fn predict(&mut self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let features = self.feature_extractor.forward(x, false, ws);
+        let logits = self.classifier.forward_inference(&features, ws);
+        ws.recycle(features);
+        logits
     }
 
     /// Backward for the composite loss: `grad_logits` flows through the
     /// classifier into the features; `grad_features_extra` (e.g. from the
     /// contrastive loss) is added before the extractor backward.
-    pub fn backward(&mut self, grad_features_extra: Option<&Tensor>, grad_logits: &Tensor) {
-        let mut d_feat = self.classifier.backward(grad_logits);
+    pub fn backward(
+        &mut self,
+        grad_features_extra: Option<&Tensor>,
+        grad_logits: &Tensor,
+        ws: &mut Workspace,
+    ) {
+        let mut d_feat = self.classifier.backward(grad_logits, ws);
         if let Some(extra) = grad_features_extra {
             d_feat.add_assign(extra);
         }
-        let _ = self.feature_extractor.backward(&d_feat);
+        let dx = self.feature_extractor.backward(&d_feat, ws);
+        ws.recycle(d_feat);
+        ws.recycle(dx);
     }
 
     /// Backward when only a feature-space loss is present (no logits path).
-    pub fn backward_features_only(&mut self, grad_features: &Tensor) {
-        let _ = self.feature_extractor.backward(grad_features);
+    pub fn backward_features_only(&mut self, grad_features: &Tensor, ws: &mut Workspace) {
+        let dx = self.feature_extractor.backward(grad_features, ws);
+        ws.recycle(dx);
     }
 
     /// All trainable parameters: extractor first, then classifier.
@@ -194,8 +209,9 @@ mod tests {
     fn forward_shapes() {
         let mut m = tiny_model(411);
         let mut rng = seeded_rng(412);
+        let mut ws = Workspace::new();
         let x = Tensor::randn([5, 1, 4, 4], 1.0, &mut rng);
-        let (f, l) = m.forward(&x, true);
+        let (f, l) = m.forward(&x, true, &mut ws);
         assert_eq!(f.dims(), &[5, 8]);
         assert_eq!(l.dims(), &[5, 3]);
     }
@@ -205,11 +221,12 @@ mod tests {
         let mut a = tiny_model(413);
         let mut b = tiny_model(414);
         let mut rng = seeded_rng(415);
+        let mut ws = Workspace::new();
         let x = Tensor::randn([2, 1, 4, 4], 1.0, &mut rng);
         let state = a.full_state();
         b.load_full_state(&state);
-        let ya = a.predict(&x);
-        let yb = b.predict(&x);
+        let ya = a.predict(&x, &mut ws);
+        let yb = b.predict(&x, &mut ws);
         assert_eq!(ya, yb);
     }
 
@@ -217,12 +234,13 @@ mod tests {
     fn backward_accumulates_into_both_parts() {
         let mut m = tiny_model(416);
         let mut rng = seeded_rng(417);
+        let mut ws = Workspace::new();
         let x = Tensor::randn([3, 1, 4, 4], 1.0, &mut rng);
         m.zero_grad();
-        let (f, l) = m.forward(&x, true);
+        let (f, l) = m.forward(&x, true, &mut ws);
         let gl = Tensor::ones([3, 3]);
         let gf = Tensor::ones([3, 8]);
-        m.backward(Some(&gf), &gl);
+        m.backward(Some(&gf), &gl, &mut ws);
         assert!(m.params_mut().iter().any(|p| p.grad.max_abs() > 0.0));
         let _ = (f, l);
     }

@@ -93,19 +93,37 @@ fn micro_resnet(input: InputShape, feature_dim: usize, rng: &mut rand::rngs::Std
 }
 
 /// ShuffleNetV2 idiom: grouped 1×1 convs, channel shuffle, depthwise 3×3.
-fn micro_shufflenet(input: InputShape, feature_dim: usize, rng: &mut rand::rngs::StdRng) -> Sequential {
+fn micro_shufflenet(
+    input: InputShape,
+    feature_dim: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Sequential {
     let (c, _, _) = input;
     // Downsampling shuffle unit 16 → 32.
     let down_unit = Sequential::new()
         .push(Conv2d::new(
-            ConvGeometry { in_channels: 16, out_channels: 16, kernel: 1, stride: 1, padding: 0, groups: 2 },
+            ConvGeometry {
+                in_channels: 16,
+                out_channels: 16,
+                kernel: 1,
+                stride: 1,
+                padding: 0,
+                groups: 2,
+            },
             rng,
         ))
         .push(BatchNorm2d::new(16))
         .push(Relu::new())
         .push(ChannelShuffle::new(2))
         .push(Conv2d::new(
-            ConvGeometry { in_channels: 16, out_channels: 16, kernel: 3, stride: 2, padding: 1, groups: 16 },
+            ConvGeometry {
+                in_channels: 16,
+                out_channels: 16,
+                kernel: 3,
+                stride: 2,
+                padding: 1,
+                groups: 16,
+            },
             rng,
         ))
         .push(BatchNorm2d::new(16))
@@ -116,14 +134,28 @@ fn micro_shufflenet(input: InputShape, feature_dim: usize, rng: &mut rand::rngs:
     let id_unit = Residual::identity(
         Sequential::new()
             .push(Conv2d::new(
-                ConvGeometry { in_channels: 32, out_channels: 32, kernel: 1, stride: 1, padding: 0, groups: 2 },
+                ConvGeometry {
+                    in_channels: 32,
+                    out_channels: 32,
+                    kernel: 1,
+                    stride: 1,
+                    padding: 0,
+                    groups: 2,
+                },
                 rng,
             ))
             .push(BatchNorm2d::new(32))
             .push(Relu::new())
             .push(ChannelShuffle::new(2))
             .push(Conv2d::new(
-                ConvGeometry { in_channels: 32, out_channels: 32, kernel: 3, stride: 1, padding: 1, groups: 32 },
+                ConvGeometry {
+                    in_channels: 32,
+                    out_channels: 32,
+                    kernel: 3,
+                    stride: 1,
+                    padding: 1,
+                    groups: 32,
+                },
                 rng,
             ))
             .push(BatchNorm2d::new(32))
@@ -142,7 +174,11 @@ fn micro_shufflenet(input: InputShape, feature_dim: usize, rng: &mut rand::rngs:
 }
 
 /// GoogLeNet idiom: inception blocks with 1×1 / 3×3 / reduced-3×3 branches.
-fn micro_googlenet(input: InputShape, feature_dim: usize, rng: &mut rand::rngs::StdRng) -> Sequential {
+fn micro_googlenet(
+    input: InputShape,
+    feature_dim: usize,
+    rng: &mut rand::rngs::StdRng,
+) -> Sequential {
     let (c, _, _) = input;
     let branch1 = |cin: usize, cout: usize, rng: &mut rand::rngs::StdRng| {
         Sequential::new()
@@ -192,7 +228,10 @@ fn micro_alexnet(
     let (h1, w1) = (half(h), half(w));
     let (h2, w2) = (half(h1), half(w1));
     let (h3, w3) = (half(h2), half(w2));
-    assert!(h3 >= 1 && w3 >= 1, "input {h}x{w} too small for MicroAlexNet");
+    assert!(
+        h3 >= 1 && w3 >= 1,
+        "input {h}x{w} too small for MicroAlexNet"
+    );
     Sequential::new()
         .push(Conv2d::basic(c, 12, 3, 1, 1, rng))
         .push(Relu::new())
@@ -254,7 +293,7 @@ fn proto_cnn(
 mod tests {
     use super::*;
     use fca_tensor::rng::seeded_rng;
-    use fca_tensor::Tensor;
+    use fca_tensor::{Tensor, Workspace};
 
     const ARCHS: [ModelArch; 6] = [
         ModelArch::MicroResNet,
@@ -268,10 +307,11 @@ mod tests {
     #[test]
     fn all_archs_forward_on_cifar_shape() {
         let mut rng = seeded_rng(421);
+        let mut ws = Workspace::new();
         let x = Tensor::randn([2, 3, 32, 32], 1.0, &mut rng);
         for arch in ARCHS {
             let mut m = build_model(arch, (3, 32, 32), 24, 10, 1);
-            let (f, l) = m.forward(&x, true);
+            let (f, l) = m.forward(&x, true, &mut ws);
             assert_eq!(f.dims(), &[2, 24], "{arch:?} feature shape");
             assert_eq!(l.dims(), &[2, 10], "{arch:?} logit shape");
             assert!(!f.has_non_finite(), "{arch:?} produced non-finite features");
@@ -281,10 +321,11 @@ mod tests {
     #[test]
     fn all_archs_forward_on_mnist_shape() {
         let mut rng = seeded_rng(422);
+        let mut ws = Workspace::new();
         let x = Tensor::randn([2, 1, 28, 28], 1.0, &mut rng);
         for arch in ARCHS {
             let mut m = build_model(arch, (1, 28, 28), 16, 26, 2);
-            let (f, l) = m.forward(&x, true);
+            let (f, l) = m.forward(&x, true, &mut ws);
             assert_eq!(f.dims(), &[2, 16], "{arch:?}");
             assert_eq!(l.dims(), &[2, 26], "{arch:?}");
         }
@@ -293,15 +334,20 @@ mod tests {
     #[test]
     fn all_archs_backward_produce_gradients() {
         let mut rng = seeded_rng(423);
+        let mut ws = Workspace::new();
         let x = Tensor::randn([2, 1, 12, 12], 1.0, &mut rng);
         for arch in ARCHS {
             let mut m = build_model(arch, (1, 12, 12), 8, 4, 3);
             m.zero_grad();
-            let (f, l) = m.forward(&x, true);
+            let (f, l) = m.forward(&x, true, &mut ws);
             let gl = Tensor::ones([2, 4]);
             let gf = Tensor::ones([2, 8]);
-            m.backward(Some(&gf), &gl);
-            let nonzero = m.params_mut().iter().filter(|p| p.grad.max_abs() > 0.0).count();
+            m.backward(Some(&gf), &gl, &mut ws);
+            let nonzero = m
+                .params_mut()
+                .iter()
+                .filter(|p| p.grad.max_abs() > 0.0)
+                .count();
             let total = m.params_mut().len();
             assert!(
                 nonzero * 2 >= total,
@@ -314,12 +360,13 @@ mod tests {
     #[test]
     fn builds_are_deterministic_per_seed() {
         let mut rng = seeded_rng(424);
+        let mut ws = Workspace::new();
         let x = Tensor::randn([1, 3, 32, 32], 1.0, &mut rng);
         let mut a = build_model(ModelArch::MicroResNet, (3, 32, 32), 16, 10, 7);
         let mut b = build_model(ModelArch::MicroResNet, (3, 32, 32), 16, 10, 7);
-        assert_eq!(a.predict(&x), b.predict(&x));
+        assert_eq!(a.predict(&x, &mut ws), b.predict(&x, &mut ws));
         let mut c = build_model(ModelArch::MicroResNet, (3, 32, 32), 16, 10, 8);
-        assert_ne!(a.predict(&x), c.predict(&x));
+        assert_ne!(a.predict(&x, &mut ws), c.predict(&x, &mut ws));
     }
 
     #[test]
@@ -338,8 +385,20 @@ mod tests {
 
     #[test]
     fn proto_variants_differ_in_width_not_feature_dim() {
-        let mut a = build_model(ModelArch::ProtoCnn { width_variant: 0 }, (1, 28, 28), 16, 10, 1);
-        let mut b = build_model(ModelArch::ProtoCnn { width_variant: 2 }, (1, 28, 28), 16, 10, 1);
+        let mut a = build_model(
+            ModelArch::ProtoCnn { width_variant: 0 },
+            (1, 28, 28),
+            16,
+            10,
+            1,
+        );
+        let mut b = build_model(
+            ModelArch::ProtoCnn { width_variant: 2 },
+            (1, 28, 28),
+            16,
+            10,
+            1,
+        );
         assert_ne!(a.param_count(), b.param_count());
         assert_eq!(a.feature_dim(), b.feature_dim());
     }

@@ -2,7 +2,7 @@
 
 use crate::module::{Module, Param};
 use fca_tensor::rng::seeded_rng;
-use fca_tensor::Tensor;
+use fca_tensor::{Tensor, Workspace};
 use rand::rngs::StdRng;
 use rand::Rng;
 
@@ -25,19 +25,25 @@ impl Default for Relu {
 }
 
 impl Module for Relu {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
         self.mask.clear();
         self.mask.extend(x.data().iter().map(|&v| v > 0.0));
-        x.map(|v| v.max(0.0))
+        let mut y = ws.tensor(x.shape().clone());
+        for (yi, &xi) in y.data_mut().iter_mut().zip(x.data()) {
+            *yi = xi.max(0.0);
+        }
+        y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.numel(), self.mask.len(), "backward before forward on Relu");
-        let mut g = grad_out.clone();
-        for (gi, &m) in g.data_mut().iter_mut().zip(&self.mask) {
-            if !m {
-                *gi = 0.0;
-            }
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(
+            grad_out.numel(),
+            self.mask.len(),
+            "backward before forward on Relu"
+        );
+        let mut g = ws.tensor(grad_out.shape().clone());
+        for ((gi, &go), &m) in g.data_mut().iter_mut().zip(grad_out.data()).zip(&self.mask) {
+            *gi = if m { go } else { 0.0 };
         }
         g
     }
@@ -61,36 +67,51 @@ pub struct Dropout {
 impl Dropout {
     /// New dropout layer with drop probability `p ∈ [0, 1)`.
     pub fn new(p: f32, seed: u64) -> Self {
-        assert!((0.0..1.0).contains(&p), "dropout probability must be in [0,1), got {p}");
-        Dropout { p, rng: seeded_rng(seed), mask: Vec::new() }
+        assert!(
+            (0.0..1.0).contains(&p),
+            "dropout probability must be in [0,1), got {p}"
+        );
+        Dropout {
+            p,
+            rng: seeded_rng(seed),
+            mask: Vec::new(),
+        }
     }
 }
 
 impl Module for Dropout {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         if !train || self.p == 0.0 {
             self.mask.clear();
             self.mask.resize(x.numel(), 1.0);
-            return x.clone();
+            return ws.tensor_like(x);
         }
         let keep = 1.0 - self.p;
         let scale = 1.0 / keep;
         self.mask.clear();
-        self.mask.extend(
-            (0..x.numel()).map(|_| if self.rng.gen::<f32>() < keep { scale } else { 0.0 }),
-        );
-        let mut y = x.clone();
-        for (yi, &m) in y.data_mut().iter_mut().zip(&self.mask) {
-            *yi *= m;
+        self.mask.extend((0..x.numel()).map(|_| {
+            if self.rng.gen::<f32>() < keep {
+                scale
+            } else {
+                0.0
+            }
+        }));
+        let mut y = ws.tensor(x.shape().clone());
+        for ((yi, &xi), &m) in y.data_mut().iter_mut().zip(x.data()).zip(&self.mask) {
+            *yi = xi * m;
         }
         y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.numel(), self.mask.len(), "backward before forward on Dropout");
-        let mut g = grad_out.clone();
-        for (gi, &m) in g.data_mut().iter_mut().zip(&self.mask) {
-            *gi *= m;
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(
+            grad_out.numel(),
+            self.mask.len(),
+            "backward before forward on Dropout"
+        );
+        let mut g = ws.tensor(grad_out.shape().clone());
+        for ((gi, &go), &m) in g.data_mut().iter_mut().zip(grad_out.data()).zip(&self.mask) {
+            *gi = go * m;
         }
         g
     }
@@ -107,41 +128,48 @@ mod tests {
 
     #[test]
     fn relu_clamps_and_masks_gradient() {
+        let mut ws = Workspace::new();
         let mut relu = Relu::new();
         let x = Tensor::from_vec([1, 4], vec![-1.0, 0.0, 2.0, -3.0]);
-        let y = relu.forward(&x, true);
+        let y = relu.forward(&x, true, &mut ws);
         assert_eq!(y.data(), &[0.0, 0.0, 2.0, 0.0]);
-        let g = relu.backward(&Tensor::ones([1, 4]));
+        let g = relu.backward(&Tensor::ones([1, 4]), &mut ws);
         assert_eq!(g.data(), &[0.0, 0.0, 1.0, 0.0]);
     }
 
     #[test]
     fn dropout_eval_is_identity() {
+        let mut ws = Workspace::new();
         let mut d = Dropout::new(0.5, 1);
         let mut rng = seeded_rng(71);
         let x = Tensor::randn([4, 8], 1.0, &mut rng);
-        let y = d.forward(&x, false);
+        let y = d.forward(&x, false, &mut ws);
         assert_eq!(x, y);
     }
 
     #[test]
     fn dropout_train_preserves_expectation() {
+        let mut ws = Workspace::new();
         let mut d = Dropout::new(0.3, 2);
         let x = Tensor::ones([100, 100]);
-        let y = d.forward(&x, true);
+        let y = d.forward(&x, true, &mut ws);
         // E[y] = 1; with 10k samples the mean should be within a few percent.
         assert!((y.mean() - 1.0).abs() < 0.05, "mean {}", y.mean());
         // Survivors are exactly scaled by 1/keep.
         let keep = 0.7f32;
-        assert!(y.data().iter().all(|&v| v == 0.0 || (v - 1.0 / keep).abs() < 1e-6));
+        assert!(y
+            .data()
+            .iter()
+            .all(|&v| v == 0.0 || (v - 1.0 / keep).abs() < 1e-6));
     }
 
     #[test]
     fn dropout_backward_uses_same_mask() {
+        let mut ws = Workspace::new();
         let mut d = Dropout::new(0.5, 3);
         let x = Tensor::ones([1, 64]);
-        let y = d.forward(&x, true);
-        let g = d.backward(&Tensor::ones([1, 64]));
+        let y = d.forward(&x, true, &mut ws);
+        let g = d.backward(&Tensor::ones([1, 64]), &mut ws);
         assert_eq!(y.data(), g.data());
     }
 

@@ -3,8 +3,8 @@
 
 use crate::init::kaiming_normal;
 use crate::module::{Module, Param};
-use fca_tensor::linalg::{gemm_nn, gemm_nt, gemm_tn};
-use fca_tensor::Tensor;
+use fca_tensor::linalg::{dot, gemm_nn, gemm_tn};
+use fca_tensor::{SlotId, Tensor, Workspace};
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -38,13 +38,22 @@ impl ConvGeometry {
 ///
 /// The weight is stored pre-flattened as `(out_channels, in_channels/groups ·
 /// k·k)` so the forward pass is a single GEMM per image per group.
+///
+/// The forward pass writes the whole batch's im2col matrix into a workspace
+/// slot; the backward pass reads it back, so it never re-runs im2col and
+/// never clones the input.
 pub struct Conv2d {
     geom: ConvGeometry,
     /// Flattened kernel weights.
     pub weight: Param,
     /// Per-output-channel bias.
     pub bias: Param,
-    cached_input: Option<Tensor>,
+    /// Batch im2col matrix, cached from forward for backward.
+    col_slot: SlotId,
+    /// Scratch for the im2col-space gradient in backward.
+    dcol_slot: SlotId,
+    /// `[n, c, h, w]` of the last forward input (`n == 0` before any).
+    in_dims: [usize; 4],
 }
 
 impl Conv2d {
@@ -53,17 +62,30 @@ impl Conv2d {
     /// Panics if channel counts are not divisible by `groups`.
     pub fn new(geom: ConvGeometry, rng: &mut impl Rng) -> Self {
         assert!(geom.groups >= 1, "groups must be >= 1");
-        assert_eq!(geom.in_channels % geom.groups, 0, "in_channels must divide by groups");
-        assert_eq!(geom.out_channels % geom.groups, 0, "out_channels must divide by groups");
+        assert_eq!(
+            geom.in_channels % geom.groups,
+            0,
+            "in_channels must divide by groups"
+        );
+        assert_eq!(
+            geom.out_channels % geom.groups,
+            0,
+            "out_channels must divide by groups"
+        );
         assert!(geom.stride >= 1, "stride must be >= 1");
         assert!(geom.kernel >= 1, "kernel must be >= 1");
         let k = geom.in_channels / geom.groups * geom.kernel * geom.kernel;
         let fan_in = k;
         Conv2d {
             geom,
-            weight: Param::new("conv.weight", kaiming_normal([geom.out_channels, k], fan_in, rng)),
+            weight: Param::new(
+                "conv.weight",
+                kaiming_normal([geom.out_channels, k], fan_in, rng),
+            ),
             bias: Param::new("conv.bias", Tensor::zeros([geom.out_channels])),
-            cached_input: None,
+            col_slot: SlotId::fresh(),
+            dcol_slot: SlotId::fresh(),
+            in_dims: [0; 4],
         }
     }
 
@@ -77,7 +99,14 @@ impl Conv2d {
         rng: &mut impl Rng,
     ) -> Self {
         Conv2d::new(
-            ConvGeometry { in_channels, out_channels, kernel, stride, padding, groups: 1 },
+            ConvGeometry {
+                in_channels,
+                out_channels,
+                kernel,
+                stride,
+                padding,
+                groups: 1,
+            },
             rng,
         )
     }
@@ -178,116 +207,132 @@ fn col2im(
 }
 
 impl Module for Conv2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = x.shape().as_nchw();
         let g = self.geom;
-        assert_eq!(c, g.in_channels, "conv expects {} channels, got {c}", g.in_channels);
+        assert_eq!(
+            c, g.in_channels,
+            "conv expects {} channels, got {c}",
+            g.in_channels
+        );
         let (oh, ow) = g.out_hw(h, w);
-        assert!(oh > 0 && ow > 0, "conv output collapsed to zero for input {h}x{w}");
+        assert!(
+            oh > 0 && ow > 0,
+            "conv output collapsed to zero for input {h}x{w}"
+        );
         let icg = g.in_channels / g.groups;
         let ocg = g.out_channels / g.groups;
         let kdim = icg * g.kernel * g.kernel;
         let row_len = oh * ow;
+        let col_img = g.groups * kdim * row_len;
 
-        let mut out = Tensor::zeros([n, g.out_channels, oh, ow]);
+        // Every element of `out` is overwritten (bias fill, then GEMM
+        // accumulation on top), so unspecified pool contents are fine.
+        let mut out = ws.tensor([n, g.out_channels, oh, ow]);
+        let mut col_all = ws.take_slot(self.col_slot, n * col_img);
         let weight = self.weight.value.data();
         let bias = self.bias.value.data();
         let x_data = x.data();
         let img_sz = c * h * w;
         let out_img_sz = g.out_channels * row_len;
 
-        out.data_mut().par_chunks_mut(out_img_sz).enumerate().for_each(|(ni, out_img)| {
-            let img = &x_data[ni * img_sz..(ni + 1) * img_sz];
-            let mut col = vec![0.0f32; kdim * row_len];
-            for grp in 0..g.groups {
-                im2col(img, h, w, grp * icg, (grp + 1) * icg, &g, oh, ow, &mut col);
-                let w_g = &weight[grp * ocg * kdim..(grp + 1) * ocg * kdim];
-                let y_g = &mut out_img[grp * ocg * row_len..(grp + 1) * ocg * row_len];
-                gemm_nn(w_g, &col, y_g, ocg, kdim, row_len);
-            }
-            for (oc, plane) in out_img.chunks_mut(row_len).enumerate() {
-                let b = bias[oc];
-                if b != 0.0 {
-                    for v in plane.iter_mut() {
-                        *v += b;
+        out.data_mut()
+            .par_chunks_mut(out_img_sz)
+            .zip(col_all.par_chunks_mut(col_img))
+            .enumerate()
+            .for_each(|(ni, (out_img, col))| {
+                let img = &x_data[ni * img_sz..(ni + 1) * img_sz];
+                for grp in 0..g.groups {
+                    let col_g = &mut col[grp * kdim * row_len..(grp + 1) * kdim * row_len];
+                    im2col(img, h, w, grp * icg, (grp + 1) * icg, &g, oh, ow, col_g);
+                    let w_g = &weight[grp * ocg * kdim..(grp + 1) * ocg * kdim];
+                    let y_g = &mut out_img[grp * ocg * row_len..(grp + 1) * ocg * row_len];
+                    for (oc_local, plane) in y_g.chunks_mut(row_len).enumerate() {
+                        plane.fill(bias[grp * ocg + oc_local]);
                     }
+                    gemm_nn(w_g, col_g, y_g, ocg, kdim, row_len);
                 }
-            }
-        });
+            });
 
-        self.cached_input = Some(x.clone());
+        ws.put_slot(self.col_slot, col_all);
+        self.in_dims = [n, c, h, w];
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward before forward on Conv2d").clone();
-        let (n, c, h, w) = x.shape().as_nchw();
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let [n, c, h, w] = self.in_dims;
+        assert!(n > 0, "backward before forward on Conv2d");
         let g = self.geom;
-        let (_, oc, oh, ow) = grad_out.shape().as_nchw();
+        let (gn, oc, oh, ow) = grad_out.shape().as_nchw();
+        assert_eq!(
+            gn, n,
+            "grad batch {gn} does not match cached forward batch {n}"
+        );
         assert_eq!(oc, g.out_channels);
         let icg = g.in_channels / g.groups;
         let ocg = g.out_channels / g.groups;
         let kdim = icg * g.kernel * g.kernel;
         let row_len = oh * ow;
+        let col_img = g.groups * kdim * row_len;
         let img_sz = c * h * w;
         let out_img_sz = oc * row_len;
 
-        let mut dx = Tensor::zeros([n, c, h, w]);
-        let x_data = x.data();
+        // Same length as forward requested, so the cached im2col contents
+        // survive the take/put round trip — no recompute, no input clone.
+        let col_all = ws.take_slot(self.col_slot, n * col_img);
+        let mut dcol_all = ws.take_slot(self.dcol_slot, n * col_img);
+        let mut dx = ws.tensor_zeroed([n, c, h, w]);
         let gout = grad_out.data();
         let weight = self.weight.value.data();
-        let wlen = self.weight.value.numel();
 
-        // Parallel over images; each rayon worker folds its own (dW, db)
-        // accumulator, reduced at the end (no shared mutable state).
-        let (dw_sum, db_sum) = dx
-            .data_mut()
+        // dX: parallel over images; col2im scatter-adds into the zeroed dx.
+        dx.data_mut()
             .par_chunks_mut(img_sz)
+            .zip(dcol_all.par_chunks_mut(col_img))
             .enumerate()
-            .fold(
-                || (vec![0.0f32; wlen], vec![0.0f32; oc]),
-                |(mut dw, mut db), (ni, dx_img)| {
-                    let img = &x_data[ni * img_sz..(ni + 1) * img_sz];
-                    let gy = &gout[ni * out_img_sz..(ni + 1) * out_img_sz];
-                    let mut col = vec![0.0f32; kdim * row_len];
-                    let mut dcol = vec![0.0f32; kdim * row_len];
-                    for grp in 0..g.groups {
-                        im2col(img, h, w, grp * icg, (grp + 1) * icg, &g, oh, ow, &mut col);
-                        let gy_g = &gy[grp * ocg * row_len..(grp + 1) * ocg * row_len];
-                        // dW_g += dY_g · colᵀ
-                        let dw_g = &mut dw[grp * ocg * kdim..(grp + 1) * ocg * kdim];
-                        gemm_nt(gy_g, &col, dw_g, ocg, row_len, kdim);
-                        // dcol = W_gᵀ · dY_g
-                        dcol.fill(0.0);
-                        let w_g = &weight[grp * ocg * kdim..(grp + 1) * ocg * kdim];
-                        gemm_tn(w_g, gy_g, &mut dcol, kdim, ocg, row_len);
-                        col2im(&dcol, h, w, grp * icg, (grp + 1) * icg, &g, oh, ow, dx_img);
-                    }
-                    for (ci, plane) in gy.chunks(row_len).enumerate() {
-                        db[ci] += plane.iter().sum::<f32>();
-                    }
-                    (dw, db)
-                },
-            )
-            .reduce(
-                || (vec![0.0f32; wlen], vec![0.0f32; oc]),
-                |(mut dwa, mut dba), (dwb, dbb)| {
-                    for (a, b) in dwa.iter_mut().zip(&dwb) {
-                        *a += b;
-                    }
-                    for (a, b) in dba.iter_mut().zip(&dbb) {
-                        *a += b;
-                    }
-                    (dwa, dba)
-                },
-            );
+            .for_each(|(ni, (dx_img, dcol))| {
+                let gy = &gout[ni * out_img_sz..(ni + 1) * out_img_sz];
+                for grp in 0..g.groups {
+                    let gy_g = &gy[grp * ocg * row_len..(grp + 1) * ocg * row_len];
+                    let w_g = &weight[grp * ocg * kdim..(grp + 1) * ocg * kdim];
+                    let dcol_g = &mut dcol[grp * kdim * row_len..(grp + 1) * kdim * row_len];
+                    dcol_g.fill(0.0);
+                    gemm_tn(w_g, gy_g, dcol_g, kdim, ocg, row_len);
+                    col2im(dcol_g, h, w, grp * icg, (grp + 1) * icg, &g, oh, ow, dx_img);
+                }
+            });
 
-        for (a, b) in self.weight.grad.data_mut().iter_mut().zip(&dw_sum) {
-            *a += b;
+        // dW: each output-channel row is owned by exactly one task and the
+        // inner reductions are serial dot products, so the result is
+        // bit-identical run to run regardless of thread scheduling.
+        self.weight
+            .grad
+            .data_mut()
+            .par_chunks_mut(kdim)
+            .enumerate()
+            .for_each(|(ocix, dw_row)| {
+                let grp = ocix / ocg;
+                for ni in 0..n {
+                    let gy_row = &gout[ni * out_img_sz + ocix * row_len..][..row_len];
+                    let col_g = &col_all[ni * col_img + grp * kdim * row_len..][..kdim * row_len];
+                    for (kd, dwv) in dw_row.iter_mut().enumerate() {
+                        *dwv += dot(gy_row, &col_g[kd * row_len..(kd + 1) * row_len]);
+                    }
+                }
+            });
+
+        let db = self.bias.grad.data_mut();
+        for ni in 0..n {
+            for (ci, plane) in gout[ni * out_img_sz..(ni + 1) * out_img_sz]
+                .chunks(row_len)
+                .enumerate()
+            {
+                db[ci] += plane.iter().sum::<f32>();
+            }
         }
-        for (a, b) in self.bias.grad.data_mut().iter_mut().zip(&db_sum) {
-            *a += b;
-        }
+
+        ws.put_slot(self.col_slot, col_all);
+        ws.put_slot(self.dcol_slot, dcol_all);
         dx
     }
 
@@ -320,9 +365,9 @@ pub fn conv2d_reference(x: &Tensor, weight: &Tensor, bias: &Tensor, geom: &ConvG
                                 if iy < 0 || iy >= h as isize || ix < 0 || ix >= w as isize {
                                     continue;
                                 }
-                                let xi = x.data()[((ni * c + cin) * h + iy as usize) * w + ix as usize];
-                                let wi = weight.data()
-                                    [ocix * icg * k * k + (ci * k + kh) * k + kw];
+                                let xi =
+                                    x.data()[((ni * c + cin) * h + iy as usize) * w + ix as usize];
+                                let wi = weight.data()[ocix * icg * k * k + (ci * k + kh) * k + kw];
                                 acc += xi * wi;
                             }
                         }
@@ -343,18 +388,29 @@ mod tests {
     fn assert_close(a: &Tensor, b: &Tensor, tol: f32) {
         assert_eq!(a.dims(), b.dims());
         for (i, (x, y)) in a.data().iter().zip(b.data()).enumerate() {
-            assert!((x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())), "elem {i}: {x} vs {y}");
+            assert!(
+                (x - y).abs() <= tol * (1.0 + x.abs().max(y.abs())),
+                "elem {i}: {x} vs {y}"
+            );
         }
     }
 
     #[test]
     fn forward_matches_reference_dense() {
         let mut rng = seeded_rng(61);
+        let mut ws = Workspace::new();
         for &(stride, padding) in &[(1, 0), (1, 1), (2, 1)] {
-            let geom = ConvGeometry { in_channels: 3, out_channels: 5, kernel: 3, stride, padding, groups: 1 };
+            let geom = ConvGeometry {
+                in_channels: 3,
+                out_channels: 5,
+                kernel: 3,
+                stride,
+                padding,
+                groups: 1,
+            };
             let mut conv = Conv2d::new(geom, &mut rng);
             let x = Tensor::randn([2, 3, 8, 8], 1.0, &mut rng);
-            let y = conv.forward(&x, true);
+            let y = conv.forward(&x, true, &mut ws);
             let yref = conv2d_reference(&x, &conv.weight.value, &conv.bias.value, &geom);
             assert_close(&y, &yref, 1e-4);
         }
@@ -363,17 +419,32 @@ mod tests {
     #[test]
     fn forward_matches_reference_grouped() {
         let mut rng = seeded_rng(62);
-        let geom = ConvGeometry { in_channels: 4, out_channels: 8, kernel: 3, stride: 1, padding: 1, groups: 2 };
+        let mut ws = Workspace::new();
+        let geom = ConvGeometry {
+            in_channels: 4,
+            out_channels: 8,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 2,
+        };
         let mut conv = Conv2d::new(geom, &mut rng);
         let x = Tensor::randn([2, 4, 6, 6], 1.0, &mut rng);
-        let y = conv.forward(&x, true);
+        let y = conv.forward(&x, true, &mut ws);
         let yref = conv2d_reference(&x, &conv.weight.value, &conv.bias.value, &geom);
         assert_close(&y, &yref, 1e-4);
     }
 
     #[test]
     fn output_geometry() {
-        let geom = ConvGeometry { in_channels: 1, out_channels: 1, kernel: 3, stride: 2, padding: 1, groups: 1 };
+        let geom = ConvGeometry {
+            in_channels: 1,
+            out_channels: 1,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+            groups: 1,
+        };
         assert_eq!(geom.out_hw(32, 32), (16, 16));
         assert_eq!(geom.out_hw(28, 28), (14, 14));
     }
@@ -381,10 +452,18 @@ mod tests {
     #[test]
     fn one_by_one_conv_is_channel_mix() {
         let mut rng = seeded_rng(63);
-        let geom = ConvGeometry { in_channels: 2, out_channels: 3, kernel: 1, stride: 1, padding: 0, groups: 1 };
+        let mut ws = Workspace::new();
+        let geom = ConvGeometry {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 1,
+            stride: 1,
+            padding: 0,
+            groups: 1,
+        };
         let mut conv = Conv2d::new(geom, &mut rng);
         let x = Tensor::randn([1, 2, 4, 4], 1.0, &mut rng);
-        let y = conv.forward(&x, true);
+        let y = conv.forward(&x, true, &mut ws);
         assert_eq!(y.dims(), &[1, 3, 4, 4]);
         let yref = conv2d_reference(&x, &conv.weight.value, &conv.bias.value, &geom);
         assert_close(&y, &yref, 1e-4);
@@ -393,18 +472,30 @@ mod tests {
     #[test]
     fn backward_input_grad_matches_finite_difference() {
         let mut rng = seeded_rng(64);
-        let geom = ConvGeometry { in_channels: 2, out_channels: 3, kernel: 3, stride: 2, padding: 1, groups: 1 };
+        let mut ws = Workspace::new();
+        let geom = ConvGeometry {
+            in_channels: 2,
+            out_channels: 3,
+            kernel: 3,
+            stride: 2,
+            padding: 1,
+            groups: 1,
+        };
         let mut conv = Conv2d::new(geom, &mut rng);
         let x = Tensor::randn([1, 2, 5, 5], 1.0, &mut rng);
         let gy_template = Tensor::randn([1, 3, 3, 3], 1.0, &mut rng);
 
-        let y = conv.forward(&x, true);
+        let y = conv.forward(&x, true, &mut ws);
         assert_eq!(y.dims(), gy_template.dims());
-        let dx = conv.backward(&gy_template);
+        let dx = conv.backward(&gy_template, &mut ws);
 
-        let loss = |conv: &mut Conv2d, x: &Tensor| {
-            let y = conv.forward(x, true);
-            y.data().iter().zip(gy_template.data()).map(|(a, b)| a * b).sum::<f32>()
+        let loss = |conv: &mut Conv2d, x: &Tensor, ws: &mut Workspace| {
+            let y = conv.forward(x, true, ws);
+            y.data()
+                .iter()
+                .zip(gy_template.data())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
         };
         let h = 1e-2;
         for i in (0..x.numel()).step_by(7) {
@@ -412,46 +503,89 @@ mod tests {
             xp.data_mut()[i] += h;
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
-            let fd = (loss(&mut conv, &xp) - loss(&mut conv, &xm)) / (2.0 * h);
+            let fd = (loss(&mut conv, &xp, &mut ws) - loss(&mut conv, &xm, &mut ws)) / (2.0 * h);
             let an = dx.at(i);
-            assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "elem {i}: fd {fd} vs analytic {an}");
+            assert!(
+                (fd - an).abs() < 5e-2 * (1.0 + fd.abs()),
+                "elem {i}: fd {fd} vs analytic {an}"
+            );
         }
     }
 
     #[test]
     fn backward_weight_grad_matches_finite_difference() {
         let mut rng = seeded_rng(65);
-        let geom = ConvGeometry { in_channels: 2, out_channels: 2, kernel: 3, stride: 1, padding: 1, groups: 2 };
+        let mut ws = Workspace::new();
+        let geom = ConvGeometry {
+            in_channels: 2,
+            out_channels: 2,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 2,
+        };
         let mut conv = Conv2d::new(geom, &mut rng);
         let x = Tensor::randn([2, 2, 4, 4], 1.0, &mut rng);
         let gy = Tensor::ones([2, 2, 4, 4]);
 
-        let _ = conv.forward(&x, true);
+        let _ = conv.forward(&x, true, &mut ws);
         conv.zero_grad();
-        let _ = conv.forward(&x, true);
-        let _ = conv.backward(&gy);
+        let _ = conv.forward(&x, true, &mut ws);
+        let _ = conv.backward(&gy, &mut ws);
         let analytic = conv.weight.grad.clone();
 
         let h = 1e-2;
         for i in 0..conv.weight.value.numel() {
             let orig = conv.weight.value.at(i);
             conv.weight.value.data_mut()[i] = orig + h;
-            let fp = conv.forward(&x, true).sum();
+            let fp = conv.forward(&x, true, &mut ws).sum();
             conv.weight.value.data_mut()[i] = orig - h;
-            let fm = conv.forward(&x, true).sum();
+            let fm = conv.forward(&x, true, &mut ws).sum();
             conv.weight.value.data_mut()[i] = orig;
             let fd = (fp - fm) / (2.0 * h);
             let an = analytic.at(i);
-            assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "w[{i}]: fd {fd} vs analytic {an}");
+            assert!(
+                (fd - an).abs() < 5e-2 * (1.0 + fd.abs()),
+                "w[{i}]: fd {fd} vs analytic {an}"
+            );
         }
+    }
+
+    #[test]
+    fn backward_reuses_forward_im2col_cache() {
+        // Two identical forward/backward pairs must produce identical
+        // gradients — proving the slot round trip preserves the cache.
+        let mut rng = seeded_rng(67);
+        let mut ws = Workspace::new();
+        let geom = ConvGeometry {
+            in_channels: 3,
+            out_channels: 4,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        };
+        let mut conv = Conv2d::new(geom, &mut rng);
+        let x = Tensor::randn([2, 3, 6, 6], 1.0, &mut rng);
+        let gy = Tensor::randn([2, 4, 6, 6], 1.0, &mut rng);
+
+        let _ = conv.forward(&x, true, &mut ws);
+        let dx1 = conv.backward(&gy, &mut ws);
+        let g1 = conv.weight.grad.clone();
+        conv.zero_grad();
+        let _ = conv.forward(&x, true, &mut ws);
+        let dx2 = conv.backward(&gy, &mut ws);
+        assert_eq!(dx1.data(), dx2.data());
+        assert_eq!(g1.data(), conv.weight.grad.data());
     }
 
     #[test]
     #[should_panic(expected = "channels")]
     fn channel_mismatch_panics() {
         let mut rng = seeded_rng(66);
+        let mut ws = Workspace::new();
         let mut conv = Conv2d::basic(3, 4, 3, 1, 1, &mut rng);
         let x = Tensor::zeros([1, 2, 8, 8]);
-        conv.forward(&x, true);
+        conv.forward(&x, true, &mut ws);
     }
 }

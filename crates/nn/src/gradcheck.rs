@@ -4,7 +4,7 @@
 //! composed architectures backpropagate correctly end to end.
 
 use crate::module::Module;
-use fca_tensor::Tensor;
+use fca_tensor::{Tensor, Workspace};
 
 /// Result of a gradient check: worst relative error observed.
 #[derive(Debug, Clone, Copy)]
@@ -45,15 +45,22 @@ pub fn check_param_gradients(
     stride: usize,
 ) -> GradCheckReport {
     // Analytic pass.
+    let mut ws = Workspace::new();
     module.zero_grad();
-    let y = module.forward(x, true);
-    assert_eq!(y.dims(), probe.dims(), "probe must match module output shape");
-    let _ = module.backward(probe);
+    let y = module.forward(x, true, &mut ws);
+    assert_eq!(
+        y.dims(),
+        probe.dims(),
+        "probe must match module output shape"
+    );
+    let _ = module.backward(probe, &mut ws);
     let analytic: Vec<Tensor> = module.params_mut().iter().map(|p| p.grad.clone()).collect();
 
-    let loss = |m: &mut dyn Module, x: &Tensor| -> f32 {
-        let y = m.forward(x, true);
-        y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum()
+    let loss = |m: &mut dyn Module, x: &Tensor, ws: &mut Workspace| -> f32 {
+        let y = m.forward(x, true, ws);
+        let l: f32 = y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum();
+        ws.recycle(y);
+        l
     };
 
     let mut max_rel_err = 0.0f32;
@@ -66,7 +73,7 @@ pub fn check_param_gradients(
             let orig = module.params_mut()[pi].value.at(ci);
             let mut eval = |v: f32| {
                 module.params_mut()[pi].value.data_mut()[ci] = v;
-                let l = loss(module, x);
+                let l = loss(module, x, &mut ws);
                 module.params_mut()[pi].value.data_mut()[ci] = orig;
                 l
             };
@@ -81,7 +88,11 @@ pub fn check_param_gradients(
             }
         }
     }
-    GradCheckReport { max_rel_err, checked, skipped_nonsmooth }
+    GradCheckReport {
+        max_rel_err,
+        checked,
+        skipped_nonsmooth,
+    }
 }
 
 /// Check `∂L/∂x` of `module` against central finite differences, same
@@ -93,14 +104,21 @@ pub fn check_input_gradient(
     h: f32,
     stride: usize,
 ) -> GradCheckReport {
+    let mut ws = Workspace::new();
     module.zero_grad();
-    let y = module.forward(x, true);
-    assert_eq!(y.dims(), probe.dims(), "probe must match module output shape");
-    let dx = module.backward(probe);
+    let y = module.forward(x, true, &mut ws);
+    assert_eq!(
+        y.dims(),
+        probe.dims(),
+        "probe must match module output shape"
+    );
+    let dx = module.backward(probe, &mut ws);
 
-    let loss = |m: &mut dyn Module, x: &Tensor| -> f32 {
-        let y = m.forward(x, true);
-        y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum()
+    let loss = |m: &mut dyn Module, x: &Tensor, ws: &mut Workspace| -> f32 {
+        let y = m.forward(x, true, ws);
+        let l: f32 = y.data().iter().zip(probe.data()).map(|(a, b)| a * b).sum();
+        ws.recycle(y);
+        l
     };
 
     let mut max_rel_err = 0.0f32;
@@ -111,7 +129,7 @@ pub fn check_input_gradient(
         let mut eval = |v: f32| {
             let mut xv = x.clone();
             xv.data_mut()[ci] = v;
-            loss(module, &xv)
+            loss(module, &xv, &mut ws)
         };
         match stable_fd(&mut eval, orig, h) {
             Some(fd) => {
@@ -123,7 +141,11 @@ pub fn check_input_gradient(
             None => skipped_nonsmooth += 1,
         }
     }
-    GradCheckReport { max_rel_err, checked, skipped_nonsmooth }
+    GradCheckReport {
+        max_rel_err,
+        checked,
+        skipped_nonsmooth,
+    }
 }
 
 #[cfg(test)]

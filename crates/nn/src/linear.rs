@@ -2,9 +2,9 @@
 
 use crate::init::kaiming_normal;
 use crate::module::{Module, Param};
-use fca_tensor::linalg::{matmul, matmul_nt, matmul_tn};
-use fca_tensor::ops::{add_bias_rows, sum_rows};
-use fca_tensor::Tensor;
+use fca_tensor::linalg::{gemm_nn, gemm_nt, gemm_tn};
+use fca_tensor::ops::add_bias_rows;
+use fca_tensor::{SlotId, Tensor, Workspace};
 use rand::Rng;
 
 /// `y = x·Wᵀ + b` with `W: (out, in)`, operating on `(batch, in)` inputs.
@@ -12,21 +12,31 @@ use rand::Rng;
 /// The classifier layer `C_k` of every FedClassAvg client is a single
 /// `Linear`, and its `(W, b)` pair is exactly what crosses the wire each
 /// communication round.
+///
+/// The input is cached by copying into a workspace slot (no clone), and
+/// backward runs its GEMMs directly into the parameter gradients.
 pub struct Linear {
     /// Weight, shape `(out_features, in_features)`.
     pub weight: Param,
     /// Bias, shape `(out_features,)`.
     pub bias: Param,
-    cached_input: Option<Tensor>,
+    /// Input cache, copied here by forward for backward.
+    in_slot: SlotId,
+    /// Row count of the last cached input (0 before any forward).
+    cached_rows: usize,
 }
 
 impl Linear {
     /// New layer with Kaiming-normal weights and zero bias.
     pub fn new(in_features: usize, out_features: usize, rng: &mut impl Rng) -> Self {
         Linear {
-            weight: Param::new("linear.weight", kaiming_normal([out_features, in_features], in_features, rng)),
+            weight: Param::new(
+                "linear.weight",
+                kaiming_normal([out_features, in_features], in_features, rng),
+            ),
             bias: Param::new("linear.bias", Tensor::zeros([out_features])),
-            cached_input: None,
+            in_slot: SlotId::fresh(),
+            cached_rows: 0,
         }
     }
 
@@ -41,15 +51,24 @@ impl Linear {
     }
 
     /// Forward without caching (inference-only helper).
-    pub fn forward_inference(&self, x: &Tensor) -> Tensor {
-        let mut y = matmul_nt(x, &self.weight.value);
+    pub fn forward_inference(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let n = x.dims()[0];
+        let mut y = ws.tensor_zeroed([n, self.out_features()]);
+        gemm_nt(
+            x.data(),
+            self.weight.value.data(),
+            y.data_mut(),
+            n,
+            self.in_features(),
+            self.out_features(),
+        );
         add_bias_rows(&mut y, &self.bias.value);
         y
     }
 }
 
 impl Module for Linear {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
         assert_eq!(
             x.dims()[1],
             self.in_features(),
@@ -57,19 +76,63 @@ impl Module for Linear {
             self.in_features(),
             x.dims()[1]
         );
-        let mut y = matmul_nt(x, &self.weight.value);
+        let n = x.dims()[0];
+        let (in_f, out_f) = (self.in_features(), self.out_features());
+        // gemm_nt accumulates, so the output must start zeroed.
+        let mut y = ws.tensor_zeroed([n, out_f]);
+        gemm_nt(
+            x.data(),
+            self.weight.value.data(),
+            y.data_mut(),
+            n,
+            in_f,
+            out_f,
+        );
         add_bias_rows(&mut y, &self.bias.value);
-        self.cached_input = Some(x.clone());
+        let mut cache = ws.take_slot(self.in_slot, n * in_f);
+        cache.copy_from_slice(x.data());
+        ws.put_slot(self.in_slot, cache);
+        self.cached_rows = n;
         y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let x = self.cached_input.as_ref().expect("backward before forward on Linear");
-        // dW = dYᵀ·X, db = colsum(dY), dX = dY·W.
-        let dw = matmul_tn(grad_out, x);
-        self.weight.grad.add_assign(&dw);
-        self.bias.grad.add_assign(&sum_rows(grad_out));
-        matmul(grad_out, &self.weight.value)
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let n = self.cached_rows;
+        assert!(n > 0, "backward before forward on Linear");
+        assert_eq!(
+            grad_out.dims()[0],
+            n,
+            "grad batch does not match cached forward batch"
+        );
+        let (in_f, out_f) = (self.in_features(), self.out_features());
+        let cache = ws.take_slot(self.in_slot, n * in_f);
+        // dW += dYᵀ·X, db += colsum(dY), dX = dY·W — the parameter GEMMs
+        // accumulate straight into the grad tensors, no temporaries.
+        gemm_tn(
+            grad_out.data(),
+            &cache,
+            self.weight.grad.data_mut(),
+            out_f,
+            n,
+            in_f,
+        );
+        let db = self.bias.grad.data_mut();
+        for row in grad_out.data().chunks(out_f) {
+            for (d, g) in db.iter_mut().zip(row) {
+                *d += g;
+            }
+        }
+        let mut dx = ws.tensor_zeroed([n, in_f]);
+        gemm_nn(
+            grad_out.data(),
+            self.weight.value.data(),
+            dx.data_mut(),
+            n,
+            out_f,
+            in_f,
+        );
+        ws.put_slot(self.in_slot, cache);
+        dx
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -85,11 +148,12 @@ mod tests {
     #[test]
     fn forward_matches_manual() {
         let mut rng = seeded_rng(51);
+        let mut ws = Workspace::new();
         let mut l = Linear::new(3, 2, &mut rng);
         l.weight.value = Tensor::from_vec([2, 3], vec![1., 0., -1., 2., 1., 0.]);
         l.bias.value = Tensor::from_vec([2], vec![0.5, -0.5]);
         let x = Tensor::from_vec([1, 3], vec![1., 2., 3.]);
-        let y = l.forward(&x, true);
+        let y = l.forward(&x, true, &mut ws);
         // y0 = 1*1 + 0*2 + -1*3 + 0.5 = -1.5 ; y1 = 2*1 + 1*2 + 0*3 - 0.5 = 3.5
         assert_eq!(y.data(), &[-1.5, 3.5]);
     }
@@ -97,21 +161,23 @@ mod tests {
     #[test]
     fn inference_forward_matches_train_forward() {
         let mut rng = seeded_rng(52);
+        let mut ws = Workspace::new();
         let mut l = Linear::new(5, 4, &mut rng);
         let x = Tensor::randn([3, 5], 1.0, &mut rng);
-        let a = l.forward(&x, true);
-        let b = l.forward_inference(&x);
+        let a = l.forward(&x, true, &mut ws);
+        let b = l.forward_inference(&x, &mut ws);
         assert_eq!(a, b);
     }
 
     #[test]
     fn backward_shapes() {
         let mut rng = seeded_rng(53);
+        let mut ws = Workspace::new();
         let mut l = Linear::new(4, 6, &mut rng);
         let x = Tensor::randn([2, 4], 1.0, &mut rng);
-        let _ = l.forward(&x, true);
+        let _ = l.forward(&x, true, &mut ws);
         let g = Tensor::randn([2, 6], 1.0, &mut rng);
-        let dx = l.backward(&g);
+        let dx = l.backward(&g, &mut ws);
         assert_eq!(dx.dims(), &[2, 4]);
         assert_eq!(l.weight.grad.dims(), &[6, 4]);
         assert_eq!(l.bias.grad.dims(), &[6]);
@@ -120,14 +186,15 @@ mod tests {
     #[test]
     fn gradients_accumulate_across_backwards() {
         let mut rng = seeded_rng(54);
+        let mut ws = Workspace::new();
         let mut l = Linear::new(3, 3, &mut rng);
         let x = Tensor::randn([2, 3], 1.0, &mut rng);
         let g = Tensor::ones([2, 3]);
-        let _ = l.forward(&x, true);
-        let _ = l.backward(&g);
+        let _ = l.forward(&x, true, &mut ws);
+        let _ = l.backward(&g, &mut ws);
         let first = l.weight.grad.clone();
-        let _ = l.forward(&x, true);
-        let _ = l.backward(&g);
+        let _ = l.forward(&x, true, &mut ws);
+        let _ = l.backward(&g, &mut ws);
         let doubled = l.weight.grad.clone();
         assert_eq!(doubled, first.scaled(2.0));
     }

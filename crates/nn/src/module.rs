@@ -1,7 +1,7 @@
 //! The [`Module`] trait and [`Param`] type: the backprop contract every
 //! layer implements.
 
-use fca_tensor::Tensor;
+use fca_tensor::{Tensor, Workspace};
 
 /// A trainable parameter: a value tensor plus its accumulated gradient.
 #[derive(Clone, Debug)]
@@ -18,7 +18,11 @@ impl Param {
     /// Create a parameter with a zeroed gradient.
     pub fn new(name: impl Into<String>, value: Tensor) -> Self {
         let grad = Tensor::zeros(value.shape().clone());
-        Param { name: name.into(), value, grad }
+        Param {
+            name: name.into(),
+            value,
+            grad,
+        }
     }
 
     /// Zero the gradient in place.
@@ -39,6 +43,13 @@ impl Param {
 ///   without a preceding `forward` on the same batch is a logic error.
 /// * `backward` receives `∂L/∂output`, **accumulates** `∂L/∂θ` into each
 ///   parameter's `grad`, and returns `∂L/∂input`.
+/// * Both passes draw output tensors and scratch from the caller's
+///   [`Workspace`] instead of allocating. Forward/backward of the same
+///   batch must see the **same** workspace (persistent slots carry caches
+///   between the two), and a layer's slot contents are only valid until
+///   its next forward. Tensors a layer *returns* are pool-backed: the
+///   caller owns them and should [`Workspace::recycle`] them once
+///   consumed so the steady state allocates nothing.
 /// * `params_mut` returns parameters in a stable order (optimizer state is
 ///   keyed positionally).
 /// * `buffers_mut` exposes non-trainable state (e.g. batch-norm running
@@ -46,10 +57,10 @@ impl Param {
 pub trait Module: Send {
     /// Run the layer. `train` selects training-time behaviour
     /// (batch statistics, dropout masks).
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor;
+    fn forward(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor;
 
     /// Backpropagate: accumulate parameter gradients, return input gradient.
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor;
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor;
 
     /// All trainable parameters, in stable order.
     fn params_mut(&mut self) -> Vec<&mut Param>;
@@ -94,7 +105,12 @@ pub fn load_state_dict(m: &mut dyn Module, state: &[Tensor]) {
         n_params + n_bufs
     );
     for (p, s) in m.params_mut().into_iter().zip(state) {
-        assert_eq!(p.value.dims(), s.dims(), "shape mismatch loading param {}", p.name);
+        assert_eq!(
+            p.value.dims(),
+            s.dims(),
+            "shape mismatch loading param {}",
+            p.name
+        );
         p.value = s.clone();
     }
     for (b, s) in m.buffers_mut().into_iter().zip(&state[n_params..]) {

@@ -1,7 +1,7 @@
 //! Batch normalization over NCHW tensors.
 
 use crate::module::{Module, Param};
-use fca_tensor::Tensor;
+use fca_tensor::{SlotId, Tensor, Workspace};
 
 /// `BatchNorm2d`: per-channel normalization with learned affine parameters
 /// and running statistics for inference (PyTorch semantics: `running ←
@@ -18,8 +18,9 @@ pub struct BatchNorm2d {
     pub running_var: Tensor,
     momentum: f32,
     eps: f32,
-    // Backward caches (training mode).
-    xhat: Option<Tensor>,
+    // Backward caches (training mode). x̂ lives in a workspace slot.
+    xhat_slot: SlotId,
+    cached_numel: usize,
     inv_std: Vec<f32>,
     trained_forward: bool,
 }
@@ -34,7 +35,8 @@ impl BatchNorm2d {
             running_var: Tensor::ones([channels]),
             momentum: 0.1,
             eps: 1e-5,
-            xhat: None,
+            xhat_slot: SlotId::fresh(),
+            cached_numel: 0,
             inv_std: Vec::new(),
             trained_forward: false,
         }
@@ -47,23 +49,32 @@ impl BatchNorm2d {
 }
 
 impl Module for BatchNorm2d {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = x.shape().as_nchw();
-        assert_eq!(c, self.channels(), "batchnorm expects {} channels, got {c}", self.channels());
+        assert_eq!(
+            c,
+            self.channels(),
+            "batchnorm expects {} channels, got {c}",
+            self.channels()
+        );
         let plane = h * w;
         let m = (n * plane) as f32;
-        let mut out = Tensor::zeros([n, c, h, w]);
+        // Every element of `out` is written below, in both branches.
+        let mut out = ws.tensor([n, c, h, w]);
         self.inv_std.clear();
         self.inv_std.resize(c, 0.0);
 
         if train {
-            let mut xhat = Tensor::zeros([n, c, h, w]);
+            let mut xhat = ws.take_slot(self.xhat_slot, x.numel());
             for ci in 0..c {
                 // Batch statistics over (N, H, W) for channel ci.
                 let mut mean = 0.0f64;
                 for ni in 0..n {
                     let base = (ni * c + ci) * plane;
-                    mean += x.data()[base..base + plane].iter().map(|&v| v as f64).sum::<f64>();
+                    mean += x.data()[base..base + plane]
+                        .iter()
+                        .map(|&v| v as f64)
+                        .sum::<f64>();
                 }
                 let mean = (mean / m as f64) as f32;
                 let mut var = 0.0f64;
@@ -87,7 +98,7 @@ impl Module for BatchNorm2d {
                     let base = (ni * c + ci) * plane;
                     for i in 0..plane {
                         let xh = (x.data()[base + i] - mean) * inv_std;
-                        xhat.data_mut()[base + i] = xh;
+                        xhat[base + i] = xh;
                         out.data_mut()[base + i] = g * xh + b;
                     }
                 }
@@ -99,7 +110,8 @@ impl Module for BatchNorm2d {
                 let rv = self.running_var.data_mut();
                 rv[ci] = (1.0 - self.momentum) * rv[ci] + self.momentum * unbiased;
             }
-            self.xhat = Some(xhat);
+            ws.put_slot(self.xhat_slot, xhat);
+            self.cached_numel = x.numel();
             self.trained_forward = true;
         } else {
             for ci in 0..c {
@@ -115,20 +127,30 @@ impl Module for BatchNorm2d {
                     }
                 }
             }
-            self.xhat = None;
             self.trained_forward = false;
         }
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = grad_out.shape().as_nchw();
+        assert_eq!(
+            self.inv_std.len(),
+            c,
+            "backward before forward on BatchNorm2d"
+        );
         let plane = h * w;
         let m = (n * plane) as f32;
-        let mut dx = Tensor::zeros([n, c, h, w]);
+        // Fully overwritten in both branches.
+        let mut dx = ws.tensor([n, c, h, w]);
 
         if self.trained_forward {
-            let xhat = self.xhat.as_ref().expect("backward before forward on BatchNorm2d");
+            assert_eq!(
+                grad_out.numel(),
+                self.cached_numel,
+                "backward before forward on BatchNorm2d"
+            );
+            let xhat = ws.take_slot(self.xhat_slot, self.cached_numel);
             for ci in 0..c {
                 let mut dbeta = 0.0f32;
                 let mut dgamma = 0.0f32;
@@ -137,7 +159,7 @@ impl Module for BatchNorm2d {
                     for i in 0..plane {
                         let g = grad_out.data()[base + i];
                         dbeta += g;
-                        dgamma += g * xhat.data()[base + i];
+                        dgamma += g * xhat[base + i];
                     }
                 }
                 self.beta.grad.data_mut()[ci] += dbeta;
@@ -150,11 +172,12 @@ impl Module for BatchNorm2d {
                     let base = (ni * c + ci) * plane;
                     for i in 0..plane {
                         let g = grad_out.data()[base + i];
-                        let xh = xhat.data()[base + i];
+                        let xh = xhat[base + i];
                         dx.data_mut()[base + i] = scale * (g - mean_dy - xh * mean_dyxhat);
                     }
                 }
             }
+            ws.put_slot(self.xhat_slot, xhat);
         } else {
             // Eval-mode backward: running stats are constants.
             for ci in 0..c {
@@ -190,20 +213,25 @@ pub struct GroupNorm {
     /// Shift β, shape `(channels,)`.
     pub beta: Param,
     eps: f32,
-    xhat: Option<Tensor>,
+    xhat_slot: SlotId,
+    cached_numel: usize,
     inv_std: Vec<f32>, // one per (sample, group)
 }
 
 impl GroupNorm {
     /// New group norm over `channels` split into `groups`.
     pub fn new(groups: usize, channels: usize) -> Self {
-        assert!(groups >= 1 && channels % groups == 0, "channels {channels} must divide into {groups} groups");
+        assert!(
+            groups >= 1 && channels % groups == 0,
+            "channels {channels} must divide into {groups} groups"
+        );
         GroupNorm {
             groups,
             gamma: Param::new("gn.gamma", Tensor::ones([channels])),
             beta: Param::new("gn.beta", Tensor::zeros([channels])),
             eps: 1e-5,
-            xhat: None,
+            xhat_slot: SlotId::fresh(),
+            cached_numel: 0,
             inv_std: Vec::new(),
         }
     }
@@ -215,14 +243,20 @@ impl GroupNorm {
 }
 
 impl Module for GroupNorm {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = x.shape().as_nchw();
-        assert_eq!(c, self.channels(), "groupnorm expects {} channels, got {c}", self.channels());
+        assert_eq!(
+            c,
+            self.channels(),
+            "groupnorm expects {} channels, got {c}",
+            self.channels()
+        );
         let cg = c / self.groups;
         let plane = h * w;
         let m = (cg * plane) as f32;
-        let mut out = Tensor::zeros([n, c, h, w]);
-        let mut xhat = Tensor::zeros([n, c, h, w]);
+        // Both `out` and `xhat` are fully overwritten below.
+        let mut out = ws.tensor([n, c, h, w]);
+        let mut xhat = ws.take_slot(self.xhat_slot, x.numel());
         self.inv_std.clear();
         self.inv_std.resize(n * self.groups, 0.0);
 
@@ -233,7 +267,10 @@ impl Module for GroupNorm {
                 let mut mean = 0.0f64;
                 for ci in c_lo..c_lo + cg {
                     let base = (ni * c + ci) * plane;
-                    mean += x.data()[base..base + plane].iter().map(|&v| v as f64).sum::<f64>();
+                    mean += x.data()[base..base + plane]
+                        .iter()
+                        .map(|&v| v as f64)
+                        .sum::<f64>();
                 }
                 let mean = (mean / m as f64) as f32;
                 let mut var = 0.0f64;
@@ -256,23 +293,34 @@ impl Module for GroupNorm {
                     let bet = self.beta.value.at(ci);
                     for i in 0..plane {
                         let xh = (x.data()[base + i] - mean) * inv_std;
-                        xhat.data_mut()[base + i] = xh;
+                        xhat[base + i] = xh;
                         out.data_mut()[base + i] = gam * xh + bet;
                     }
                 }
             }
         }
-        self.xhat = Some(xhat);
+        ws.put_slot(self.xhat_slot, xhat);
+        self.cached_numel = x.numel();
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let xhat = self.xhat.as_ref().expect("backward before forward on GroupNorm");
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert!(
+            self.cached_numel > 0,
+            "backward before forward on GroupNorm"
+        );
+        assert_eq!(
+            grad_out.numel(),
+            self.cached_numel,
+            "backward before forward on GroupNorm"
+        );
+        let xhat = ws.take_slot(self.xhat_slot, self.cached_numel);
         let (n, c, h, w) = grad_out.shape().as_nchw();
         let cg = c / self.groups;
         let plane = h * w;
         let m = (cg * plane) as f32;
-        let mut dx = Tensor::zeros([n, c, h, w]);
+        // Fully overwritten in the per-group loop below.
+        let mut dx = ws.tensor([n, c, h, w]);
 
         // Parameter gradients (per channel, over all samples).
         for ci in 0..c {
@@ -283,7 +331,7 @@ impl Module for GroupNorm {
                 for i in 0..plane {
                     let g = grad_out.data()[base + i];
                     dbeta += g;
-                    dgamma += g * xhat.data()[base + i];
+                    dgamma += g * xhat[base + i];
                 }
             }
             self.gamma.grad.data_mut()[ci] += dgamma;
@@ -304,7 +352,7 @@ impl Module for GroupNorm {
                     for i in 0..plane {
                         let gh = gam * grad_out.data()[base + i];
                         mean_gh += gh;
-                        mean_ghx += gh * xhat.data()[base + i];
+                        mean_ghx += gh * xhat[base + i];
                     }
                 }
                 mean_gh /= m;
@@ -314,12 +362,13 @@ impl Module for GroupNorm {
                     let gam = self.gamma.value.at(ci);
                     for i in 0..plane {
                         let gh = gam * grad_out.data()[base + i];
-                        let xh = xhat.data()[base + i];
+                        let xh = xhat[base + i];
                         dx.data_mut()[base + i] = inv_std * (gh - mean_gh - xh * mean_ghx);
                     }
                 }
             }
         }
+        ws.put_slot(self.xhat_slot, xhat);
         dx
     }
 
@@ -336,9 +385,10 @@ mod tests {
     #[test]
     fn train_forward_normalizes_per_channel() {
         let mut rng = seeded_rng(91);
+        let mut ws = Workspace::new();
         let x = Tensor::randn([4, 3, 6, 6], 2.0, &mut rng).map(|v| v + 5.0);
         let mut bn = BatchNorm2d::new(3);
-        let y = bn.forward(&x, true);
+        let y = bn.forward(&x, true, &mut ws);
         // Each channel of y should have mean ≈ 0 and var ≈ 1.
         let (n, c, h, w) = y.shape().as_nchw();
         let plane = h * w;
@@ -349,7 +399,8 @@ mod tests {
                 vals.extend_from_slice(&y.data()[base..base + plane]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / vals.len() as f32;
-            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
+            let var: f32 =
+                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / vals.len() as f32;
             assert!(mean.abs() < 1e-4, "channel {ci} mean {mean}");
             assert!((var - 1.0).abs() < 1e-2, "channel {ci} var {var}");
         }
@@ -358,10 +409,12 @@ mod tests {
     #[test]
     fn running_stats_converge_to_batch_stats() {
         let mut rng = seeded_rng(92);
+        let mut ws = Workspace::new();
         let x = Tensor::randn([8, 2, 4, 4], 1.0, &mut rng).map(|v| v * 3.0 + 2.0);
         let mut bn = BatchNorm2d::new(2);
         for _ in 0..200 {
-            bn.forward(&x, true);
+            let y = bn.forward(&x, true, &mut ws);
+            ws.recycle(y);
         }
         // Repeating the same batch, running stats converge to the *batch*
         // mean and unbiased batch variance of each channel.
@@ -375,8 +428,7 @@ mod tests {
                 vals.extend_from_slice(&x.data()[base..base + plane]);
             }
             let mean: f32 = vals.iter().sum::<f32>() / m;
-            let var: f32 =
-                vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (m - 1.0);
+            let var: f32 = vals.iter().map(|v| (v - mean) * (v - mean)).sum::<f32>() / (m - 1.0);
             assert!(
                 (bn.running_mean.at(ci) - mean).abs() < 1e-2,
                 "running mean {} vs batch mean {mean}",
@@ -392,11 +444,12 @@ mod tests {
 
     #[test]
     fn eval_uses_running_stats() {
+        let mut ws = Workspace::new();
         let mut bn = BatchNorm2d::new(1);
         bn.running_mean = Tensor::from_vec([1], vec![1.0]);
         bn.running_var = Tensor::from_vec([1], vec![4.0]);
         let x = Tensor::from_vec([1, 1, 1, 2], vec![3.0, 1.0]);
-        let y = bn.forward(&x, false);
+        let y = bn.forward(&x, false, &mut ws);
         assert!((y.at(0) - 1.0).abs() < 1e-3); // (3-1)/2
         assert!(y.at(1).abs() < 1e-3); // (1-1)/2
     }
@@ -404,18 +457,23 @@ mod tests {
     #[test]
     fn backward_matches_finite_difference() {
         let mut rng = seeded_rng(93);
+        let mut ws = Workspace::new();
         let x = Tensor::randn([2, 2, 3, 3], 1.0, &mut rng);
         let gy = Tensor::randn([2, 2, 3, 3], 1.0, &mut rng);
         let mut bn = BatchNorm2d::new(2);
         bn.gamma.value = Tensor::from_vec([2], vec![1.5, 0.7]);
         bn.beta.value = Tensor::from_vec([2], vec![0.1, -0.2]);
 
-        let _ = bn.forward(&x, true);
-        let dx = bn.backward(&gy);
+        let _ = bn.forward(&x, true, &mut ws);
+        let dx = bn.backward(&gy, &mut ws);
 
-        let loss = |bn: &mut BatchNorm2d, x: &Tensor| {
-            let y = bn.forward(x, true);
-            y.data().iter().zip(gy.data()).map(|(a, b)| a * b).sum::<f32>()
+        let loss = |bn: &mut BatchNorm2d, x: &Tensor, ws: &mut Workspace| {
+            let y = bn.forward(x, true, ws);
+            y.data()
+                .iter()
+                .zip(gy.data())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
         };
         let h = 1e-2;
         for i in 0..x.numel() {
@@ -423,32 +481,39 @@ mod tests {
             xp.data_mut()[i] += h;
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
-            let fd = (loss(&mut bn, &xp) - loss(&mut bn, &xm)) / (2.0 * h);
+            let fd = (loss(&mut bn, &xp, &mut ws) - loss(&mut bn, &xm, &mut ws)) / (2.0 * h);
             let an = dx.at(i);
-            assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "elem {i}: fd {fd} vs analytic {an}");
+            assert!(
+                (fd - an).abs() < 5e-2 * (1.0 + fd.abs()),
+                "elem {i}: fd {fd} vs analytic {an}"
+            );
         }
     }
 
     #[test]
     fn gamma_beta_grads_match_finite_difference() {
         let mut rng = seeded_rng(94);
+        let mut ws = Workspace::new();
         let x = Tensor::randn([2, 1, 4, 4], 1.0, &mut rng);
         let mut bn = BatchNorm2d::new(1);
-        let _ = bn.forward(&x, true);
+        let _ = bn.forward(&x, true, &mut ws);
         bn.zero_grad();
-        let _ = bn.forward(&x, true);
-        let _ = bn.backward(&Tensor::ones([2, 1, 4, 4]));
+        let _ = bn.forward(&x, true, &mut ws);
+        let _ = bn.backward(&Tensor::ones([2, 1, 4, 4]), &mut ws);
         let h = 1e-2;
         // dgamma.
         let analytic = bn.gamma.grad.at(0);
         let orig = bn.gamma.value.at(0);
         bn.gamma.value.data_mut()[0] = orig + h;
-        let fp = bn.forward(&x, true).sum();
+        let fp = bn.forward(&x, true, &mut ws).sum();
         bn.gamma.value.data_mut()[0] = orig - h;
-        let fm = bn.forward(&x, true).sum();
+        let fm = bn.forward(&x, true, &mut ws).sum();
         bn.gamma.value.data_mut()[0] = orig;
         let fd = (fp - fm) / (2.0 * h);
-        assert!((fd - analytic).abs() < 5e-2 * (1.0 + fd.abs()), "dgamma fd {fd} vs {analytic}");
+        assert!(
+            (fd - analytic).abs() < 5e-2 * (1.0 + fd.abs()),
+            "dgamma fd {fd} vs {analytic}"
+        );
         // dbeta = m (all-ones upstream).
         assert!((bn.beta.grad.at(0) - 32.0).abs() < 1e-3);
     }
@@ -462,9 +527,10 @@ mod tests {
     #[test]
     fn groupnorm_normalizes_per_sample_group() {
         let mut rng = seeded_rng(95);
+        let mut ws = Workspace::new();
         let x = Tensor::randn([3, 4, 5, 5], 2.0, &mut rng).map(|v| v + 3.0);
         let mut gn = GroupNorm::new(2, 4);
-        let y = gn.forward(&x, true);
+        let y = gn.forward(&x, true, &mut ws);
         // Each (sample, group) block of y has mean ≈ 0, var ≈ 1.
         let plane = 25;
         for ni in 0..3 {
@@ -488,6 +554,7 @@ mod tests {
         // The same sample produces the same output regardless of what else
         // is in the batch — the property BatchNorm lacks.
         let mut rng = seeded_rng(96);
+        let mut ws = Workspace::new();
         let a = Tensor::randn([1, 4, 3, 3], 1.0, &mut rng);
         let b = Tensor::randn([1, 4, 3, 3], 5.0, &mut rng);
         let both = Tensor::from_vec(
@@ -495,8 +562,8 @@ mod tests {
             a.data().iter().chain(b.data()).copied().collect::<Vec<_>>(),
         );
         let mut gn = GroupNorm::new(2, 4);
-        let solo = gn.forward(&a, true);
-        let joint = gn.forward(&both, true);
+        let solo = gn.forward(&a, true, &mut ws);
+        let joint = gn.forward(&both, true, &mut ws);
         for (x, y) in solo.data().iter().zip(&joint.data()[..solo.numel()]) {
             assert!((x - y).abs() < 1e-5);
         }
@@ -505,15 +572,20 @@ mod tests {
     #[test]
     fn groupnorm_backward_matches_finite_difference() {
         let mut rng = seeded_rng(97);
+        let mut ws = Workspace::new();
         let x = Tensor::randn([2, 4, 3, 3], 1.0, &mut rng);
         let gy = Tensor::randn([2, 4, 3, 3], 1.0, &mut rng);
         let mut gn = GroupNorm::new(2, 4);
         gn.gamma.value = Tensor::from_vec([4], vec![1.2, 0.8, 1.5, 0.5]);
-        let _ = gn.forward(&x, true);
-        let dx = gn.backward(&gy);
-        let loss = |gn: &mut GroupNorm, x: &Tensor| {
-            let y = gn.forward(x, true);
-            y.data().iter().zip(gy.data()).map(|(a, b)| a * b).sum::<f32>()
+        let _ = gn.forward(&x, true, &mut ws);
+        let dx = gn.backward(&gy, &mut ws);
+        let loss = |gn: &mut GroupNorm, x: &Tensor, ws: &mut Workspace| {
+            let y = gn.forward(x, true, ws);
+            y.data()
+                .iter()
+                .zip(gy.data())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
         };
         let h = 1e-2;
         for i in (0..x.numel()).step_by(3) {
@@ -521,9 +593,12 @@ mod tests {
             xp.data_mut()[i] += h;
             let mut xm = x.clone();
             xm.data_mut()[i] -= h;
-            let fd = (loss(&mut gn, &xp) - loss(&mut gn, &xm)) / (2.0 * h);
+            let fd = (loss(&mut gn, &xp, &mut ws) - loss(&mut gn, &xm, &mut ws)) / (2.0 * h);
             let an = dx.at(i);
-            assert!((fd - an).abs() < 5e-2 * (1.0 + fd.abs()), "elem {i}: fd {fd} vs {an}");
+            assert!(
+                (fd - an).abs() < 5e-2 * (1.0 + fd.abs()),
+                "elem {i}: fd {fd} vs {an}"
+            );
         }
     }
 

@@ -1,7 +1,7 @@
 //! Spatial pooling layers: max, average, and global average pooling.
 
 use crate::module::{Module, Param};
-use fca_tensor::Tensor;
+use fca_tensor::{Tensor, Workspace};
 
 /// Max pooling over square windows.
 pub struct MaxPool2d {
@@ -16,20 +16,32 @@ impl MaxPool2d {
     /// New max pool with window `kernel` and the given stride.
     pub fn new(kernel: usize, stride: usize) -> Self {
         assert!(kernel >= 1 && stride >= 1);
-        MaxPool2d { kernel, stride, argmax: Vec::new(), in_dims: [0; 4] }
+        MaxPool2d {
+            kernel,
+            stride,
+            argmax: Vec::new(),
+            in_dims: [0; 4],
+        }
     }
 
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        ((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1)
+        (
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        )
     }
 }
 
 impl Module for MaxPool2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = x.shape().as_nchw();
-        assert!(h >= self.kernel && w >= self.kernel, "pool window larger than input");
+        assert!(
+            h >= self.kernel && w >= self.kernel,
+            "pool window larger than input"
+        );
         let (oh, ow) = self.out_hw(h, w);
-        let mut out = Tensor::zeros([n, c, oh, ow]);
+        // Every output element is written in order below.
+        let mut out = ws.tensor([n, c, oh, ow]);
         self.argmax.clear();
         self.argmax.reserve(n * c * oh * ow);
         self.in_dims = [n, c, h, w];
@@ -64,10 +76,15 @@ impl Module for MaxPool2d {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        assert_eq!(grad_out.numel(), self.argmax.len(), "backward before forward on MaxPool2d");
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        assert_eq!(
+            grad_out.numel(),
+            self.argmax.len(),
+            "backward before forward on MaxPool2d"
+        );
         let [n, c, h, w] = self.in_dims;
-        let mut dx = Tensor::zeros([n, c, h, w]);
+        // Scatter-add target: must start zeroed.
+        let mut dx = ws.tensor_zeroed([n, c, h, w]);
         let dd = dx.data_mut();
         for (g, &idx) in grad_out.data().iter().zip(&self.argmax) {
             dd[idx] += g;
@@ -91,21 +108,32 @@ impl AvgPool2d {
     /// New average pool with window `kernel` and the given stride.
     pub fn new(kernel: usize, stride: usize) -> Self {
         assert!(kernel >= 1 && stride >= 1);
-        AvgPool2d { kernel, stride, in_dims: [0; 4] }
+        AvgPool2d {
+            kernel,
+            stride,
+            in_dims: [0; 4],
+        }
     }
 
     fn out_hw(&self, h: usize, w: usize) -> (usize, usize) {
-        ((h - self.kernel) / self.stride + 1, (w - self.kernel) / self.stride + 1)
+        (
+            (h - self.kernel) / self.stride + 1,
+            (w - self.kernel) / self.stride + 1,
+        )
     }
 }
 
 impl Module for AvgPool2d {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = x.shape().as_nchw();
-        assert!(h >= self.kernel && w >= self.kernel, "pool window larger than input");
+        assert!(
+            h >= self.kernel && w >= self.kernel,
+            "pool window larger than input"
+        );
         let (oh, ow) = self.out_hw(h, w);
         self.in_dims = [n, c, h, w];
-        let mut out = Tensor::zeros([n, c, oh, ow]);
+        // Every output element is written in order below.
+        let mut out = ws.tensor([n, c, oh, ow]);
         let norm = 1.0 / (self.kernel * self.kernel) as f32;
         let xd = x.data();
         let od = out.data_mut();
@@ -118,7 +146,8 @@ impl Module for AvgPool2d {
                         let mut acc = 0.0;
                         for ky in 0..self.kernel {
                             for kx in 0..self.kernel {
-                                acc += xd[base + (oy * self.stride + ky) * w + ox * self.stride + kx];
+                                acc +=
+                                    xd[base + (oy * self.stride + ky) * w + ox * self.stride + kx];
                             }
                         }
                         od[oi] = acc * norm;
@@ -130,11 +159,12 @@ impl Module for AvgPool2d {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let [n, c, h, w] = self.in_dims;
         let (gn, gc, oh, ow) = grad_out.shape().as_nchw();
         assert_eq!((gn, gc), (n, c), "backward before forward on AvgPool2d");
-        let mut dx = Tensor::zeros([n, c, h, w]);
+        // Scatter-add target: must start zeroed (windows may overlap).
+        let mut dx = ws.tensor_zeroed([n, c, h, w]);
         let norm = 1.0 / (self.kernel * self.kernel) as f32;
         let gd = grad_out.data();
         let dd = dx.data_mut();
@@ -182,12 +212,13 @@ impl Default for GlobalAvgPool {
 }
 
 impl Module for GlobalAvgPool {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = x.shape().as_nchw();
         self.in_dims = [n, c, h, w];
         let plane = h * w;
         let norm = 1.0 / plane as f32;
-        let mut out = Tensor::zeros([n, c]);
+        // One write per (n, c) pair covers the whole output.
+        let mut out = ws.tensor([n, c]);
         let od = out.data_mut();
         for (i, chunk) in x.data().chunks(plane).enumerate() {
             od[i] = chunk.iter().sum::<f32>() * norm;
@@ -195,12 +226,17 @@ impl Module for GlobalAvgPool {
         out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let [n, c, h, w] = self.in_dims;
-        assert_eq!(grad_out.dims(), &[n, c], "backward before forward on GlobalAvgPool");
+        assert_eq!(
+            grad_out.dims(),
+            &[n, c],
+            "backward before forward on GlobalAvgPool"
+        );
         let plane = h * w;
         let norm = 1.0 / plane as f32;
-        let mut dx = Tensor::zeros([n, c, h, w]);
+        // The chunked fill covers every element.
+        let mut dx = ws.tensor([n, c, h, w]);
         for (chunk, &g) in dx.data_mut().chunks_mut(plane).zip(grad_out.data()) {
             chunk.fill(g * norm);
         }
@@ -219,53 +255,58 @@ mod tests {
 
     #[test]
     fn maxpool_picks_window_max() {
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 5.0, 3.0, 2.0]);
         let mut p = MaxPool2d::new(2, 2);
-        let y = p.forward(&x, true);
+        let y = p.forward(&x, true, &mut ws);
         assert_eq!(y.dims(), &[1, 1, 1, 1]);
         assert_eq!(y.data(), &[5.0]);
-        let dx = p.backward(&Tensor::ones([1, 1, 1, 1]));
+        let dx = p.backward(&Tensor::ones([1, 1, 1, 1]), &mut ws);
         assert_eq!(dx.data(), &[0.0, 1.0, 0.0, 0.0]);
     }
 
     #[test]
     fn maxpool_overlapping_windows_accumulate_grad() {
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec([1, 1, 3, 3], vec![0., 0., 0., 0., 9., 0., 0., 0., 0.]);
         let mut p = MaxPool2d::new(2, 1);
-        let y = p.forward(&x, true);
+        let y = p.forward(&x, true, &mut ws);
         assert_eq!(y.dims(), &[1, 1, 2, 2]);
         assert!(y.data().iter().all(|&v| v == 9.0));
-        let dx = p.backward(&Tensor::ones([1, 1, 2, 2]));
+        let dx = p.backward(&Tensor::ones([1, 1, 2, 2]), &mut ws);
         assert_eq!(dx.data()[4], 4.0);
     }
 
     #[test]
     fn avgpool_averages() {
+        let mut ws = Workspace::new();
         let x = Tensor::from_vec([1, 1, 2, 2], vec![1.0, 2.0, 3.0, 6.0]);
         let mut p = AvgPool2d::new(2, 2);
-        let y = p.forward(&x, true);
+        let y = p.forward(&x, true, &mut ws);
         assert_eq!(y.data(), &[3.0]);
-        let dx = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![4.0]));
+        let dx = p.backward(&Tensor::from_vec([1, 1, 1, 1], vec![4.0]), &mut ws);
         assert!(dx.data().iter().all(|&v| v == 1.0));
     }
 
     #[test]
     fn global_avg_pool_shapes_and_values() {
+        let mut ws = Workspace::new();
         let mut rng = seeded_rng(81);
         let x = Tensor::randn([3, 4, 5, 5], 1.0, &mut rng);
         let mut p = GlobalAvgPool::new();
-        let y = p.forward(&x, true);
+        let y = p.forward(&x, true, &mut ws);
         assert_eq!(y.dims(), &[3, 4]);
         let manual: f32 = x.image(0)[0..25].iter().sum::<f32>() / 25.0;
         assert!((y.at(0) - manual).abs() < 1e-5);
-        let dx = p.backward(&Tensor::ones([3, 4]));
+        let dx = p.backward(&Tensor::ones([3, 4]), &mut ws);
         assert!((dx.sum() - (3 * 4) as f32).abs() < 1e-3);
     }
 
     #[test]
     #[should_panic(expected = "window larger")]
     fn pool_rejects_tiny_input() {
+        let mut ws = Workspace::new();
         let mut p = MaxPool2d::new(3, 1);
-        p.forward(&Tensor::zeros([1, 1, 2, 2]), true);
+        p.forward(&Tensor::zeros([1, 1, 2, 2]), true, &mut ws);
     }
 }

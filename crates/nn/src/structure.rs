@@ -3,23 +3,24 @@
 //! paper's four CNN families.
 
 use crate::module::{Module, Param};
-use fca_tensor::Tensor;
+use fca_tensor::{Tensor, Workspace};
 
 /// A chain of modules applied in order.
 ///
 /// ```
 /// use fca_nn::prelude::*;
-/// use fca_tensor::{rng::seeded_rng, Tensor};
+/// use fca_tensor::{rng::seeded_rng, Tensor, Workspace};
 ///
 /// let mut rng = seeded_rng(1);
+/// let mut ws = Workspace::new();
 /// let mut mlp = Sequential::new()
 ///     .push(Linear::new(4, 8, &mut rng))
 ///     .push(Relu::new())
 ///     .push(Linear::new(8, 2, &mut rng));
 /// let x = Tensor::randn([3, 4], 1.0, &mut rng);
-/// let y = mlp.forward(&x, true);
+/// let y = mlp.forward(&x, true, &mut ws);
 /// assert_eq!(y.dims(), &[3, 2]);
-/// let dx = mlp.backward(&Tensor::ones([3, 2]));
+/// let dx = mlp.backward(&Tensor::ones([3, 2]), &mut ws);
 /// assert_eq!(dx.dims(), &[3, 4]);
 /// ```
 pub struct Sequential {
@@ -62,28 +63,46 @@ impl Default for Sequential {
 }
 
 impl Module for Sequential {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let mut cur = x.clone();
-        for layer in &mut self.layers {
-            cur = layer.forward(&cur, train);
+    fn forward(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let mut layers = self.layers.iter_mut();
+        let mut cur = match layers.next() {
+            Some(first) => first.forward(x, train, ws),
+            None => return ws.tensor_like(x),
+        };
+        for layer in layers {
+            let next = layer.forward(&cur, train, ws);
+            ws.recycle(cur);
+            cur = next;
         }
         cur
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut g = grad_out.clone();
-        for layer in self.layers.iter_mut().rev() {
-            g = layer.backward(&g);
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut layers = self.layers.iter_mut().rev();
+        let mut g = match layers.next() {
+            Some(last) => last.backward(grad_out, ws),
+            None => return ws.tensor_like(grad_out),
+        };
+        for layer in layers {
+            let next = layer.backward(&g, ws);
+            ws.recycle(g);
+            g = next;
         }
         g
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.layers.iter_mut().flat_map(|l| l.params_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.params_mut())
+            .collect()
     }
 
     fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
-        self.layers.iter_mut().flat_map(|l| l.buffers_mut()).collect()
+        self.layers
+            .iter_mut()
+            .flat_map(|l| l.buffers_mut())
+            .collect()
     }
 }
 
@@ -99,39 +118,61 @@ pub struct Residual {
 impl Residual {
     /// Identity-skip residual block.
     pub fn identity(body: Sequential) -> Self {
-        Residual { body, shortcut: None }
+        Residual {
+            body,
+            shortcut: None,
+        }
     }
 
     /// Projection-skip residual block.
     pub fn projected(body: Sequential, shortcut: Sequential) -> Self {
-        Residual { body, shortcut: Some(shortcut) }
+        Residual {
+            body,
+            shortcut: Some(shortcut),
+        }
     }
 }
 
 impl Module for Residual {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let main = self.body.forward(x, train);
-        let skip = match &mut self.shortcut {
-            Some(s) => s.forward(x, train),
-            None => x.clone(),
-        };
-        assert_eq!(
-            main.dims(),
-            skip.dims(),
-            "residual branch shapes diverge: {:?} vs {:?}",
-            main.dims(),
-            skip.dims()
-        );
-        main.add(&skip)
+    fn forward(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let mut main = self.body.forward(x, train, ws);
+        match &mut self.shortcut {
+            Some(s) => {
+                let skip = s.forward(x, train, ws);
+                assert_eq!(
+                    main.dims(),
+                    skip.dims(),
+                    "residual branch shapes diverge: {:?} vs {:?}",
+                    main.dims(),
+                    skip.dims()
+                );
+                main.add_assign(&skip);
+                ws.recycle(skip);
+            }
+            None => {
+                assert_eq!(
+                    main.dims(),
+                    x.dims(),
+                    "residual branch shapes diverge: {:?} vs {:?}",
+                    main.dims(),
+                    x.dims()
+                );
+                main.add_assign(x);
+            }
+        }
+        main
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        let mut gx = self.body.backward(grad_out);
-        let gskip = match &mut self.shortcut {
-            Some(s) => s.backward(grad_out),
-            None => grad_out.clone(),
-        };
-        gx.add_assign(&gskip);
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let mut gx = self.body.backward(grad_out, ws);
+        match &mut self.shortcut {
+            Some(s) => {
+                let gskip = s.backward(grad_out, ws);
+                gx.add_assign(&gskip);
+                ws.recycle(gskip);
+            }
+            None => gx.add_assign(grad_out),
+        }
         gx
     }
 
@@ -163,43 +204,92 @@ impl InceptionBlock {
     /// Block from parallel branches. Channel splits are recorded during the
     /// first forward pass.
     pub fn new(branches: Vec<Sequential>) -> Self {
-        assert!(!branches.is_empty(), "inception block needs at least one branch");
-        InceptionBlock { branches, branch_channels: Vec::new() }
+        assert!(
+            !branches.is_empty(),
+            "inception block needs at least one branch"
+        );
+        InceptionBlock {
+            branches,
+            branch_channels: Vec::new(),
+        }
     }
 }
 
 impl Module for InceptionBlock {
-    fn forward(&mut self, x: &Tensor, train: bool) -> Tensor {
-        let outs: Vec<Tensor> = self.branches.iter_mut().map(|b| b.forward(x, train)).collect();
+    fn forward(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
+        let outs: Vec<Tensor> = self
+            .branches
+            .iter_mut()
+            .map(|b| b.forward(x, train, ws))
+            .collect();
         self.branch_channels = outs.iter().map(|o| o.shape().as_nchw().1).collect();
-        let refs: Vec<&Tensor> = outs.iter().collect();
-        Tensor::concat_channels(&refs)
+        let (n, _, h, w) = outs[0].shape().as_nchw();
+        let c_total: usize = self.branch_channels.iter().sum();
+        let plane = h * w;
+        // Interleave branch images per sample; every element is written.
+        let mut out = ws.tensor([n, c_total, h, w]);
+        let od = out.data_mut();
+        for ni in 0..n {
+            let mut dst = ni * c_total * plane;
+            for (o, &bc) in outs.iter().zip(&self.branch_channels) {
+                let img = bc * plane;
+                od[dst..dst + img].copy_from_slice(&o.data()[ni * img..(ni + 1) * img]);
+                dst += img;
+            }
+        }
+        for o in outs {
+            ws.recycle(o);
+        }
+        out
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         assert_eq!(
             self.branch_channels.len(),
             self.branches.len(),
             "backward before forward on InceptionBlock"
         );
-        let parts = grad_out.split_channels(&self.branch_channels);
+        let (n, c_total, h, w) = grad_out.shape().as_nchw();
+        let plane = h * w;
         let mut acc: Option<Tensor> = None;
-        for (branch, g) in self.branches.iter_mut().zip(&parts) {
-            let gx = branch.backward(g);
+        let mut c_off = 0;
+        for (branch, &bc) in self.branches.iter_mut().zip(&self.branch_channels) {
+            // Gather this branch's channel slice of grad_out.
+            let img = bc * plane;
+            let mut g = ws.tensor([n, bc, h, w]);
+            {
+                let gd = g.data_mut();
+                for ni in 0..n {
+                    let src = (ni * c_total + c_off) * plane;
+                    gd[ni * img..(ni + 1) * img].copy_from_slice(&grad_out.data()[src..src + img]);
+                }
+            }
+            let gx = branch.backward(&g, ws);
+            ws.recycle(g);
             match &mut acc {
-                Some(a) => a.add_assign(&gx),
+                Some(a) => {
+                    a.add_assign(&gx);
+                    ws.recycle(gx);
+                }
                 None => acc = Some(gx),
             }
+            c_off += bc;
         }
         acc.expect("inception block has branches")
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
-        self.branches.iter_mut().flat_map(|b| b.params_mut()).collect()
+        self.branches
+            .iter_mut()
+            .flat_map(|b| b.params_mut())
+            .collect()
     }
 
     fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
-        self.branches.iter_mut().flat_map(|b| b.buffers_mut()).collect()
+        self.branches
+            .iter_mut()
+            .flat_map(|b| b.buffers_mut())
+            .collect()
     }
 }
 
@@ -222,15 +312,19 @@ impl Default for Flatten {
 }
 
 impl Module for Flatten {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
+    fn forward(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = x.shape().as_nchw();
         self.in_dims = [n, c, h, w];
-        x.reshaped([n, c * h * w])
+        let mut y = ws.tensor([n, c * h * w]);
+        y.data_mut().copy_from_slice(x.data());
+        y
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
         let [n, c, h, w] = self.in_dims;
-        grad_out.reshaped([n, c, h, w])
+        let mut g = ws.tensor([n, c, h, w]);
+        g.data_mut().copy_from_slice(grad_out.data());
+        g
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -251,12 +345,20 @@ impl ChannelShuffle {
         ChannelShuffle { groups }
     }
 
-    fn permute(&self, x: &Tensor, inverse: bool) -> Tensor {
+    fn permute(&self, x: &Tensor, inverse: bool, ws: &mut Workspace) -> Tensor {
         let (n, c, h, w) = x.shape().as_nchw();
-        assert_eq!(c % self.groups, 0, "channels {c} not divisible by groups {}", self.groups);
+        assert_eq!(
+            c % self.groups,
+            0,
+            "channels {c} not divisible by groups {}",
+            self.groups
+        );
         let per = c / self.groups;
         let plane = h * w;
-        let mut out = Tensor::zeros([n, c, h, w]);
+        // A permutation: every destination plane is written exactly once.
+        let mut out = ws.tensor([n, c, h, w]);
+        let xd = x.data();
+        let od = out.data_mut();
         for ni in 0..n {
             for ci in 0..c {
                 // Forward: channel (g, p) → (p, g).
@@ -271,9 +373,7 @@ impl ChannelShuffle {
                 };
                 let s = (ni * c + src) * plane;
                 let d = (ni * c + dst) * plane;
-                let (src_slice, dst_slice) = (s..s + plane, d..d + plane);
-                let tmp: Vec<f32> = x.data()[src_slice].to_vec();
-                out.data_mut()[dst_slice].copy_from_slice(&tmp);
+                od[d..d + plane].copy_from_slice(&xd[s..s + plane]);
             }
         }
         out
@@ -281,12 +381,12 @@ impl ChannelShuffle {
 }
 
 impl Module for ChannelShuffle {
-    fn forward(&mut self, x: &Tensor, _train: bool) -> Tensor {
-        self.permute(x, false)
+    fn forward(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
+        self.permute(x, false, ws)
     }
 
-    fn backward(&mut self, grad_out: &Tensor) -> Tensor {
-        self.permute(grad_out, true)
+    fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        self.permute(grad_out, true, ws)
     }
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
@@ -304,14 +404,15 @@ mod tests {
     #[test]
     fn sequential_chains_layers() {
         let mut rng = seeded_rng(101);
+        let mut ws = Workspace::new();
         let mut seq = Sequential::new()
             .push(Linear::new(4, 8, &mut rng))
             .push(Relu::new())
             .push(Linear::new(8, 2, &mut rng));
         let x = Tensor::randn([3, 4], 1.0, &mut rng);
-        let y = seq.forward(&x, true);
+        let y = seq.forward(&x, true, &mut ws);
         assert_eq!(y.dims(), &[3, 2]);
-        let gx = seq.backward(&Tensor::ones([3, 2]));
+        let gx = seq.backward(&Tensor::ones([3, 2]), &mut ws);
         assert_eq!(gx.dims(), &[3, 4]);
         assert_eq!(seq.params_mut().len(), 4);
     }
@@ -320,73 +421,98 @@ mod tests {
     fn residual_identity_adds_input() {
         // Body that multiplies by 0 (zero weights): residual output == input.
         let mut rng = seeded_rng(102);
+        let mut ws = Workspace::new();
         let mut lin = Linear::new(3, 3, &mut rng);
         lin.weight.value.fill(0.0);
         let mut res = Residual::identity(Sequential::new().push(lin));
         let x = Tensor::from_vec([2, 3], vec![1., 2., 3., 4., 5., 6.]);
-        let y = res.forward(&x, true);
+        let y = res.forward(&x, true, &mut ws);
         assert_eq!(y, x);
         // Gradient doubles through the two branches into dW but the input
         // grad is grad_out (body weights are zero) + grad_out (skip)?
         // Body with zero weight contributes zero input grad, skip passes it.
-        let g = res.backward(&Tensor::ones([2, 3]));
+        let g = res.backward(&Tensor::ones([2, 3]), &mut ws);
         assert_eq!(g.data(), Tensor::ones([2, 3]).data());
     }
 
     #[test]
     fn flatten_roundtrip() {
+        let mut ws = Workspace::new();
         let mut f = Flatten::new();
         let x = Tensor::from_vec([2, 2, 2, 2], (0..16).map(|v| v as f32).collect());
-        let y = f.forward(&x, true);
+        let y = f.forward(&x, true, &mut ws);
         assert_eq!(y.dims(), &[2, 8]);
-        let g = f.backward(&y);
+        let g = f.backward(&y, &mut ws);
         assert_eq!(g.dims(), &[2, 2, 2, 2]);
         assert_eq!(g.data(), x.data());
     }
 
     #[test]
     fn channel_shuffle_is_a_permutation() {
+        let mut ws = Workspace::new();
         let mut cs = ChannelShuffle::new(2);
         // 4 channels, groups=2: order (0,1,2,3) → channel c goes to slot
         // p*g+gi: ch0→0, ch1→2, ch2→1, ch3→3.
         let x = Tensor::from_vec([1, 4, 1, 1], vec![10., 11., 12., 13.]);
-        let y = cs.forward(&x, true);
+        let y = cs.forward(&x, true, &mut ws);
         assert_eq!(y.data(), &[10., 12., 11., 13.]);
         // Backward must invert the permutation.
-        let g = cs.backward(&y);
+        let g = cs.backward(&y, &mut ws);
         assert_eq!(g.data(), x.data());
     }
 
     #[test]
     fn channel_shuffle_backward_inverts_forward_for_random_input() {
         let mut rng = seeded_rng(103);
+        let mut ws = Workspace::new();
         let mut cs = ChannelShuffle::new(3);
         let x = Tensor::randn([2, 6, 3, 3], 1.0, &mut rng);
-        let y = cs.forward(&x, true);
-        let back = cs.backward(&y);
+        let y = cs.forward(&x, true, &mut ws);
+        let back = cs.backward(&y, &mut ws);
         assert_eq!(back, x);
     }
 
     #[test]
     fn inception_concat_and_split() {
         let mut rng = seeded_rng(104);
+        let mut ws = Workspace::new();
         use crate::conv::Conv2d;
         let b1 = Sequential::new().push(Conv2d::basic(2, 3, 1, 1, 0, &mut rng));
         let b2 = Sequential::new().push(Conv2d::basic(2, 5, 3, 1, 1, &mut rng));
         let mut inc = InceptionBlock::new(vec![b1, b2]);
         let x = Tensor::randn([2, 2, 4, 4], 1.0, &mut rng);
-        let y = inc.forward(&x, true);
+        let y = inc.forward(&x, true, &mut ws);
         assert_eq!(y.dims(), &[2, 8, 4, 4]);
-        let gx = inc.backward(&Tensor::ones([2, 8, 4, 4]));
+        let gx = inc.backward(&Tensor::ones([2, 8, 4, 4]), &mut ws);
         assert_eq!(gx.dims(), &[2, 2, 4, 4]);
+    }
+
+    #[test]
+    fn inception_concat_matches_tensor_concat() {
+        let mut rng = seeded_rng(106);
+        let mut ws = Workspace::new();
+        use crate::conv::Conv2d;
+        let mut c1 = Conv2d::basic(2, 3, 1, 1, 0, &mut rng);
+        let mut c2 = Conv2d::basic(2, 5, 3, 1, 1, &mut rng);
+        let x = Tensor::randn([2, 2, 4, 4], 1.0, &mut rng);
+        let y1 = c1.forward(&x, true, &mut ws);
+        let y2 = c2.forward(&x, true, &mut ws);
+        let expected = Tensor::concat_channels(&[&y1, &y2]);
+
+        let b1 = Sequential::new().push(c1);
+        let b2 = Sequential::new().push(c2);
+        let mut inc = InceptionBlock::new(vec![b1, b2]);
+        let y = inc.forward(&x, true, &mut ws);
+        assert_eq!(y, expected);
     }
 
     #[test]
     #[should_panic(expected = "diverge")]
     fn residual_shape_mismatch_panics() {
         let mut rng = seeded_rng(105);
+        let mut ws = Workspace::new();
         let body = Sequential::new().push(Linear::new(3, 4, &mut rng));
         let mut res = Residual::identity(body);
-        res.forward(&Tensor::zeros([1, 3]), true);
+        res.forward(&Tensor::zeros([1, 3]), true, &mut ws);
     }
 }

@@ -21,9 +21,11 @@ pub mod rng;
 pub mod serialize;
 pub mod shape;
 pub mod tensor;
+pub mod workspace;
 
 pub use shape::Shape;
 pub use tensor::Tensor;
+pub use workspace::{SlotId, Workspace, WorkspaceStats};
 
 /// Convenience prelude importing the types and traits most users need.
 pub mod prelude {
@@ -31,4 +33,5 @@ pub mod prelude {
     pub use crate::rng::{derive_seed, seeded_rng};
     pub use crate::shape::Shape;
     pub use crate::tensor::Tensor;
+    pub use crate::workspace::{SlotId, Workspace, WorkspaceStats};
 }

@@ -85,7 +85,12 @@ pub fn normalize_rows(x: &Tensor, eps: f32) -> (Tensor, Vec<f32>) {
 /// Given upstream gradient `g` w.r.t. the normalized rows `ẑ`, the
 /// gradient w.r.t. the raw rows `z` is `(g − (g·ẑ)ẑ)/‖z‖` — the projection
 /// of `g` onto the tangent space of the unit sphere, scaled by `1/‖z‖`.
-pub fn normalize_rows_backward(normalized: &Tensor, norms: &[f32], grad: &Tensor, eps: f32) -> Tensor {
+pub fn normalize_rows_backward(
+    normalized: &Tensor,
+    norms: &[f32],
+    grad: &Tensor,
+    eps: f32,
+) -> Tensor {
     let (rows, cols) = normalized.shape().as_matrix();
     assert_eq!(grad.dims(), normalized.dims());
     assert_eq!(norms.len(), rows);
@@ -134,7 +139,9 @@ pub fn sum_rows(x: &Tensor) -> Tensor {
 /// Mean of each row of a rank-2 tensor.
 pub fn mean_rows(x: &Tensor) -> Vec<f32> {
     let (rows, cols) = x.shape().as_matrix();
-    (0..rows).map(|r| x.row(r).iter().sum::<f32>() / cols.max(1) as f32).collect()
+    (0..rows)
+        .map(|r| x.row(r).iter().sum::<f32>() / cols.max(1) as f32)
+        .collect()
 }
 
 #[cfg(test)]
@@ -214,7 +221,11 @@ mod tests {
         // Scalar objective: sum(g ⊙ normalize(x)).
         let f = |x: &Tensor| {
             let (z, _) = normalize_rows(x, 1e-8);
-            z.data().iter().zip(g.data()).map(|(a, b)| a * b).sum::<f32>()
+            z.data()
+                .iter()
+                .zip(g.data())
+                .map(|(a, b)| a * b)
+                .sum::<f32>()
         };
         let h = 1e-3;
         for i in 0..x.numel() {
@@ -224,7 +235,10 @@ mod tests {
             xm.data_mut()[i] -= h;
             let fd = (f(&xp) - f(&xm)) / (2.0 * h);
             let an = analytic.at(i);
-            assert!((fd - an).abs() < 2e-2 * (1.0 + fd.abs()), "elem {i}: fd {fd} vs analytic {an}");
+            assert!(
+                (fd - an).abs() < 2e-2 * (1.0 + fd.abs()),
+                "elem {i}: fd {fd} vs analytic {an}"
+            );
         }
     }
 

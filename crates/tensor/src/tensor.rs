@@ -31,7 +31,10 @@ impl Tensor {
     pub fn zeros(shape: impl Into<Shape>) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![0.0; n] }
+        Tensor {
+            shape,
+            data: vec![0.0; n],
+        }
     }
 
     /// Tensor filled with ones.
@@ -43,7 +46,10 @@ impl Tensor {
     pub fn full(shape: impl Into<Shape>, value: f32) -> Self {
         let shape = shape.into();
         let n = shape.numel();
-        Tensor { shape, data: vec![value; n] }
+        Tensor {
+            shape,
+            data: vec![value; n],
+        }
     }
 
     /// Tensor from an existing buffer. Panics if the length mismatches.
@@ -226,7 +232,11 @@ impl Tensor {
             .iter()
             .map(|p| {
                 let (n, c, h, w) = p.shape.as_nchw();
-                assert_eq!((n, h, w), (n0, h0, w0), "batch/spatial mismatch in concat_channels");
+                assert_eq!(
+                    (n, h, w),
+                    (n0, h0, w0),
+                    "batch/spatial mismatch in concat_channels"
+                );
                 c
             })
             .sum();
@@ -248,10 +258,16 @@ impl Tensor {
     /// Split a rank-4 tensor along channels into parts of the given sizes.
     pub fn split_channels(&self, sizes: &[usize]) -> Vec<Tensor> {
         let (n, c, h, w) = self.shape.as_nchw();
-        assert_eq!(sizes.iter().sum::<usize>(), c, "split sizes must sum to channel count");
+        assert_eq!(
+            sizes.iter().sum::<usize>(),
+            c,
+            "split sizes must sum to channel count"
+        );
         let plane = h * w;
-        let mut parts: Vec<Tensor> =
-            sizes.iter().map(|&ci| Tensor::zeros([n, ci, h, w])).collect();
+        let mut parts: Vec<Tensor> = sizes
+            .iter()
+            .map(|&ci| Tensor::zeros([n, ci, h, w]))
+            .collect();
         for img in 0..n {
             let mut c_off = 0;
             for (part, &ci) in parts.iter_mut().zip(sizes) {
@@ -314,7 +330,10 @@ impl Tensor {
 
     /// Apply `f` elementwise into a new tensor.
     pub fn map(&self, f: impl Fn(f32) -> f32) -> Tensor {
-        Tensor { shape: self.shape.clone(), data: self.data.iter().map(|&x| f(x)).collect() }
+        Tensor {
+            shape: self.shape.clone(),
+            data: self.data.iter().map(|&x| f(x)).collect(),
+        }
     }
 
     /// Apply `f` elementwise in place.
@@ -325,10 +344,19 @@ impl Tensor {
     }
 
     fn zip_with(&self, other: &Tensor, f: impl Fn(f32, f32) -> f32) -> Tensor {
-        assert_eq!(self.shape, other.shape, "shape mismatch: {} vs {}", self.shape, other.shape);
+        assert_eq!(
+            self.shape, other.shape,
+            "shape mismatch: {} vs {}",
+            self.shape, other.shape
+        );
         Tensor {
             shape: self.shape.clone(),
-            data: self.data.iter().zip(&other.data).map(|(&a, &b)| f(a, b)).collect(),
+            data: self
+                .data
+                .iter()
+                .zip(&other.data)
+                .map(|(&a, &b)| f(a, b))
+                .collect(),
         }
     }
 
@@ -395,7 +423,13 @@ impl fmt::Debug for Tensor {
         if self.data.len() <= 8 {
             write!(f, "data={:?})", self.data)
         } else {
-            write!(f, "data=[{:.4}, {:.4}, … ; n={}])", self.data[0], self.data[1], self.data.len())
+            write!(
+                f,
+                "data=[{:.4}, {:.4}, … ; n={}])",
+                self.data[0],
+                self.data[1],
+                self.data.len()
+            )
         }
     }
 }

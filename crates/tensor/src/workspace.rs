@@ -1,0 +1,285 @@
+//! Reusable scratch-buffer arena threaded through forward/backward passes.
+//!
+//! Training touches the same layer stack thousands of times per client
+//! (`clients × rounds × epochs × batches`), so per-call `Vec`/`Tensor`
+//! allocations dominate the allocator. A [`Workspace`] amortizes them:
+//!
+//! * **Keyed slots** — persistent per-layer scratch (e.g. a convolution's
+//!   im2col matrix) addressed by a [`SlotId`] minted once per layer
+//!   instance. A slot survives between `take_slot`/`put_slot` pairs, so a
+//!   forward pass can cache data in it and the matching backward pass can
+//!   take it back without recomputing or cloning.
+//! * **Recycle pool** — anonymous buffers for layer outputs and transient
+//!   scratch. `alloc`/`tensor`/`tensor_zeroed` hand out the best-fitting
+//!   retired buffer (grow-only: capacity is kept), and `recycle` returns a
+//!   no-longer-needed tensor's storage to the pool.
+//!
+//! Buffers handed out by either path contain **stale garbage** unless
+//! zeroed; callers must either fully overwrite them or request
+//! [`Workspace::tensor_zeroed`]. This is load-bearing for determinism: the
+//! GEMM kernels in [`crate::linalg`] accumulate into their output.
+//!
+//! [`Workspace::stats`] counts hand-outs that were served from existing
+//! capacity (`reuses`) versus ones that had to touch the allocator
+//! (`allocations`), so tests can assert a steady state allocates nothing.
+
+use crate::{Shape, Tensor};
+use std::collections::HashMap;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// Stable identity of a persistent workspace slot.
+///
+/// Each layer instance mints its ids once at construction
+/// ([`SlotId::fresh`]) and uses them for every subsequent call, so the
+/// same buffer is rediscovered across batches, epochs, and rounds.
+#[derive(Clone, Copy, Debug, PartialEq, Eq, Hash)]
+pub struct SlotId(u64);
+
+impl SlotId {
+    /// Mint a process-unique slot id.
+    pub fn fresh() -> Self {
+        static NEXT: AtomicU64 = AtomicU64::new(1);
+        SlotId(NEXT.fetch_add(1, Ordering::Relaxed))
+    }
+}
+
+/// Allocation-behaviour counters for a [`Workspace`].
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct WorkspaceStats {
+    /// Hand-outs that required new heap capacity (fresh or grown buffer).
+    pub allocations: u64,
+    /// Hand-outs served entirely from already-owned capacity.
+    pub reuses: u64,
+    /// High-water mark of total f32 capacity owned by this workspace, in
+    /// bytes (slots + pool + checked-out buffers).
+    pub peak_bytes: u64,
+}
+
+/// Grow-only arena of reusable `f32` buffers. See the module docs.
+///
+/// A workspace is single-threaded by design (`&mut` threading); for
+/// data-parallel regions, take one large buffer and `par_chunks_mut` it.
+#[derive(Debug, Default)]
+pub struct Workspace {
+    slots: HashMap<SlotId, Vec<f32>>,
+    pool: Vec<Vec<f32>>,
+    stats: WorkspaceStats,
+    /// Total f32 capacity currently owned or checked out, in elements.
+    live_elems: u64,
+}
+
+impl Workspace {
+    /// Empty workspace.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Counters accumulated since construction (or the last [`Self::reset_stats`]).
+    pub fn stats(&self) -> WorkspaceStats {
+        self.stats
+    }
+
+    /// Zero the counters (capacity high-water mark included).
+    pub fn reset_stats(&mut self) {
+        self.stats = WorkspaceStats {
+            peak_bytes: self.live_elems * 4,
+            ..Default::default()
+        };
+    }
+
+    fn note_capacity(&mut self, old_cap: usize, new_cap: usize) {
+        if new_cap > old_cap {
+            self.stats.allocations += 1;
+            self.live_elems += (new_cap - old_cap) as u64;
+            self.stats.peak_bytes = self.stats.peak_bytes.max(self.live_elems * 4);
+        } else {
+            self.stats.reuses += 1;
+        }
+    }
+
+    /// Take the persistent buffer for `id`, resized to `len` (grow-only
+    /// capacity). Contents beyond what the caller last wrote are
+    /// unspecified. Pair with [`Self::put_slot`] to return it.
+    pub fn take_slot(&mut self, id: SlotId, len: usize) -> Vec<f32> {
+        let mut buf = self.slots.remove(&id).unwrap_or_default();
+        let old_cap = buf.capacity();
+        buf.resize(len, 0.0);
+        self.note_capacity(old_cap, buf.capacity());
+        buf
+    }
+
+    /// Return a slot buffer taken with [`Self::take_slot`]. The contents are
+    /// preserved for the next `take_slot` of the same id.
+    pub fn put_slot(&mut self, id: SlotId, buf: Vec<f32>) {
+        self.slots.insert(id, buf);
+    }
+
+    /// Hand out an anonymous buffer of exactly `len` elements with
+    /// **unspecified contents**, preferring the best-fitting retired buffer.
+    pub fn alloc(&mut self, len: usize) -> Vec<f32> {
+        // Best fit: smallest capacity >= len; else the largest (to grow).
+        let mut best: Option<(usize, usize)> = None; // (index, capacity)
+        for (i, b) in self.pool.iter().enumerate() {
+            let cap = b.capacity();
+            let fits = cap >= len;
+            best = match best {
+                None => Some((i, cap)),
+                Some((_, bc)) if fits && (bc < len || cap < bc) => Some((i, cap)),
+                Some((_, bc)) if !fits && bc < len && cap > bc => Some((i, cap)),
+                keep => keep,
+            };
+        }
+        let mut buf = match best {
+            Some((i, _)) => self.pool.swap_remove(i),
+            None => Vec::new(),
+        };
+        let old_cap = buf.capacity();
+        buf.clear();
+        buf.resize(len, 0.0);
+        self.note_capacity(old_cap, buf.capacity());
+        buf
+    }
+
+    /// An output tensor of `shape` with **unspecified contents** — the
+    /// caller must fully overwrite every element.
+    pub fn tensor(&mut self, shape: impl Into<Shape>) -> Tensor {
+        let shape = shape.into();
+        let buf = self.alloc(shape.numel());
+        Tensor::from_vec(shape, buf)
+    }
+
+    /// An output tensor of `shape`, zero-filled (required before any
+    /// accumulating kernel such as the GEMMs or `col2im`).
+    pub fn tensor_zeroed(&mut self, shape: impl Into<Shape>) -> Tensor {
+        let mut t = self.tensor(shape);
+        t.data_mut().fill(0.0);
+        t
+    }
+
+    /// A tensor with the same shape and contents as `src`, storage drawn
+    /// from the pool.
+    pub fn tensor_like(&mut self, src: &Tensor) -> Tensor {
+        let mut t = self.tensor(src.shape().clone());
+        t.data_mut().copy_from_slice(src.data());
+        t
+    }
+
+    /// Retire a tensor's storage into the pool for future `alloc`s.
+    ///
+    /// Only recycle buffers that originated from this workspace (`alloc`/
+    /// `tensor*`); feeding it foreign tensors grows the pool without bound.
+    pub fn recycle(&mut self, t: Tensor) {
+        self.pool.push(t.into_vec());
+    }
+
+    /// Retire a raw buffer into the pool.
+    pub fn recycle_vec(&mut self, v: Vec<f32>) {
+        self.pool.push(v);
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn slot_ids_are_unique() {
+        let a = SlotId::fresh();
+        let b = SlotId::fresh();
+        assert_ne!(a, b);
+    }
+
+    #[test]
+    fn slot_persists_contents() {
+        let mut ws = Workspace::new();
+        let id = SlotId::fresh();
+        let mut buf = ws.take_slot(id, 4);
+        buf.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+        ws.put_slot(id, buf);
+        let buf = ws.take_slot(id, 4);
+        assert_eq!(buf, vec![1.0, 2.0, 3.0, 4.0]);
+    }
+
+    #[test]
+    fn slot_is_grow_only_and_counts_reuse() {
+        let mut ws = Workspace::new();
+        let id = SlotId::fresh();
+        let buf = ws.take_slot(id, 100);
+        ws.put_slot(id, buf);
+        assert_eq!(ws.stats().allocations, 1);
+        let buf = ws.take_slot(id, 50); // shrink: reuse
+        ws.put_slot(id, buf);
+        let buf = ws.take_slot(id, 100); // back up within capacity: reuse
+        ws.put_slot(id, buf);
+        assert_eq!(ws.stats().allocations, 1);
+        assert_eq!(ws.stats().reuses, 2);
+        let buf = ws.take_slot(id, 200); // grow: allocation
+        ws.put_slot(id, buf);
+        assert_eq!(ws.stats().allocations, 2);
+    }
+
+    #[test]
+    fn pool_recycles_buffers() {
+        let mut ws = Workspace::new();
+        let t = ws.tensor_zeroed([4, 4]);
+        ws.recycle(t);
+        let stats0 = ws.stats();
+        let t = ws.tensor_zeroed([2, 8]); // same numel: must reuse
+        assert_eq!(ws.stats().allocations, stats0.allocations);
+        assert_eq!(ws.stats().reuses, stats0.reuses + 1);
+        assert!(t.data().iter().all(|&v| v == 0.0));
+    }
+
+    #[test]
+    fn pool_best_fit_prefers_smallest_sufficient() {
+        let mut ws = Workspace::new();
+        let small = ws.alloc(10);
+        let big = ws.alloc(1000);
+        ws.recycle_vec(small);
+        ws.recycle_vec(big);
+        let got = ws.alloc(8);
+        assert!(got.capacity() < 1000, "should pick the 10-cap buffer");
+    }
+
+    #[test]
+    fn peak_bytes_tracks_high_water() {
+        let mut ws = Workspace::new();
+        let a = ws.alloc(256);
+        ws.recycle_vec(a);
+        let peak = ws.stats().peak_bytes;
+        assert!(peak >= 256 * 4);
+        let b = ws.alloc(100); // within capacity
+        ws.recycle_vec(b);
+        assert_eq!(ws.stats().peak_bytes, peak);
+    }
+
+    #[test]
+    fn tensor_like_copies() {
+        let mut ws = Workspace::new();
+        let src = Tensor::from_vec([3], vec![1.0, 2.0, 3.0]);
+        let t = ws.tensor_like(&src);
+        assert_eq!(t.data(), src.data());
+        assert_eq!(t.dims(), src.dims());
+    }
+
+    #[test]
+    fn steady_state_allocates_nothing() {
+        let mut ws = Workspace::new();
+        let id = SlotId::fresh();
+        for _ in 0..3 {
+            let s = ws.take_slot(id, 64);
+            ws.put_slot(id, s);
+            let t = ws.tensor_zeroed([8, 8]);
+            ws.recycle(t);
+        }
+        ws.reset_stats();
+        for _ in 0..10 {
+            let s = ws.take_slot(id, 64);
+            ws.put_slot(id, s);
+            let t = ws.tensor_zeroed([8, 8]);
+            ws.recycle(t);
+        }
+        assert_eq!(ws.stats().allocations, 0);
+        assert_eq!(ws.stats().reuses, 20);
+    }
+}

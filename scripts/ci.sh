@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# The full pre-merge gate: formatting, lints as errors, then the tier-1
+# build-and-test pass from ROADMAP.md. Run from anywhere in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== cargo fmt --check ==="
+cargo fmt --all -- --check
+
+echo "=== cargo clippy (warnings are errors) ==="
+cargo clippy --workspace --all-targets -- -D warnings
+
+echo "=== tier-1: build + test ==="
+cargo build --release
+cargo test -q
+
+echo "ci: all green"

@@ -16,11 +16,15 @@ use fedclassavg_suite::metrics::fairness::{fairness_summary, per_class_accuracy}
 use fedclassavg_suite::metrics::tsne::{nearest_neighbor_label_agreement, tsne, TsneConfig};
 use fedclassavg_suite::models::ModelArch;
 use fedclassavg_suite::nn::Module as _;
+use fedclassavg_suite::tensor::Workspace;
 
 fn trained_fleet(
     seed: u64,
     federated: bool,
-) -> (Vec<fedclassavg_suite::fed::client::Client>, fedclassavg_suite::fed::sim::RunResult) {
+) -> (
+    Vec<fedclassavg_suite::fed::client::Client>,
+    fedclassavg_suite::fed::sim::RunResult,
+) {
     let mut dcfg = SynthConfig::synth_fashion(seed).with_sizes(240, 120);
     dcfg.num_classes = 4;
     dcfg.height = 12;
@@ -37,7 +41,9 @@ fn trained_fleet(
     };
     let mut clients = build_clients(
         &data,
-        Partitioner::Skewed { classes_per_client: 2 },
+        Partitioner::Skewed {
+            classes_per_client: 2,
+        },
         &cfg,
         &ModelArch::heterogeneous_rotation,
     );
@@ -58,7 +64,12 @@ fn tsne_pipeline_runs_on_trained_features() {
     assert!(ff.features.dims()[0] >= 20);
     let y = tsne(
         &ff.features,
-        &TsneConfig { perplexity: 8.0, iterations: 120, seed: 1, ..Default::default() },
+        &TsneConfig {
+            perplexity: 8.0,
+            iterations: 120,
+            seed: 1,
+            ..Default::default()
+        },
     );
     assert_eq!(y.dims(), &[ff.labels.len(), 2]);
     assert!(!y.has_non_finite(), "t-SNE diverged on trained features");
@@ -73,13 +84,25 @@ fn conductance_pipeline_on_trained_classifiers() {
     // Shared probe: first test image of client 0.
     let (x, y) = clients[0].test_data.gather_batch(&[0]);
     let label = y[0];
+    let mut ws = Workspace::new();
     let mut ranks = Vec::new();
     for c in clients.iter_mut() {
-        let feats = c.model.feature_extractor.forward(&x, false);
+        let feats = c.model.feature_extractor.forward(&x, false, &mut ws);
         let baseline = vec![0.0f32; feats.dims()[1]];
-        let cond = layer_conductance(&c.model.classifier.weights(), feats.row(0), &baseline, label, 4);
+        let cond = layer_conductance(
+            &c.model.classifier.weights(),
+            feats.row(0),
+            &baseline,
+            label,
+            4,
+        );
         // Completeness must hold on real weights too.
-        let delta = logit_delta(&c.model.classifier.weights(), feats.row(0), &baseline, label);
+        let delta = logit_delta(
+            &c.model.classifier.weights(),
+            feats.row(0),
+            &baseline,
+            label,
+        );
         let total: f32 = cond.iter().sum();
         assert!(
             (total - delta).abs() < 1e-3 * (1.0 + delta.abs()),
@@ -103,12 +126,18 @@ fn rank_agreement_statistic_is_well_defined_for_both_regimes() {
         let (mut clients, _) = trained_fleet(47, federated);
         let (x, y) = clients[0].test_data.gather_batch(&[0]);
         let label = y[0];
+        let mut ws = Workspace::new();
         let mut ranks = Vec::new();
         for c in clients.iter_mut() {
-            let feats = c.model.feature_extractor.forward(&x, false);
+            let feats = c.model.feature_extractor.forward(&x, false, &mut ws);
             let baseline = vec![0.0f32; feats.dims()[1]];
-            let cond =
-                layer_conductance(&c.model.classifier.weights(), feats.row(0), &baseline, label, 4);
+            let cond = layer_conductance(
+                &c.model.classifier.weights(),
+                feats.row(0),
+                &baseline,
+                label,
+                4,
+            );
             ranks.push(rank_scores(&cond));
         }
         let agreement = mean_pairwise_rank_agreement(&ranks);
@@ -139,7 +168,8 @@ fn per_class_accuracy_on_trained_model() {
     let c = &mut clients[0];
     let idx: Vec<usize> = (0..c.test_data.len()).collect();
     let (x, y) = c.test_data.gather_batch(&idx);
-    let logits = c.model.predict(&x);
+    let mut ws = Workspace::new();
+    let logits = c.model.predict(&x, &mut ws);
     let pca = per_class_accuracy(&logits, &y, 4);
     // The skewed client only has test data for its own classes; others
     // must be None, and present classes in [0, 1].

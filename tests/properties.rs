@@ -12,7 +12,7 @@ use fedclassavg_suite::tensor::linalg::{matmul, matmul_nt, matmul_reference, mat
 use fedclassavg_suite::tensor::ops::{logsumexp_rows, softmax_rows};
 use fedclassavg_suite::tensor::rng::seeded_rng;
 use fedclassavg_suite::tensor::serialize::{decode_tensor, to_bytes};
-use fedclassavg_suite::tensor::{Shape, Tensor};
+use fedclassavg_suite::tensor::{Shape, Tensor, Workspace};
 use proptest::prelude::*;
 
 fn close(a: f32, b: f32, tol: f32) -> bool {
@@ -76,7 +76,8 @@ proptest! {
         if geom.out_hw(7, 7).0 == 0 { return Ok(()); }
         let mut conv = Conv2d::new(geom, &mut rng);
         let x = Tensor::randn([2, cin, 7, 7], 1.0, &mut rng);
-        let fast = conv.forward(&x, true);
+        let mut ws = Workspace::new();
+        let fast = conv.forward(&x, true, &mut ws);
         let slow = conv2d_reference(&x, &conv.weight.value, &conv.bias.value, &geom);
         for (a, b) in fast.data().iter().zip(slow.data()) {
             prop_assert!(close(*a, *b, 1e-3));

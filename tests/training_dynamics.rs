@@ -12,6 +12,7 @@ use fedclassavg_suite::models::{build_model, ModelArch};
 use fedclassavg_suite::nn::loss::{accuracy, cross_entropy};
 use fedclassavg_suite::nn::optim::{Adam, Optimizer};
 use fedclassavg_suite::tensor::rng::seeded_rng;
+use fedclassavg_suite::tensor::Workspace;
 
 fn tiny_data(seed: u64) -> fedclassavg_suite::data::synth::SynthDataset {
     let mut cfg = SynthConfig::synth_fashion(seed).with_sizes(120, 60);
@@ -38,16 +39,19 @@ fn every_arch_fits_small_data() {
         let mut model = build_model(arch, (1, 12, 12), 12, 3, 5);
         let mut opt = Adam::new(3e-3);
         let mut rng = seeded_rng(6);
+        let mut ws = Workspace::new();
         let idx: Vec<usize> = (0..48).collect();
         let (x, y) = data.train.gather_batch(&idx);
         let mut last_acc = 0.0;
         for _ in 0..40 {
             model.zero_grad();
-            let (_, logits) = model.forward(&x, true);
+            let (features, logits) = model.forward(&x, true, &mut ws);
             let (_, d_logits) = cross_entropy(&logits, &y);
-            model.backward(None, &d_logits);
+            model.backward(None, &d_logits, &mut ws);
             opt.step(&mut model.params_mut());
             last_acc = accuracy(&logits, &y);
+            ws.recycle(features);
+            ws.recycle(logits);
             let _ = rng;
         }
         assert!(
@@ -75,7 +79,10 @@ fn composite_objective_decreases() {
         8,
     );
     let global = ClassifierWeights::zeros(12, 3);
-    let obj = LocalObjective { contrastive: true, rho: 0.1 };
+    let obj = LocalObjective {
+        contrastive: true,
+        rho: 0.1,
+    };
     let first = client.local_update_fedclassavg(Some(&global), &hp, obj);
     for _ in 0..6 {
         client.local_update_fedclassavg(Some(&global), &hp, obj);
@@ -117,7 +124,10 @@ fn proximal_bounds_classifier_drift() {
             client.local_update_fedclassavg(
                 Some(&global),
                 &hp,
-                LocalObjective { contrastive: false, rho },
+                LocalObjective {
+                    contrastive: false,
+                    rho,
+                },
             );
         }
         client.model.classifier.weights().l2_distance(&global)
@@ -137,18 +147,21 @@ fn batchnorm_eval_consistency() {
     let data = tiny_data(34);
     let mut model = build_model(ModelArch::MicroResNet, (1, 12, 12), 12, 3, 11);
     let mut opt = Adam::new(3e-3);
+    let mut ws = Workspace::new();
     let idx: Vec<usize> = (0..60).collect();
     let (x, y) = data.train.gather_batch(&idx);
     for _ in 0..30 {
         model.zero_grad();
-        let (_, logits) = model.forward(&x, true);
+        let (features, logits) = model.forward(&x, true, &mut ws);
         let (_, d) = cross_entropy(&logits, &y);
-        model.backward(None, &d);
+        model.backward(None, &d, &mut ws);
         opt.step(&mut model.params_mut());
+        ws.recycle(features);
+        ws.recycle(logits);
     }
     // Eval-mode predictions on the training data should also be good —
     // running statistics track the (repeated) batch statistics.
-    let logits_eval = model.predict(&x);
+    let logits_eval = model.predict(&x, &mut ws);
     let acc_eval = accuracy(&logits_eval, &y);
     assert!(acc_eval > 0.7, "eval-mode accuracy collapsed: {acc_eval}");
     assert!(!logits_eval.has_non_finite());
@@ -176,7 +189,10 @@ fn local_training_is_deterministic() {
         client.local_update_fedclassavg(
             Some(&global),
             &hp,
-            LocalObjective { contrastive: true, rho: 0.1 },
+            LocalObjective {
+                contrastive: true,
+                rho: 0.1,
+            },
         );
         client.model.classifier.weights()
     };

@@ -8,7 +8,7 @@ use fedclassavg_suite::models::{build_model, ModelArch};
 use fedclassavg_suite::nn::gradcheck::{check_input_gradient, check_param_gradients};
 use fedclassavg_suite::nn::Module as _;
 use fedclassavg_suite::tensor::rng::seeded_rng;
-use fedclassavg_suite::tensor::Tensor;
+use fedclassavg_suite::tensor::{Tensor, Workspace};
 
 /// Architectures whose forward pass is deterministic given fixed weights
 /// (dropout-free), so finite differences are well defined.
@@ -42,7 +42,10 @@ fn gradcheck_arch(arch: ModelArch, seed: u64) {
         params.checked,
         params.skipped_nonsmooth
     );
-    assert!(params.checked > 10, "{arch:?}: too few smooth coordinates checked");
+    assert!(
+        params.checked > 10,
+        "{arch:?}: too few smooth coordinates checked"
+    );
 
     let input = check_input_gradient(fe, &x, &probe, 1e-2, 41);
     assert!(
@@ -91,21 +94,27 @@ fn alexnet_gradients_with_dropout_disabled() {
     let x = Tensor::randn([8, 1, 12, 12], 1.0, &mut rng);
     let y: Vec<usize> = (0..8).map(|i| i % 3).collect();
     let mut opt = Adam::new(3e-3);
+    let mut ws = Workspace::new();
     let mut first = None;
     let mut last = 0.0;
     for _ in 0..30 {
         model.zero_grad();
-        let (_, logits) = model.forward(&x, true);
+        let (features, logits) = model.forward(&x, true, &mut ws);
         let (loss, d) = cross_entropy(&logits, &y);
-        model.backward(None, &d);
+        model.backward(None, &d, &mut ws);
         opt.step(&mut model.params_mut());
+        ws.recycle(features);
+        ws.recycle(logits);
         if first.is_none() {
             first = Some(loss);
         }
         last = loss;
     }
     let first = first.expect("ran");
-    assert!(last < first * 0.8, "MicroAlexNet loss barely moved: {first} → {last}");
+    assert!(
+        last < first * 0.8,
+        "MicroAlexNet loss barely moved: {first} → {last}"
+    );
 }
 
 #[test]
@@ -114,10 +123,11 @@ fn all_deterministic_archs_are_rerun_stable() {
     // forwards (guards against accidental RNG use in forward paths).
     let mut rng = seeded_rng(1008);
     let x = Tensor::randn([2, 1, 12, 12], 1.0, &mut rng);
+    let mut ws = Workspace::new();
     for arch in DETERMINISTIC_ARCHS {
         let mut m = build_model(arch, (1, 12, 12), 6, 3, 2000);
-        let a = m.forward_features(&x, true);
-        let b = m.forward_features(&x, true);
+        let a = m.forward_features(&x, true, &mut ws);
+        let b = m.forward_features(&x, true, &mut ws);
         // BatchNorm updates running stats but train-mode output depends
         // only on batch statistics, so outputs must match exactly.
         assert_eq!(a, b, "{arch:?} forward is not deterministic");
