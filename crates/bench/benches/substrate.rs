@@ -7,7 +7,7 @@ use fca_models::classifier::ClassifierWeights;
 use fca_nn::conv::{Conv2d, ConvGeometry};
 use fca_nn::loss::{cross_entropy, supervised_contrastive};
 use fca_nn::Module;
-use fca_tensor::linalg::matmul;
+use fca_tensor::linalg::{gemm_nn, gemm_nt, gemm_tn};
 use fca_tensor::rng::seeded_rng;
 use fca_tensor::{Tensor, Workspace};
 use fedclassavg::comm::WireMessage;
@@ -21,11 +21,33 @@ fn bench_gemm(c: &mut Criterion) {
     let mut g = quick(c).benchmark_group("gemm");
     g.sample_size(20).measurement_time(Duration::from_secs(2));
     let mut rng = seeded_rng(1);
-    for &n in &[32usize, 96] {
-        let a = Tensor::randn([n, n], 1.0, &mut rng);
-        let b = Tensor::randn([n, n], 1.0, &mut rng);
-        g.bench_with_input(BenchmarkId::new("nn", n), &n, |bch, _| {
-            bch.iter(|| matmul(&a, &b))
+    type Kernel = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+    // All three variants at the shapes training actually hits: the batched
+    // and per-image im2col products, the classifier forward, and the skinny
+    // `dW = Xᵀ·dY` weight-gradient shape that row-parallel GEMM scaled
+    // worst on. Squares ride along for cross-PR comparability.
+    let cases: &[(&str, Kernel, &str, usize, usize, usize)] = &[
+        ("nn", gemm_nn as Kernel, "square", 256, 256, 256),
+        ("nn", gemm_nn as Kernel, "im2col_batch", 32, 144, 6272),
+        ("nn", gemm_nn as Kernel, "im2col_image", 32, 144, 196),
+        ("nn", gemm_nn as Kernel, "classifier_fwd", 64, 512, 10),
+        ("tn", gemm_tn as Kernel, "square", 256, 256, 256),
+        ("tn", gemm_tn as Kernel, "weight_grad_skinny", 10, 64, 512),
+        ("nt", gemm_nt as Kernel, "square", 256, 256, 256),
+        ("nt", gemm_nt as Kernel, "linear_fwd", 64, 512, 10),
+    ];
+    for &(variant, kernel, role, m, k, n) in cases {
+        // Operand storage per variant: nn A:(m,k) B:(k,n); tn A:(k,m)
+        // B:(k,n); nt A:(m,k) B:(n,k) — always m·k and k·n elements.
+        let a = Tensor::randn([m * k], 1.0, &mut rng);
+        let b = Tensor::randn([k * n], 1.0, &mut rng);
+        let mut out = vec![0.0f32; m * n];
+        let id = BenchmarkId::new(variant, format!("{role}_{m}x{k}x{n}"));
+        g.bench_function(id, |bch| {
+            bch.iter(|| {
+                out.fill(0.0);
+                kernel(a.data(), b.data(), &mut out, m, k, n);
+            })
         });
     }
     g.finish();

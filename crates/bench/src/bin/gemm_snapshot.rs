@@ -1,0 +1,119 @@
+//! Standalone GEMM throughput snapshot.
+//!
+//! Times the production (packed) GEMM kernels against the seed `ikj`
+//! baselines (`gemm_*_naive`) at the shapes training actually hits, then
+//! writes `BENCH_gemm.json` (shape → ns/iter + GFLOP/s + speedup) into the
+//! current directory so successive PRs have a perf trajectory to compare
+//! against. Run via `scripts/bench_snapshot.sh` or directly:
+//!
+//! ```text
+//! cargo run --release -p fca-bench --bin gemm_snapshot
+//! ```
+
+use fca_tensor::linalg::{gemm_nn, gemm_nn_naive, gemm_nt, gemm_nt_naive, gemm_tn, gemm_tn_naive};
+use fca_tensor::rng::seeded_rng;
+use fca_tensor::Tensor;
+use serde::Serialize;
+use std::time::Instant;
+
+/// One timed kernel × shape combination.
+#[derive(Serialize)]
+struct Entry {
+    variant: &'static str,
+    /// What training op this shape stands in for.
+    role: &'static str,
+    m: usize,
+    k: usize,
+    n: usize,
+    /// Packed engine (the production `gemm_*` path).
+    ns_per_iter: f64,
+    gflops: f64,
+    /// Seed `ikj` kernel (`gemm_*_naive`) on the same shape.
+    naive_ns_per_iter: f64,
+    naive_gflops: f64,
+    /// `naive_ns_per_iter / ns_per_iter`.
+    speedup: f64,
+}
+
+/// Median-of-reps wall time per call, in nanoseconds.
+fn time_ns(mut f: impl FnMut()) -> f64 {
+    // Warm caches, buffer pools, and the rayon thread pool.
+    for _ in 0..3 {
+        f();
+    }
+    let mut reps = Vec::new();
+    for _ in 0..5 {
+        let mut iters = 0u32;
+        let start = Instant::now();
+        while start.elapsed().as_millis() < 120 {
+            f();
+            iters += 1;
+        }
+        reps.push(start.elapsed().as_nanos() as f64 / iters as f64);
+    }
+    reps.sort_by(|a, b| a.total_cmp(b));
+    reps[reps.len() / 2]
+}
+
+type Kernel = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+
+/// The shapes the training loop actually produces (see DESIGN.md §7.2):
+/// the im2col product, the classifier forward, and the skinny `gemm_tn`
+/// weight-gradient, plus a square case for cross-PR comparability.
+const SHAPES: &[(&str, &str, usize, usize, usize)] = &[
+    ("nn", "square_256", 256, 256, 256),
+    ("nn", "im2col_batch_oc32_k144_hwb6272", 32, 144, 6272),
+    ("nn", "im2col_image_oc32_k144_hw196", 32, 144, 196),
+    ("nn", "classifier_fwd_b64_512_10", 64, 512, 10),
+    ("tn", "square_256", 256, 256, 256),
+    ("tn", "weight_grad_skinny_m10_k64_n512", 10, 64, 512),
+    ("nt", "square_256", 256, 256, 256),
+    ("nt", "linear_fwd_b64_in512_out10", 64, 512, 10),
+];
+
+fn main() {
+    let mut rng = seeded_rng(0xBE);
+    let mut entries = Vec::new();
+    for &(variant, role, m, k, n) in SHAPES {
+        let (packed, naive): (Kernel, Kernel) = match variant {
+            "nn" => (gemm_nn, gemm_nn_naive),
+            "tn" => (gemm_tn, gemm_tn_naive),
+            _ => (gemm_nt, gemm_nt_naive),
+        };
+        // Operand storage sizes per variant: nn A:(m,k) B:(k,n);
+        // tn A:(k,m) B:(k,n); nt A:(m,k) B:(n,k) — all m*k / k*n elements.
+        let a = Tensor::randn([m * k], 1.0, &mut rng);
+        let b = Tensor::randn([k * n], 1.0, &mut rng);
+        let mut c = vec![0.0f32; m * n];
+        let flops = 2.0 * (m * k * n) as f64;
+        let ns = time_ns(|| {
+            c.fill(0.0);
+            packed(a.data(), b.data(), &mut c, m, k, n);
+        });
+        let naive_ns = time_ns(|| {
+            c.fill(0.0);
+            naive(a.data(), b.data(), &mut c, m, k, n);
+        });
+        let (gflops, naive_gflops) = (flops / ns, flops / naive_ns);
+        let speedup = naive_ns / ns;
+        println!(
+            "{variant:>2} {role:<32} {m:>4}x{k:>4}x{n:>5}  \
+             {gflops:>7.2} GF/s (naive {naive_gflops:>6.2})  {speedup:>5.2}x"
+        );
+        entries.push(Entry {
+            variant,
+            role,
+            m,
+            k,
+            n,
+            ns_per_iter: ns,
+            gflops,
+            naive_ns_per_iter: naive_ns,
+            naive_gflops,
+            speedup,
+        });
+    }
+    let json = serde_json::to_string_pretty(&entries).expect("serialize");
+    std::fs::write("BENCH_gemm.json", json + "\n").expect("write BENCH_gemm.json");
+    println!("wrote BENCH_gemm.json ({} entries)", entries.len());
+}

@@ -3,7 +3,8 @@
 
 use crate::init::kaiming_normal;
 use crate::module::{Module, Param};
-use fca_tensor::linalg::{dot, gemm_nn, gemm_tn};
+use fca_tensor::gemm::{gemm_packed, pack_a, pack_b, packed_a_len, packed_b_len};
+use fca_tensor::linalg::dot;
 use fca_tensor::{SlotId, Tensor, Workspace};
 use rand::Rng;
 use rayon::prelude::*;
@@ -52,6 +53,14 @@ pub struct Conv2d {
     col_slot: SlotId,
     /// Scratch for the im2col-space gradient in backward.
     dcol_slot: SlotId,
+    /// Packed per-group weight panels for the forward GEMM.
+    wpack_slot: SlotId,
+    /// Packed per-group transposed-weight panels for the backward GEMM.
+    wtpack_slot: SlotId,
+    /// Per-image packed im2col panels (forward B operand).
+    bpack_slot: SlotId,
+    /// Per-image packed output-gradient panels (backward B operand).
+    gypack_slot: SlotId,
     /// `[n, c, h, w]` of the last forward input (`n == 0` before any).
     in_dims: [usize; 4],
 }
@@ -85,6 +94,10 @@ impl Conv2d {
             bias: Param::new("conv.bias", Tensor::zeros([geom.out_channels])),
             col_slot: SlotId::fresh(),
             dcol_slot: SlotId::fresh(),
+            wpack_slot: SlotId::fresh(),
+            wtpack_slot: SlotId::fresh(),
+            bpack_slot: SlotId::fresh(),
+            gypack_slot: SlotId::fresh(),
             in_dims: [0; 4],
         }
     }
@@ -231,6 +244,23 @@ impl Module for Conv2d {
         let mut out = ws.tensor([n, g.out_channels, oh, ow]);
         let mut col_all = ws.take_slot(self.col_slot, n * col_img);
         let weight = self.weight.value.data();
+
+        // Pack each group's weight into MR-panels once per call; the packed
+        // panels are shared read-only by every image in the rayon region.
+        let a_len = packed_a_len(ocg, kdim);
+        let mut wpack = ws.take_slot(self.wpack_slot, g.groups * a_len);
+        for grp in 0..g.groups {
+            pack_a(
+                &weight[grp * ocg * kdim..(grp + 1) * ocg * kdim],
+                ocg,
+                kdim,
+                false,
+                &mut wpack[grp * a_len..(grp + 1) * a_len],
+            );
+        }
+        let b_len = packed_b_len(kdim, row_len);
+        let mut bpack_all = ws.take_slot(self.bpack_slot, n * g.groups * b_len);
+
         let bias = self.bias.value.data();
         let x_data = x.data();
         let img_sz = c * h * w;
@@ -239,22 +269,27 @@ impl Module for Conv2d {
         out.data_mut()
             .par_chunks_mut(out_img_sz)
             .zip(col_all.par_chunks_mut(col_img))
+            .zip(bpack_all.par_chunks_mut(g.groups * b_len))
             .enumerate()
-            .for_each(|(ni, (out_img, col))| {
+            .for_each(|(ni, ((out_img, col), bpack))| {
                 let img = &x_data[ni * img_sz..(ni + 1) * img_sz];
                 for grp in 0..g.groups {
                     let col_g = &mut col[grp * kdim * row_len..(grp + 1) * kdim * row_len];
                     im2col(img, h, w, grp * icg, (grp + 1) * icg, &g, oh, ow, col_g);
-                    let w_g = &weight[grp * ocg * kdim..(grp + 1) * ocg * kdim];
                     let y_g = &mut out_img[grp * ocg * row_len..(grp + 1) * ocg * row_len];
                     for (oc_local, plane) in y_g.chunks_mut(row_len).enumerate() {
                         plane.fill(bias[grp * ocg + oc_local]);
                     }
-                    gemm_nn(w_g, col_g, y_g, ocg, kdim, row_len);
+                    let pb = &mut bpack[grp * b_len..(grp + 1) * b_len];
+                    pack_b(col_g, kdim, row_len, false, pb);
+                    let pa = &wpack[grp * a_len..(grp + 1) * a_len];
+                    gemm_packed(pa, pb, y_g, ocg, kdim, row_len);
                 }
             });
 
         ws.put_slot(self.col_slot, col_all);
+        ws.put_slot(self.wpack_slot, wpack);
+        ws.put_slot(self.bpack_slot, bpack_all);
         self.in_dims = [n, c, h, w];
         out
     }
@@ -281,23 +316,42 @@ impl Module for Conv2d {
         // survive the take/put round trip — no recompute, no input clone.
         let col_all = ws.take_slot(self.col_slot, n * col_img);
         let mut dcol_all = ws.take_slot(self.dcol_slot, n * col_img);
-        let mut dx = ws.tensor_zeroed([n, c, h, w]);
         let gout = grad_out.data();
         let weight = self.weight.value.data();
+
+        // Pack Wᵀ per group once (`dCol = Wᵀ·dY` reads the weight with the
+        // roles of its axes swapped — a pack-time layout choice).
+        let a_len = packed_a_len(kdim, ocg);
+        let mut wtpack = ws.take_slot(self.wtpack_slot, g.groups * a_len);
+        for grp in 0..g.groups {
+            pack_a(
+                &weight[grp * ocg * kdim..(grp + 1) * ocg * kdim],
+                kdim,
+                ocg,
+                true,
+                &mut wtpack[grp * a_len..(grp + 1) * a_len],
+            );
+        }
+        let b_len = packed_b_len(ocg, row_len);
+        let mut gypack_all = ws.take_slot(self.gypack_slot, n * g.groups * b_len);
+        let mut dx = ws.tensor_zeroed([n, c, h, w]);
 
         // dX: parallel over images; col2im scatter-adds into the zeroed dx.
         dx.data_mut()
             .par_chunks_mut(img_sz)
             .zip(dcol_all.par_chunks_mut(col_img))
+            .zip(gypack_all.par_chunks_mut(g.groups * b_len))
             .enumerate()
-            .for_each(|(ni, (dx_img, dcol))| {
+            .for_each(|(ni, ((dx_img, dcol), gypack))| {
                 let gy = &gout[ni * out_img_sz..(ni + 1) * out_img_sz];
                 for grp in 0..g.groups {
                     let gy_g = &gy[grp * ocg * row_len..(grp + 1) * ocg * row_len];
-                    let w_g = &weight[grp * ocg * kdim..(grp + 1) * ocg * kdim];
+                    let pb = &mut gypack[grp * b_len..(grp + 1) * b_len];
+                    pack_b(gy_g, ocg, row_len, false, pb);
                     let dcol_g = &mut dcol[grp * kdim * row_len..(grp + 1) * kdim * row_len];
                     dcol_g.fill(0.0);
-                    gemm_tn(w_g, gy_g, dcol_g, kdim, ocg, row_len);
+                    let pa = &wtpack[grp * a_len..(grp + 1) * a_len];
+                    gemm_packed(pa, pb, dcol_g, kdim, ocg, row_len);
                     col2im(dcol_g, h, w, grp * icg, (grp + 1) * icg, &g, oh, ow, dx_img);
                 }
             });
@@ -333,6 +387,8 @@ impl Module for Conv2d {
 
         ws.put_slot(self.col_slot, col_all);
         ws.put_slot(self.dcol_slot, dcol_all);
+        ws.put_slot(self.wtpack_slot, wtpack);
+        ws.put_slot(self.gypack_slot, gypack_all);
         dx
     }
 

@@ -2,7 +2,7 @@
 
 use crate::init::kaiming_normal;
 use crate::module::{Module, Param};
-use fca_tensor::linalg::{gemm_nn, gemm_nt, gemm_tn};
+use fca_tensor::linalg::{gemm_nn_ws, gemm_nt_ws, gemm_tn_ws};
 use fca_tensor::ops::add_bias_rows;
 use fca_tensor::{SlotId, Tensor, Workspace};
 use rand::Rng;
@@ -54,13 +54,14 @@ impl Linear {
     pub fn forward_inference(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let n = x.dims()[0];
         let mut y = ws.tensor_zeroed([n, self.out_features()]);
-        gemm_nt(
+        gemm_nt_ws(
             x.data(),
             self.weight.value.data(),
             y.data_mut(),
             n,
             self.in_features(),
             self.out_features(),
+            ws,
         );
         add_bias_rows(&mut y, &self.bias.value);
         y
@@ -78,15 +79,18 @@ impl Module for Linear {
         );
         let n = x.dims()[0];
         let (in_f, out_f) = (self.in_features(), self.out_features());
-        // gemm_nt accumulates, so the output must start zeroed.
+        // gemm_nt accumulates, so the output must start zeroed. The _ws
+        // variants draw packing scratch from the workspace pool, keeping
+        // the steady state allocation-free.
         let mut y = ws.tensor_zeroed([n, out_f]);
-        gemm_nt(
+        gemm_nt_ws(
             x.data(),
             self.weight.value.data(),
             y.data_mut(),
             n,
             in_f,
             out_f,
+            ws,
         );
         add_bias_rows(&mut y, &self.bias.value);
         let mut cache = ws.take_slot(self.in_slot, n * in_f);
@@ -108,13 +112,14 @@ impl Module for Linear {
         let cache = ws.take_slot(self.in_slot, n * in_f);
         // dW += dYᵀ·X, db += colsum(dY), dX = dY·W — the parameter GEMMs
         // accumulate straight into the grad tensors, no temporaries.
-        gemm_tn(
+        gemm_tn_ws(
             grad_out.data(),
             &cache,
             self.weight.grad.data_mut(),
             out_f,
             n,
             in_f,
+            ws,
         );
         let db = self.bias.grad.data_mut();
         for row in grad_out.data().chunks(out_f) {
@@ -123,13 +128,14 @@ impl Module for Linear {
             }
         }
         let mut dx = ws.tensor_zeroed([n, in_f]);
-        gemm_nn(
+        gemm_nn_ws(
             grad_out.data(),
             self.weight.value.data(),
             dx.data_mut(),
             n,
             out_f,
             in_f,
+            ws,
         );
         ws.put_slot(self.in_slot, cache);
         dx

@@ -5,9 +5,10 @@
 //!
 //! 1. **Correctness** — every numeric kernel has a naive reference
 //!    implementation it is property-tested against.
-//! 2. **Throughput on CPU** — convolutions lower to im2col + a blocked,
-//!    rayon-parallel GEMM; elementwise kernels operate on contiguous slices
-//!    so LLVM can autovectorize them.
+//! 2. **Throughput on CPU** — convolutions lower to im2col + the packed,
+//!    register-blocked GEMM engine in [`gemm`] (MR×NR microkernel, KC/MC/NC
+//!    cache blocking, 2D macro-tile rayon parallelism); elementwise kernels
+//!    operate on contiguous slices so LLVM can autovectorize them.
 //! 3. **Determinism** — all randomness flows through explicitly seeded
 //!    generators from [`rng`]; no global RNG state.
 //!
@@ -15,6 +16,7 @@
 //! kernels in [`linalg`] and [`ops`]. Higher layers (`fca-nn`) build layer
 //! semantics on top.
 
+pub mod gemm;
 pub mod linalg;
 pub mod ops;
 pub mod rng;

@@ -6,16 +6,100 @@
 //! * [`matmul_tn`] — `C = Aᵀ·B`      (weight gradients: `dW = Xᵀ·dY`)
 //! * [`matmul_nt`] — `C = A·Bᵀ`      (input gradients: `dX = dY·Wᵀ`)
 //!
-//! The kernels use an `ikj` loop order (axpy over rows) so the innermost
-//! loop streams contiguous rows of `B` and `C`, which LLVM autovectorizes,
-//! and parallelize over blocks of output rows with rayon once the work is
-//! large enough to amortize the fork/join.
+//! All variants route through the packed, register-blocked engine in
+//! [`crate::gemm`]: the operands are packed into MR/NR panels (the
+//! transpose variants are pack-time layout choices) and multiplied by one
+//! microkernel with 2D macro-tile parallelism. Results are bit-identical
+//! across thread counts.
+//!
+//! Packing scratch comes from one of two places:
+//!
+//! * the `gemm_nn`/`gemm_tn`/`gemm_nt` entry points keep a pair of
+//!   per-thread recycled buffers (they are callable from inside rayon
+//!   regions, e.g. the per-image conv loop, where no [`Workspace`] can
+//!   follow);
+//! * the `*_ws` twins draw from a [`Workspace`] recycle pool instead, so a
+//!   training loop that threads its workspace through stays allocation-free
+//!   and observable via [`crate::WorkspaceStats`].
+//!
+//! The pre-packing seed kernels survive as `gemm_*_naive` — the perf
+//! baseline for `fca-bench`'s snapshot tooling and a second reference for
+//! property tests.
 
+use crate::gemm::{gemm_packed, pack_a, pack_b, packed_a_len, packed_b_len};
 use crate::tensor::Tensor;
+use crate::workspace::Workspace;
 use rayon::prelude::*;
+use std::cell::RefCell;
 
-/// Below this many multiply-adds the kernels stay single-threaded.
+/// Below this many multiply-adds the naive kernels stay single-threaded.
 const PAR_THRESHOLD: usize = 64 * 1024;
+
+thread_local! {
+    /// Per-thread packing scratch for the workspace-less entry points.
+    /// Grow-only, so steady-state calls never touch the allocator.
+    static PACK_SCRATCH: RefCell<(Vec<f32>, Vec<f32>)> =
+        const { RefCell::new((Vec::new(), Vec::new())) };
+}
+
+/// Pack both operands (reading A/B transposed per the flags) and run the
+/// blocked engine, with packing scratch borrowed from `buffers`.
+#[allow(clippy::too_many_arguments)]
+fn gemm_into(
+    buffers: (&mut Vec<f32>, &mut Vec<f32>),
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    trans: (bool, bool),
+) {
+    let (pa, pb) = buffers;
+    let (alen, blen) = (packed_a_len(m, k), packed_b_len(k, n));
+    if pa.len() < alen {
+        pa.resize(alen, 0.0);
+    }
+    if pb.len() < blen {
+        pb.resize(blen, 0.0);
+    }
+    pack_a(a, m, k, trans.0, &mut pa[..alen]);
+    pack_b(b, k, n, trans.1, &mut pb[..blen]);
+    gemm_packed(&pa[..alen], &pb[..blen], c, m, k, n);
+}
+
+fn gemm_thread_local(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    trans: (bool, bool),
+) {
+    PACK_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let (pa, pb) = &mut *scratch;
+        gemm_into((pa, pb), a, b, c, m, k, n, trans);
+    });
+}
+
+#[allow(clippy::too_many_arguments)]
+fn gemm_workspace(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    trans: (bool, bool),
+    ws: &mut Workspace,
+) {
+    let (mut pa, mut pb) = ws.alloc2(packed_a_len(m, k), packed_b_len(k, n));
+    gemm_into((&mut pa, &mut pb), a, b, c, m, k, n, trans);
+    ws.recycle_vec(pa);
+    ws.recycle_vec(pb);
+}
 
 /// `C = A·B` for `A: (m,k)` and `B: (k,n)`.
 pub fn matmul(a: &Tensor, b: &Tensor) -> Tensor {
@@ -52,6 +136,82 @@ pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    gemm_thread_local(a, b, c, m, k, n, (false, false));
+}
+
+/// Raw `C += Aᵀ·B` on flat slices, `A: k×m`, `B: k×n`, `C: m×n`.
+pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_thread_local(a, b, c, m, k, n, (true, false));
+}
+
+/// Raw `C += A·Bᵀ` on flat slices, `A: m×k`, `B: n×k`, `C: m×n`.
+pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_thread_local(a, b, c, m, k, n, (false, true));
+}
+
+/// [`gemm_nn`] with packing scratch drawn from `ws`'s recycle pool.
+///
+/// Bit-identical to [`gemm_nn`]; use it wherever a workspace is already
+/// threaded through so packing stays visible to [`crate::WorkspaceStats`].
+pub fn gemm_nn_ws(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_workspace(a, b, c, m, k, n, (false, false), ws);
+}
+
+/// [`gemm_tn`] with packing scratch drawn from `ws`'s recycle pool.
+pub fn gemm_tn_ws(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+) {
+    debug_assert_eq!(a.len(), k * m);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_workspace(a, b, c, m, k, n, (true, false), ws);
+}
+
+/// [`gemm_nt`] with packing scratch drawn from `ws`'s recycle pool.
+pub fn gemm_nt_ws(
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    ws: &mut Workspace,
+) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), n * k);
+    debug_assert_eq!(c.len(), m * n);
+    gemm_workspace(a, b, c, m, k, n, (false, true), ws);
+}
+
+/// Seed `ikj` kernel for `C += A·B` (row-parallel, no packing). Kept as
+/// the perf baseline for `gemm_snapshot` and as a test oracle.
+pub fn gemm_nn_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
     let body = |(i, c_row): (usize, &mut [f32])| {
         let a_row = &a[i * k..(i + 1) * k];
         for (kk, &aik) in a_row.iter().enumerate() {
@@ -70,8 +230,8 @@ pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
     }
 }
 
-/// Raw `C += Aᵀ·B` on flat slices, `A: k×m`, `B: k×n`, `C: m×n`.
-pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+/// Seed kernel for `C += Aᵀ·B` (row-parallel, strided A reads).
+pub fn gemm_tn_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
@@ -93,11 +253,8 @@ pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
     }
 }
 
-/// Raw `C += A·Bᵀ` on flat slices, `A: m×k`, `B: n×k`, `C: m×n`.
-///
-/// Here both operand rows are contiguous, so the kernel is a row-dot
-/// product with a 4-way unrolled accumulator.
-pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+/// Seed kernel for `C += A·Bᵀ` (row-dot products).
+pub fn gemm_nt_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
@@ -115,22 +272,25 @@ pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
     }
 }
 
-/// Dot product with 4 independent accumulators (helps autovectorization).
+/// Dot product with 8 independent accumulators.
+///
+/// Eight parallel chains keep two FMA/add pipes busy on wide SIMD targets
+/// while still reducing deterministically (fixed tree, independent of
+/// length rounding). Backs Conv2d's weight-gradient path and the loss
+/// kernels, which reduce over contiguous rows.
 #[inline]
 pub fn dot(a: &[f32], b: &[f32]) -> f32 {
     debug_assert_eq!(a.len(), b.len());
-    let mut acc = [0.0f32; 4];
-    let chunks = a.len() / 4;
-    for i in 0..chunks {
-        let ia = i * 4;
-        acc[0] += a[ia] * b[ia];
-        acc[1] += a[ia + 1] * b[ia + 1];
-        acc[2] += a[ia + 2] * b[ia + 2];
-        acc[3] += a[ia + 3] * b[ia + 3];
+    let mut acc = [0.0f32; 8];
+    let chunks = a.len() / 8;
+    for (av, bv) in a.chunks_exact(8).zip(b.chunks_exact(8)).take(chunks) {
+        for ((s, &x), &y) in acc.iter_mut().zip(av).zip(bv) {
+            *s += x * y;
+        }
     }
-    let mut s = acc[0] + acc[1] + acc[2] + acc[3];
-    for i in chunks * 4..a.len() {
-        s += a[i] * b[i];
+    let mut s = ((acc[0] + acc[4]) + (acc[1] + acc[5])) + ((acc[2] + acc[6]) + (acc[3] + acc[7]));
+    for (&x, &y) in a[chunks * 8..].iter().zip(&b[chunks * 8..]) {
+        s += x * y;
     }
     s
 }
@@ -222,10 +382,101 @@ mod tests {
         matmul(&a, &b);
     }
 
+    /// The packed kernels must agree with the seed kernels they replaced
+    /// (to tolerance: the reduction trees differ).
+    #[test]
+    fn packed_variants_match_naive_kernels() {
+        let mut rng = seeded_rng(16);
+        for &(m, k, n) in &[(3, 5, 4), (20, 33, 41), (70, 40, 150)] {
+            let a = Tensor::randn([m * k], 1.0, &mut rng);
+            let b = Tensor::randn([k * n], 1.0, &mut rng);
+            type K = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+            for (fast, naive) in [
+                (gemm_nn as K, gemm_nn_naive as K),
+                (gemm_tn as K, gemm_tn_naive as K),
+                (gemm_nt as K, gemm_nt_naive as K),
+            ] {
+                let mut c1 = vec![0.0f32; m * n];
+                let mut c2 = vec![0.0f32; m * n];
+                fast(a.data(), b.data(), &mut c1, m, k, n);
+                naive(a.data(), b.data(), &mut c2, m, k, n);
+                for (x, y) in c1.iter().zip(&c2) {
+                    assert!(
+                        (x - y).abs() <= 1e-4 * (1.0 + y.abs().max(x.abs())),
+                        "{m}x{k}x{n}: {x} vs {y}"
+                    );
+                }
+            }
+        }
+    }
+
+    /// Workspace-pooled packing must be bit-identical to the thread-local
+    /// path, and the second call must be served entirely from the pool.
+    #[test]
+    fn ws_variants_are_bit_identical_and_reuse_pool() {
+        let mut rng = seeded_rng(17);
+        let mut ws = Workspace::new();
+        let (m, k, n) = (33, 47, 29);
+        let a = Tensor::randn([m * k], 1.0, &mut rng);
+        let b = Tensor::randn([k * n], 1.0, &mut rng);
+        type K = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+        type KW = fn(&[f32], &[f32], &mut [f32], usize, usize, usize, &mut Workspace);
+        for (plain, pooled) in [
+            (gemm_nn as K, gemm_nn_ws as KW),
+            (gemm_tn as K, gemm_tn_ws as KW),
+            (gemm_nt as K, gemm_nt_ws as KW),
+        ] {
+            let mut c1 = vec![0.0f32; m * n];
+            let mut c2 = vec![0.0f32; m * n];
+            plain(a.data(), b.data(), &mut c1, m, k, n);
+            pooled(a.data(), b.data(), &mut c2, m, k, n, &mut ws);
+            assert_eq!(c1, c2);
+        }
+        ws.reset_stats();
+        let mut c = vec![0.0f32; m * n];
+        gemm_nn_ws(a.data(), b.data(), &mut c, m, k, n, &mut ws);
+        assert_eq!(ws.stats().allocations, 0, "packing buffers not recycled");
+    }
+
+    /// Each public variant, bit-identical across 1/2/8-thread pools.
+    #[test]
+    fn variants_bit_exact_across_thread_counts() {
+        let mut rng = seeded_rng(18);
+        let (m, k, n) = (130, 65, 260);
+        let a = Tensor::randn([m * k], 1.0, &mut rng);
+        let b = Tensor::randn([k * n], 1.0, &mut rng);
+        type K = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+        for kernel in [gemm_nn as K, gemm_tn as K, gemm_nt as K] {
+            let run = || {
+                let mut c = vec![0.0f32; m * n];
+                kernel(a.data(), b.data(), &mut c, m, k, n);
+                c
+            };
+            let baseline = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .expect("pool")
+                .install(run);
+            for threads in [2, 8] {
+                let got = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool")
+                    .install(run);
+                assert_eq!(baseline, got, "{threads} threads changed bits");
+            }
+        }
+    }
+
+    /// Remainder-heavy dot coverage around the 8-lane unroll.
     #[test]
     fn dot_handles_remainders() {
-        let a: Vec<f32> = (1..=7).map(|x| x as f32).collect();
-        let b = vec![1.0f32; 7];
-        assert_eq!(dot(&a, &b), 28.0);
+        for len in 1..=17usize {
+            let a: Vec<f32> = (1..=len).map(|x| x as f32).collect();
+            let b = vec![1.0f32; len];
+            let expect = (len * (len + 1) / 2) as f32;
+            assert_eq!(dot(&a, &b), expect, "len {len}");
+        }
+        assert_eq!(dot(&[], &[]), 0.0);
     }
 }

@@ -1,0 +1,15 @@
+#!/usr/bin/env bash
+# Perf snapshot: run the GEMM + conv criterion groups and write
+# BENCH_gemm.json (shape → ns/iter + GFLOP/s + speedup over the seed ikj
+# kernel) at the repo root, so successive PRs have a perf trajectory to
+# compare against. Run from anywhere in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== criterion: gemm + conv2d groups ==="
+cargo bench -p fca-bench --bench substrate -- 'gemm|conv2d'
+
+echo "=== BENCH_gemm.json snapshot ==="
+cargo run --release -p fca-bench --bin gemm_snapshot
+
+echo "bench_snapshot: wrote $(pwd)/BENCH_gemm.json"

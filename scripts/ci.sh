@@ -14,4 +14,10 @@ echo "=== tier-1: build + test ==="
 cargo build --release
 cargo test -q
 
+echo "=== optimized-build numerics: fca-tensor in release ==="
+cargo test -q --release -p fca-tensor
+
+echo "=== bench harness smoke run ==="
+cargo bench -p fca-bench -- --test
+
 echo "ci: all green"
