@@ -13,6 +13,7 @@ use fedclassavg::algo::{
     Algorithm, FedAvg, FedClassAvg, FedProto, FedProx, KtPfl, KtPflWeight, LocalOnly,
 };
 use fedclassavg::client::Client;
+use fedclassavg::comm::FaultPlan;
 use fedclassavg::config::{FedConfig, HyperParams};
 use fedclassavg::sim::{build_clients, run_federation, RunResult};
 
@@ -29,7 +30,11 @@ pub enum DatasetKind {
 
 impl DatasetKind {
     /// All three, in the paper's column order.
-    pub const ALL: [DatasetKind; 3] = [DatasetKind::Cifar, DatasetKind::Fashion, DatasetKind::Emnist];
+    pub const ALL: [DatasetKind; 3] = [
+        DatasetKind::Cifar,
+        DatasetKind::Fashion,
+        DatasetKind::Emnist,
+    ];
 
     /// Display name.
     pub fn name(&self) -> &'static str {
@@ -53,13 +58,16 @@ impl DatasetKind {
             DatasetKind::Fashion => SynthConfig::synth_fashion(seed),
             DatasetKind::Emnist => SynthConfig::synth_emnist(seed),
         };
-        let full_dims = std::env::var("FCA_FULL_DIMS").map(|v| v == "1").unwrap_or(false);
+        let full_dims = std::env::var("FCA_FULL_DIMS")
+            .map(|v| v == "1")
+            .unwrap_or(false);
         if !full_dims {
             cfg.height /= 2;
             cfg.width /= 2;
             cfg.jitter = (cfg.jitter / 2).max(1);
         }
-        cfg.with_sizes(ctx.train_size(*self), ctx.test_size(*self)).generate()
+        cfg.with_sizes(ctx.train_size(*self), ctx.test_size(*self))
+            .generate()
     }
 
     /// Micro-adapted per-dataset hyperparameters. Learning rates are
@@ -160,7 +168,9 @@ impl ExperimentContext {
     pub fn from_env() -> Self {
         let args: Vec<String> = std::env::args().collect();
         let quick = args.iter().any(|a| a == "--quick")
-            || std::env::var("FCA_QUICK").map(|v| v == "1").unwrap_or(false);
+            || std::env::var("FCA_QUICK")
+                .map(|v| v == "1")
+                .unwrap_or(false);
         let seed = args
             .iter()
             .position(|a| a == "--seed")
@@ -185,8 +195,7 @@ impl ExperimentContext {
 
     /// Test-set size.
     pub fn test_size(&self, d: DatasetKind) -> usize {
-        let per_class =
-            env_usize("FCA_TEST_PER_CLASS").unwrap_or(if self.quick { 15 } else { 30 });
+        let per_class = env_usize("FCA_TEST_PER_CLASS").unwrap_or(if self.quick { 15 } else { 30 });
         per_class * d.num_classes()
     }
 
@@ -230,6 +239,7 @@ impl ExperimentContext {
             eval_every: (rounds / 10).max(1),
             seed: self.seed,
             hp: d.hyperparams(),
+            faults: FaultPlan::none(),
         }
     }
 }
@@ -254,7 +264,13 @@ fn hetero_algorithm(
             Box::new(ModelArch::heterogeneous_rotation),
         ),
         Method::Ablation { contrastive, rho } => (
-            Box::new(FedClassAvg::ablation(feat, classes, ctx.seed, contrastive, rho)),
+            Box::new(FedClassAvg::ablation(
+                feat,
+                classes,
+                ctx.seed,
+                contrastive,
+                rho,
+            )),
             Box::new(ModelArch::heterogeneous_rotation),
         ),
         Method::KtPfl => {
@@ -271,7 +287,9 @@ fn hetero_algorithm(
             // Paper: FedProto runs the *less heterogeneous* width-varied
             // CNN scheme because prototypes must share dimensions.
             Box::new(FedProto::new(feat, classes, 1.0)),
-            Box::new(|k: usize| ModelArch::ProtoCnn { width_variant: k % 4 }),
+            Box::new(|k: usize| ModelArch::ProtoCnn {
+                width_variant: k % 4,
+            }),
         ),
         other => panic!("{other:?} is a homogeneous-only method"),
     }
@@ -280,7 +298,11 @@ fn hetero_algorithm(
 /// KT-pFL public data: an extra synthetic split from the same generator
 /// family (the paper assumes public data distributionally similar to the
 /// private data).
-pub fn public_data(ctx: &ExperimentContext, d: DatasetKind, data: &SynthDataset) -> fca_tensor::Tensor {
+pub fn public_data(
+    ctx: &ExperimentContext,
+    d: DatasetKind,
+    data: &SynthDataset,
+) -> fca_tensor::Tensor {
     let seed = derive_seed(ctx.seed, 0x9B11C + d as u64);
     let mut cfg = match d {
         DatasetKind::Cifar => SynthConfig::synth_cifar(seed),
@@ -347,8 +369,13 @@ pub fn run_homogeneous(
         (c, h, w)
     };
     let init_state = || {
-        let mut reference =
-            fca_models::build_model(arch, (c, h, w), feat, classes, derive_seed(ctx.seed, 0x610B));
+        let mut reference = fca_models::build_model(
+            arch,
+            (c, h, w),
+            feat,
+            classes,
+            derive_seed(ctx.seed, 0x610B),
+        );
         reference.full_state()
     };
     let mut algo: Box<dyn Algorithm> = match method {
@@ -374,7 +401,9 @@ pub fn run_homogeneous(
     let epochs_per_round = algo.epochs_per_round(&d.hyperparams()).max(1);
     let rounds = (ctx.epoch_budget() / epochs_per_round).max(1);
     let cfg = ctx.fed_config(d, num_clients, sample_rate, rounds);
-    let mut clients = build_clients(&data, Partitioner::Dirichlet { alpha: 0.5 }, &cfg, &|_| arch);
+    let mut clients = build_clients(&data, Partitioner::Dirichlet { alpha: 0.5 }, &cfg, &|_| {
+        arch
+    });
     run_federation(&mut clients, algo.as_mut(), &cfg)
 }
 
@@ -403,8 +432,22 @@ mod tests {
     fn method_names_match_paper_rows() {
         assert_eq!(Method::FedClassAvg.name(), "Proposed");
         assert_eq!(Method::Baseline.name(), "Baseline (local training)");
-        assert_eq!(Method::Ablation { contrastive: false, rho: 0.0 }.name(), "CA");
-        assert_eq!(Method::Ablation { contrastive: true, rho: 0.1 }.name(), "CA+PR+CL");
+        assert_eq!(
+            Method::Ablation {
+                contrastive: false,
+                rho: 0.0
+            }
+            .name(),
+            "CA"
+        );
+        assert_eq!(
+            Method::Ablation {
+                contrastive: true,
+                rho: 0.1
+            }
+            .name(),
+            "CA+PR+CL"
+        );
     }
 
     #[test]

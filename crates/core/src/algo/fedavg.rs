@@ -63,17 +63,19 @@ impl Algorithm for FedAvg {
             net.send_to_client(k, &WireMessage::FullModel(self.global_state.clone()));
         }
         for_sampled_parallel(clients, sampled, |c| {
-            let WireMessage::FullModel(state) = net.client_recv(c.id) else {
-                panic!("expected FullModel broadcast")
+            let Some(WireMessage::FullModel(state)) = net.client_recv(c.id) else {
+                return; // offline this round
             };
             c.model.load_full_state(&state);
             c.local_update_supervised(hp.local_epochs, hp);
             net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
         });
-        let replies = net.server_collect(sampled.len());
-        let ids: Vec<usize> = replies.iter().map(|(k, _)| *k).collect();
-        let weights = normalized_weights(clients, &ids);
-        self.aggregate(&replies, &weights);
+        let collected = net.server_collect_deadline(sampled.len(), net.collect_budget());
+        if collected.replies.is_empty() {
+            return; // zero survivors: the previous global stands
+        }
+        let weights = normalized_weights(clients, &collected.ids());
+        self.aggregate(&collected.replies, &weights);
     }
 }
 
@@ -118,8 +120,8 @@ impl Algorithm for FedProx {
         }
         let mu = self.mu;
         for_sampled_parallel(clients, sampled, |c| {
-            let WireMessage::FullModel(state) = net.client_recv(c.id) else {
-                panic!("expected FullModel broadcast")
+            let Some(WireMessage::FullModel(state)) = net.client_recv(c.id) else {
+                return; // offline this round
             };
             c.model.load_full_state(&state);
             // Snapshot the just-loaded global parameters in params_mut
@@ -133,10 +135,12 @@ impl Algorithm for FedProx {
             c.local_update_fedprox(&snapshot, mu, hp);
             net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
         });
-        let replies = net.server_collect(sampled.len());
-        let ids: Vec<usize> = replies.iter().map(|(k, _)| *k).collect();
-        let weights = normalized_weights(clients, &ids);
-        self.inner.aggregate(&replies, &weights);
+        let collected = net.server_collect_deadline(sampled.len(), net.collect_budget());
+        if collected.replies.is_empty() {
+            return; // zero survivors: the previous global stands
+        }
+        let weights = normalized_weights(clients, &collected.ids());
+        self.inner.aggregate(&collected.replies, &weights);
     }
 }
 
@@ -202,6 +206,22 @@ mod tests {
             tight < loose,
             "FedProx μ=25 drifted {tight} vs FedAvg-equivalent {loose}"
         );
+    }
+
+    #[test]
+    fn fedavg_survives_total_dropout() {
+        use crate::comm::{FaultPlan, Network};
+        let hp = HyperParams::micro_default();
+        let (mut clients, _) = tiny_fleet_homogeneous_hp(2, 725, hp);
+        let init = clients[0].model.full_state();
+        let mut algo = FedAvg::new(init.clone());
+        let mut net = Network::new(2).with_fault_plan(FaultPlan::with_dropout(3, 1.0));
+        net.begin_round(1, &[0, 1]);
+        algo.round(1, &mut clients, &[0, 1], &net, &hp);
+        for (a, b) in algo.global_state().iter().zip(&init) {
+            assert_eq!(a, b, "global moved despite zero survivors");
+        }
+        assert_eq!(net.take_round_faults(), (2, 0));
     }
 
     #[test]

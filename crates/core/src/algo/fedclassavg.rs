@@ -157,38 +157,54 @@ impl Algorithm for FedClassAvg {
             net.send_to_client(k, &msg);
         }
 
-        // Local updates (parallel).
+        // Local updates (parallel). Offline clients received nothing and
+        // sit the round out.
         let share_full = self.share_full_weights;
-        for_sampled_parallel(clients, sampled, |c| match net.client_recv(c.id) {
-            WireMessage::Classifier(global) => {
-                c.model.classifier.set_weights(&global);
-                c.local_update_fedclassavg(Some(&global), hp, obj);
-                net.send_to_server(c.id, &WireMessage::Classifier(c.model.classifier.weights()));
+        for_sampled_parallel(clients, sampled, |c| {
+            let Some(msg) = net.client_recv(c.id) else {
+                return;
+            };
+            match msg {
+                WireMessage::Classifier(global) => {
+                    c.model.classifier.set_weights(&global);
+                    c.local_update_fedclassavg(Some(&global), hp, obj);
+                    net.send_to_server(
+                        c.id,
+                        &WireMessage::Classifier(c.model.classifier.weights()),
+                    );
+                }
+                WireMessage::ClassifierF16(global) => {
+                    c.model.classifier.set_weights(&global);
+                    c.local_update_fedclassavg(Some(&global), hp, obj);
+                    net.send_to_server(
+                        c.id,
+                        &WireMessage::ClassifierF16(c.model.classifier.weights()),
+                    );
+                }
+                WireMessage::FullModel(state) => {
+                    debug_assert!(share_full);
+                    c.model.load_full_state(&state);
+                    let n = state.len();
+                    let global_cls = ClassifierWeights {
+                        weight: state[n - 2].clone(),
+                        bias: state[n - 1].clone(),
+                    };
+                    c.local_update_fedclassavg(Some(&global_cls), hp, obj);
+                    net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
+                }
+                other => panic!("unexpected broadcast {other:?}"),
             }
-            WireMessage::ClassifierF16(global) => {
-                c.model.classifier.set_weights(&global);
-                c.local_update_fedclassavg(Some(&global), hp, obj);
-                net.send_to_server(
-                    c.id,
-                    &WireMessage::ClassifierF16(c.model.classifier.weights()),
-                );
-            }
-            WireMessage::FullModel(state) => {
-                debug_assert!(share_full);
-                c.model.load_full_state(&state);
-                let n = state.len();
-                let global_cls = ClassifierWeights {
-                    weight: state[n - 2].clone(),
-                    bias: state[n - 1].clone(),
-                };
-                c.local_update_fedclassavg(Some(&global_cls), hp, obj);
-                net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
-            }
-            other => panic!("unexpected broadcast {other:?}"),
         });
 
-        // Aggregate (Eq. 3), deterministically ordered by client id.
-        let replies = net.server_collect(sampled.len());
+        // Aggregate (Eq. 3) over whatever survived the round,
+        // deterministically ordered by client id; survivor weights are
+        // renormalized to sum to 1 so the average stays unbiased. Zero
+        // survivors skip the round: the previous global stands.
+        let collected = net.server_collect_deadline(sampled.len(), net.collect_budget());
+        if collected.replies.is_empty() {
+            return;
+        }
+        let replies = collected.replies;
         let weights = normalized_weights(
             clients,
             &replies.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
@@ -345,6 +361,56 @@ mod tests {
             dist < 0.05 * (1.0 + scale),
             "quantized run diverged: {dist}"
         );
+    }
+
+    #[test]
+    fn survivor_weights_renormalize_to_one_under_dropout() {
+        use crate::comm::{Fate, FaultPlan};
+        let hp = HyperParams::micro_default().with_lr(0.0); // freeze training
+        let (mut clients, _) = tiny_fleet_hp(3, 717, hp);
+        // Find a round where exactly one of the three clients drops.
+        let plan = FaultPlan::with_dropout(21, 0.5);
+        let round = (1..)
+            .find(|&r| (0..3).filter(|&c| plan.fate(r, c) == Fate::Dropped).count() == 1)
+            .expect("some round drops exactly one client");
+        let mut net = Network::new(3).with_fault_plan(plan);
+        net.begin_round(round, &[0, 1, 2]);
+        let mut algo = FedClassAvg::new(8, 3, 2);
+        let global = algo.global_classifier().clone();
+        algo.round(round, &mut clients, &[0, 1, 2], &net, &hp);
+        // lr = 0: every survivor returns the broadcast classifier. The
+        // aggregate equals the broadcast iff survivor weights were
+        // renormalized to sum to 1; un-renormalized weights would shrink
+        // it by the missing client's share.
+        for (a, b) in algo
+            .global_classifier()
+            .weight
+            .data()
+            .iter()
+            .zip(global.weight.data())
+        {
+            assert!((a - b).abs() < 1e-5, "survivor weights not renormalized");
+        }
+        let (dropped, corrupt) = net.take_round_faults();
+        assert_eq!((dropped, corrupt), (1, 0));
+    }
+
+    #[test]
+    fn zero_survivors_skip_round_keeping_global() {
+        use crate::comm::FaultPlan;
+        let hp = HyperParams::micro_default();
+        let (mut clients, _) = tiny_fleet_hp(2, 718, hp);
+        let mut net = Network::new(2).with_fault_plan(FaultPlan::with_dropout(5, 1.0));
+        net.begin_round(1, &[0, 1]);
+        let mut algo = FedClassAvg::new(8, 3, 6);
+        let global = algo.global_classifier().clone();
+        algo.round(1, &mut clients, &[0, 1], &net, &hp);
+        assert_eq!(
+            algo.global_classifier().weight,
+            global.weight,
+            "round with zero survivors must leave the global untouched"
+        );
+        assert_eq!(net.take_round_faults(), (2, 0));
     }
 
     #[test]

@@ -67,8 +67,8 @@ impl Algorithm for FedMd {
         let temp = self.temperature;
         let local_epochs = self.local_epochs;
         for_sampled_parallel(clients, sampled, |c| {
-            let WireMessage::PublicData(public) = net.client_recv(c.id) else {
-                panic!("expected PublicData broadcast")
+            let Some(WireMessage::PublicData(public)) = net.client_recv(c.id) else {
+                return; // offline this round
             };
             c.local_update_supervised(local_epochs, hp);
             let logits = c.logits_on(&public);
@@ -76,8 +76,11 @@ impl Algorithm for FedMd {
             net.send_to_server(c.id, &WireMessage::SoftPredictions(soft));
         });
 
-        // Uniform consensus over the sampled clients.
-        let replies = net.server_collect(sampled.len());
+        // Uniform consensus over the survivors; with no survivors there is
+        // nothing to distill toward, so the round ends after local training.
+        let replies = net
+            .server_collect_deadline(sampled.len(), net.collect_budget())
+            .replies;
         let mut consensus: Option<Tensor> = None;
         for (_, msg) in &replies {
             let WireMessage::SoftPredictions(t) = msg else {
@@ -88,18 +91,22 @@ impl Algorithm for FedMd {
                 Some(acc) => acc.add_assign(t),
             }
         }
-        let mut consensus = consensus.expect("at least one reply");
+        let Some(mut consensus) = consensus else {
+            return;
+        };
         consensus.scale(1.0 / replies.len() as f32);
 
-        // Phase B: everyone distills toward the same consensus.
+        // Phase B: every reachable client distills toward the consensus
+        // (stragglers and corrupt uplinks still trained and may distill;
+        // offline clients get nothing).
         for &k in sampled {
             net.send_to_client(k, &WireMessage::SoftTargets(consensus.clone()));
         }
         let (steps, batch) = (self.distill_steps, self.distill_batch);
         let public = self.public.clone();
         for_sampled_parallel(clients, sampled, |c| {
-            let WireMessage::SoftTargets(t) = net.client_recv(c.id) else {
-                panic!("expected SoftTargets")
+            let Some(WireMessage::SoftTargets(t)) = net.client_recv(c.id) else {
+                return;
             };
             c.distill(&public, &t, temp, steps, batch);
         });

@@ -52,17 +52,25 @@ impl Algorithm for FedProto {
         }
         let lambda = self.lambda;
         for_sampled_parallel(clients, sampled, |c| {
-            let WireMessage::Prototypes(protos) = net.client_recv(c.id) else {
-                panic!("expected Prototypes broadcast")
+            let Some(WireMessage::Prototypes(protos)) = net.client_recv(c.id) else {
+                return; // offline this round
             };
             c.local_update_fedproto(&protos, lambda, hp);
             let local = c.compute_prototypes();
             net.send_to_server(c.id, &WireMessage::Prototypes(local));
         });
 
-        // Aggregate per class, weighting each contribution by the client's
-        // data share (clients lacking a class contribute nothing to it).
-        let replies = net.server_collect(sampled.len());
+        // Aggregate per class over the survivors, weighting each
+        // contribution by the client's data share (clients lacking a class
+        // contribute nothing to it). The per-class mass already
+        // renormalizes over whoever reported, so lost uplinks shrink no
+        // prototype; zero survivors keep every previous prototype.
+        let replies = net
+            .server_collect_deadline(sampled.len(), net.collect_budget())
+            .replies;
+        if replies.is_empty() {
+            return;
+        }
         let mut sums: Vec<Tensor> = vec![Tensor::zeros([self.feature_dim]); self.num_classes];
         let mut mass = vec![0.0f32; self.num_classes];
         for (k, msg) in &replies {

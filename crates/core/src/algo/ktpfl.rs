@@ -161,8 +161,8 @@ impl Algorithm for KtPfl {
         let temp = self.temperature;
         let local_epochs = self.local_epochs;
         for_sampled_parallel(clients, sampled, |c| {
-            let WireMessage::PublicData(public) = net.client_recv(c.id) else {
-                panic!("expected PublicData broadcast")
+            let Some(WireMessage::PublicData(public)) = net.client_recv(c.id) else {
+                return; // offline this round
             };
             c.local_update_supervised(local_epochs, hp);
             let logits = c.logits_on(&public);
@@ -170,26 +170,34 @@ impl Algorithm for KtPfl {
             net.send_to_server(c.id, &WireMessage::SoftPredictions(soft));
         });
         let soft: Vec<(usize, Tensor)> = net
-            .server_collect(sampled.len())
+            .server_collect_deadline(sampled.len(), net.collect_budget())
+            .replies
             .into_iter()
             .map(|(k, m)| match m {
                 WireMessage::SoftPredictions(t) => (k, t),
                 other => panic!("expected SoftPredictions, got {other:?}"),
             })
             .collect();
+        if soft.is_empty() {
+            return; // zero survivors: coefficients and targets stand
+        }
 
-        // Server: learn coefficients, build personalized targets.
-        self.update_coefficients(sampled, &soft);
-        for (k, t) in self.personalized_targets(sampled, &soft) {
+        // Server: learn coefficients and build personalized targets over
+        // the survivors only — the coefficient rows/columns of lost
+        // clients are untouched this round.
+        let survivors: Vec<usize> = soft.iter().map(|(k, _)| *k).collect();
+        self.update_coefficients(&survivors, &soft);
+        for (k, t) in self.personalized_targets(&survivors, &soft) {
             net.send_to_client(k, &WireMessage::SoftTargets(t));
         }
 
-        // Phase B: clients distill toward their targets.
+        // Phase B: surviving clients distill toward their targets (lost
+        // clients got no target and skip).
         let (steps, batch) = (self.distill_steps, self.distill_batch);
         let public = self.public.clone();
         for_sampled_parallel(clients, sampled, |c| {
-            let WireMessage::SoftTargets(t) = net.client_recv(c.id) else {
-                panic!("expected SoftTargets")
+            let Some(WireMessage::SoftTargets(t)) = net.client_recv(c.id) else {
+                return;
             };
             c.distill(&public, &t, temp, steps, batch);
         });
@@ -313,13 +321,19 @@ impl Algorithm for KtPflWeight {
         }
         let local_epochs = self.local_epochs;
         for_sampled_parallel(clients, sampled, |c| {
-            if let Some(WireMessage::FullModel(state)) = net.client_try_recv(c.id) {
+            if !net.client_online(c.id) {
+                return; // offline this round
+            }
+            // Round 0 legitimately broadcasts nothing; clients then start
+            // from their own weights.
+            if let Some(WireMessage::FullModel(state)) = net.client_recv(c.id) {
                 c.model.load_full_state(&state);
             }
             c.local_update_supervised(local_epochs, hp);
             net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
         });
-        for (k, msg) in net.server_collect(sampled.len()) {
+        let collected = net.server_collect_deadline(sampled.len(), net.collect_budget());
+        for (k, msg) in collected.replies {
             let WireMessage::FullModel(state) = msg else {
                 panic!("expected FullModel uplink")
             };
@@ -366,6 +380,37 @@ mod tests {
         let theta0 = algo.theta.clone();
         algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
         assert_ne!(algo.theta, theta0, "coefficient matrix never updated");
+    }
+
+    #[test]
+    fn round_tolerates_dropped_clients() {
+        use crate::comm::{Fate, FaultPlan, Network};
+        let (mut clients, _) = tiny_fleet(3, 748);
+        let public = tiny_public_data(12, 749);
+        let hp = HyperParams::micro_default();
+        let mut algo = KtPfl::new(public, 3).with_local_epochs(1);
+        let plan = FaultPlan::with_dropout(77, 0.5);
+        let round = (1..)
+            .find(|&r| (0..3).filter(|&c| plan.fate(r, c) == Fate::Dropped).count() == 1)
+            .expect("some round drops exactly one client");
+        let dropped: usize = (0..3)
+            .find(|&c| plan.fate(round, c) == Fate::Dropped)
+            .unwrap();
+        let mut net = Network::new(3).with_fault_plan(plan);
+        net.begin_round(round, &[0, 1, 2]);
+        let theta0 = algo.theta.clone();
+        algo.round(round, &mut clients, &[0, 1, 2], &net, &hp);
+        // The dropped client's coefficient row is untouched; survivors'
+        // rows moved.
+        for col in 0..3 {
+            assert_eq!(
+                algo.theta.get2(dropped, col),
+                theta0.get2(dropped, col),
+                "dropped client's coefficients updated without its data"
+            );
+        }
+        assert_ne!(algo.theta, theta0, "survivor coefficients never updated");
+        assert_eq!(net.take_round_faults(), (1, 0));
     }
 
     #[test]

@@ -38,6 +38,12 @@ pub trait Algorithm: Send {
     ///
     /// Implementations broadcast through `net`, train sampled clients in
     /// parallel, collect uplink messages, and update server state.
+    ///
+    /// Client failure is an outcome, not an error: implementations must
+    /// skip clients the network reports offline, aggregate over whatever
+    /// [`Network::server_collect_deadline`] returns (renormalizing
+    /// weights over the survivors), and leave server state untouched when
+    /// zero replies arrive.
     fn round(
         &mut self,
         round: usize,
@@ -48,7 +54,9 @@ pub trait Algorithm: Send {
     );
 }
 
-/// Normalized aggregation weights `|D_k| / Σ|D_j|` over the sampled set.
+/// Normalized aggregation weights `|D_k| / Σ|D_j|` over a set of client
+/// ids — callers pass the round's *survivors*, so after faults the
+/// weights renormalize to sum to 1 over whoever actually replied.
 pub(crate) fn normalized_weights(clients: &[Client], sampled: &[usize]) -> Vec<f32> {
     let total: f32 = sampled.iter().map(|&k| clients[k].weight).sum();
     assert!(total > 0.0, "sampled clients have zero total weight");

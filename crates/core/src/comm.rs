@@ -5,16 +5,26 @@
 //! channels. Serialization is not decorative: every payload is encoded to
 //! its wire form and the [`Network`] tallies real uplink/downlink bytes,
 //! which is how the Table 5 communication-cost comparison is measured.
+//!
+//! Unlike the paper's MPI setup, the simulated network does not assume
+//! every sampled client answers: a seeded [`FaultPlan`] can drop clients,
+//! delay their uplinks past the round deadline, or corrupt payloads in
+//! flight, and [`Network::server_collect_deadline`] returns whatever
+//! actually arrived instead of blocking on the missing replies.
 
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 use crossbeam::channel::{unbounded, Receiver, Sender};
 use fca_models::classifier::ClassifierWeights;
+use fca_tensor::rng::derived_rng;
 use fca_tensor::serialize::{
     decode_tensor, decode_tensor_f16, encode_tensor, encode_tensor_f16, encoded_len,
     encoded_len_f16, WireError,
 };
 use fca_tensor::Tensor;
+use rand::Rng;
+use serde::{Deserialize, Serialize};
 use std::sync::atomic::{AtomicU64, Ordering};
+use std::time::{Duration, Instant};
 
 /// A message crossing the simulated network.
 #[derive(Clone, Debug, PartialEq)]
@@ -106,64 +116,238 @@ impl WireMessage {
             WireMessage::FullModel(state) => state.iter().map(encoded_len).sum(),
             WireMessage::Prototypes(protos) => {
                 let empty = Tensor::zeros([0]);
-                protos.iter().map(|p| encoded_len(p.as_ref().unwrap_or(&empty))).sum()
+                protos
+                    .iter()
+                    .map(|p| encoded_len(p.as_ref().unwrap_or(&empty)))
+                    .sum()
             }
             WireMessage::SoftPredictions(t)
             | WireMessage::SoftTargets(t)
             | WireMessage::PublicData(t) => encoded_len(t),
-            WireMessage::ClassifierF16(w) => {
-                encoded_len_f16(&w.weight) + encoded_len_f16(&w.bias)
-            }
+            WireMessage::ClassifierF16(w) => encoded_len_f16(&w.weight) + encoded_len_f16(&w.bias),
         };
         1 + 4 + body
     }
 
     /// Decode from the wire.
+    ///
+    /// Framing errors are reported precisely: an unrecognized tag byte is
+    /// [`WireError::UnknownTag`] (checked before any tensor is decoded),
+    /// and a tensor count that contradicts the tagged type is
+    /// [`WireError::CountMismatch`].
     pub fn decode(mut buf: Bytes) -> Result<WireMessage, WireError> {
         if buf.remaining() < 5 {
             return Err(WireError::Truncated);
         }
         let tag = buf.get_u8();
         let count = buf.get_u32_le() as usize;
-        if tag == TAG_CLASSIFIER_F16 {
-            if count != 2 {
-                return Err(WireError::Truncated);
+        let expect_count = |expected: usize| -> Result<(), WireError> {
+            if count == expected {
+                Ok(())
+            } else {
+                Err(WireError::CountMismatch {
+                    expected,
+                    got: count,
+                })
             }
-            let weight = decode_tensor_f16(&mut buf)?;
-            let bias = decode_tensor_f16(&mut buf)?;
-            return Ok(WireMessage::ClassifierF16(ClassifierWeights { weight, bias }));
-        }
-        let mut tensors = Vec::with_capacity(count);
-        for _ in 0..count {
-            tensors.push(decode_tensor(&mut buf)?);
-        }
+        };
         match tag {
+            TAG_CLASSIFIER_F16 => {
+                expect_count(2)?;
+                let weight = decode_tensor_f16(&mut buf)?;
+                let bias = decode_tensor_f16(&mut buf)?;
+                Ok(WireMessage::ClassifierF16(ClassifierWeights {
+                    weight,
+                    bias,
+                }))
+            }
             TAG_CLASSIFIER => {
-                if tensors.len() != 2 {
-                    return Err(WireError::Truncated);
-                }
-                let bias = tensors.pop().expect("len checked");
-                let weight = tensors.pop().expect("len checked");
+                expect_count(2)?;
+                let weight = decode_tensor(&mut buf)?;
+                let bias = decode_tensor(&mut buf)?;
                 Ok(WireMessage::Classifier(ClassifierWeights { weight, bias }))
             }
-            TAG_FULL_MODEL => Ok(WireMessage::FullModel(tensors)),
-            TAG_PROTOTYPES => Ok(WireMessage::Prototypes(
-                tensors
-                    .into_iter()
-                    .map(|t| if t.numel() == 0 { None } else { Some(t) })
-                    .collect(),
-            )),
-            TAG_SOFT_PRED => Ok(WireMessage::SoftPredictions(
-                tensors.pop().ok_or(WireError::Truncated)?,
-            )),
-            TAG_SOFT_TARGET => Ok(WireMessage::SoftTargets(
-                tensors.pop().ok_or(WireError::Truncated)?,
-            )),
-            TAG_PUBLIC_DATA => Ok(WireMessage::PublicData(
-                tensors.pop().ok_or(WireError::Truncated)?,
-            )),
-            _ => Err(WireError::Truncated),
+            TAG_FULL_MODEL => {
+                let mut tensors = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    tensors.push(decode_tensor(&mut buf)?);
+                }
+                Ok(WireMessage::FullModel(tensors))
+            }
+            TAG_PROTOTYPES => {
+                let mut protos = Vec::with_capacity(count.min(1024));
+                for _ in 0..count {
+                    let t = decode_tensor(&mut buf)?;
+                    protos.push(if t.numel() == 0 { None } else { Some(t) });
+                }
+                Ok(WireMessage::Prototypes(protos))
+            }
+            TAG_SOFT_PRED => {
+                expect_count(1)?;
+                Ok(WireMessage::SoftPredictions(decode_tensor(&mut buf)?))
+            }
+            TAG_SOFT_TARGET => {
+                expect_count(1)?;
+                Ok(WireMessage::SoftTargets(decode_tensor(&mut buf)?))
+            }
+            TAG_PUBLIC_DATA => {
+                expect_count(1)?;
+                Ok(WireMessage::PublicData(decode_tensor(&mut buf)?))
+            }
+            other => Err(WireError::UnknownTag(other)),
         }
+    }
+}
+
+// --------------------------------------------------------------------
+// Fault injection.
+//
+// The paper's MPI deployment assumes every sampled client answers every
+// round; real federations lose clients to crashes, network partitions and
+// stragglers. The [`FaultPlan`] makes those failures a *deterministic,
+// seeded* property of the simulation: each (round, client) pair is
+// assigned a [`Fate`] from an independent RNG stream, so a faulty run is
+// exactly as reproducible as a healthy one.
+// --------------------------------------------------------------------
+
+/// What happens to one sampled client in one round.
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Fate {
+    /// Participates normally.
+    Healthy,
+    /// Offline for the whole round: never receives the broadcast, never
+    /// trains, never uploads.
+    Dropped,
+    /// Receives the broadcast and trains, but the uplink misses the
+    /// collection deadline — the server observes a drop.
+    Straggler,
+    /// Uplink arrives, but corrupted in flight; the server's decode fails
+    /// and the reply is discarded.
+    Corrupt,
+}
+
+/// A deterministic, seeded per-round fault schedule.
+///
+/// Rates are independent per (round, client): with probability `dropout`
+/// the client is [`Fate::Dropped`], else with `straggler` it is
+/// [`Fate::Straggler`], else with `corruption` its uplink is
+/// [`Fate::Corrupt`]. The three rates must sum to at most 1.
+#[derive(Clone, Copy, Debug, PartialEq, Serialize, Deserialize)]
+pub struct FaultPlan {
+    /// Seed of the fault RNG stream (independent of the training seed).
+    pub seed: u64,
+    /// Probability a sampled client is offline for the round.
+    pub dropout: f32,
+    /// Probability a sampled client's uplink misses the deadline.
+    pub straggler: f32,
+    /// Probability a sampled client's uplink is corrupted in flight.
+    pub corruption: f32,
+}
+
+impl Default for FaultPlan {
+    fn default() -> Self {
+        FaultPlan::none()
+    }
+}
+
+impl FaultPlan {
+    /// No faults: every client is healthy every round.
+    pub fn none() -> Self {
+        FaultPlan {
+            seed: 0,
+            dropout: 0.0,
+            straggler: 0.0,
+            corruption: 0.0,
+        }
+    }
+
+    /// Dropout-only plan.
+    pub fn with_dropout(seed: u64, dropout: f32) -> Self {
+        FaultPlan {
+            seed,
+            dropout,
+            straggler: 0.0,
+            corruption: 0.0,
+        }
+    }
+
+    /// Fully specified plan.
+    pub fn new(seed: u64, dropout: f32, straggler: f32, corruption: f32) -> Self {
+        let plan = FaultPlan {
+            seed,
+            dropout,
+            straggler,
+            corruption,
+        };
+        plan.validate();
+        plan
+    }
+
+    /// True when no fault can ever fire.
+    pub fn is_none(&self) -> bool {
+        self.dropout == 0.0 && self.straggler == 0.0 && self.corruption == 0.0
+    }
+
+    /// Panic unless every rate is a probability and the rates are jointly
+    /// feasible (a client has exactly one fate per round).
+    pub fn validate(&self) {
+        for (name, p) in [
+            ("dropout", self.dropout),
+            ("straggler", self.straggler),
+            ("corruption", self.corruption),
+        ] {
+            assert!(
+                (0.0..=1.0).contains(&p),
+                "fault rate {name} = {p} outside [0, 1]"
+            );
+        }
+        let total = self.dropout + self.straggler + self.corruption;
+        assert!(
+            total <= 1.0 + 1e-6,
+            "fault rates sum to {total} > 1; a client has one fate per round"
+        );
+    }
+
+    /// The deterministic fate of `client` in `round`.
+    ///
+    /// Each (round, client) pair gets its own derived RNG stream, so fates
+    /// are independent of sampling order, thread timing, and each other.
+    pub fn fate(&self, round: usize, client: usize) -> Fate {
+        if self.is_none() {
+            return Fate::Healthy;
+        }
+        let tag = 0xFA17_0000_0000_0000_u64
+            ^ (round as u64).wrapping_mul(0x0000_0001_0000_0001)
+            ^ (client as u64);
+        let mut rng = derived_rng(self.seed, tag);
+        let u: f32 = rng.gen();
+        if u < self.dropout {
+            Fate::Dropped
+        } else if u < self.dropout + self.straggler {
+            Fate::Straggler
+        } else if u < self.dropout + self.straggler + self.corruption {
+            Fate::Corrupt
+        } else {
+            Fate::Healthy
+        }
+    }
+}
+
+/// What a deadline-bounded collection actually gathered.
+#[derive(Debug)]
+pub struct Collected {
+    /// Decoded survivor replies, ordered by client id.
+    pub replies: Vec<(usize, WireMessage)>,
+    /// Expected uplinks that never arrived (offline clients + stragglers).
+    pub dropped: usize,
+    /// Uplinks that arrived but failed to decode.
+    pub corrupt: usize,
+}
+
+impl Collected {
+    /// Ids of the clients whose replies survived, in ascending order.
+    pub fn ids(&self) -> Vec<usize> {
+        self.replies.iter().map(|(k, _)| *k).collect()
     }
 }
 
@@ -198,17 +382,37 @@ impl CommStats {
 }
 
 /// The simulated network: one duplex channel pair per client, with byte
-/// accounting on every transmission.
+/// accounting on every transmission and an optional [`FaultPlan`] that
+/// drops, delays, or corrupts traffic deterministically.
 pub struct Network {
     to_client: Vec<Sender<Bytes>>,
     at_client: Vec<Receiver<Bytes>>,
     to_server: Sender<(usize, Bytes)>,
     at_server: Receiver<(usize, Bytes)>,
     stats: CommStats,
+    plan: FaultPlan,
+    /// Per-client fates for the round opened by [`Network::begin_round`];
+    /// read-only during the round (clients only read their own slot).
+    fates: Vec<Fate>,
+    /// Uplinks the current round will actually deliver (healthy + corrupt
+    /// senders). `usize::MAX` until `begin_round` is first called, which
+    /// makes [`Network::server_collect_deadline`] trust its `expected`
+    /// argument on fault-free networks driven without the round engine.
+    expected_deliveries: usize,
+    /// Faults observed by the most recent collection (for the engine to
+    /// harvest into [`crate::sim::RoundMetrics`]).
+    round_dropped: AtomicU64,
+    round_corrupt: AtomicU64,
+    collect_budget: Duration,
 }
 
+/// Default real-time safety net for one round's collection. Collection is
+/// count-driven and normally returns without waiting; the budget only
+/// matters if a send path hangs, turning a deadlock into a bounded wait.
+pub const DEFAULT_COLLECT_BUDGET: Duration = Duration::from_secs(5);
+
 impl Network {
-    /// Build a network for `num_clients` clients.
+    /// Build a fault-free network for `num_clients` clients.
     pub fn new(num_clients: usize) -> Self {
         let mut to_client = Vec::with_capacity(num_clients);
         let mut at_client = Vec::with_capacity(num_clients);
@@ -218,7 +422,56 @@ impl Network {
             at_client.push(rx);
         }
         let (to_server, at_server) = unbounded();
-        Network { to_client, at_client, to_server, at_server, stats: CommStats::default() }
+        Network {
+            to_client,
+            at_client,
+            to_server,
+            at_server,
+            stats: CommStats::default(),
+            plan: FaultPlan::none(),
+            fates: vec![Fate::Healthy; num_clients],
+            expected_deliveries: usize::MAX,
+            round_dropped: AtomicU64::new(0),
+            round_corrupt: AtomicU64::new(0),
+            collect_budget: DEFAULT_COLLECT_BUDGET,
+        }
+    }
+
+    /// Attach a fault plan (builder style).
+    pub fn with_fault_plan(mut self, plan: FaultPlan) -> Self {
+        plan.validate();
+        self.plan = plan;
+        self
+    }
+
+    /// Override the real-time collection safety net.
+    pub fn with_collect_budget(mut self, budget: Duration) -> Self {
+        self.collect_budget = budget;
+        self
+    }
+
+    /// The configured collection budget.
+    pub fn collect_budget(&self) -> Duration {
+        self.collect_budget
+    }
+
+    /// Open a round: fix every sampled client's fate for `round` and
+    /// precompute how many uplinks will actually be delivered. Called by
+    /// the round engine before the algorithm runs; algorithms driven
+    /// without it see a fault-free network.
+    pub fn begin_round(&mut self, round: usize, sampled: &[usize]) {
+        self.fates.iter_mut().for_each(|f| *f = Fate::Healthy);
+        let mut deliveries = 0usize;
+        for &k in sampled {
+            let fate = self.plan.fate(round, k);
+            self.fates[k] = fate;
+            if matches!(fate, Fate::Healthy | Fate::Corrupt) {
+                deliveries += 1;
+            }
+        }
+        self.expected_deliveries = deliveries;
+        self.round_dropped.store(0, Ordering::Relaxed);
+        self.round_corrupt.store(0, Ordering::Relaxed);
     }
 
     /// Number of clients on the network.
@@ -226,52 +479,131 @@ impl Network {
         self.to_client.len()
     }
 
-    /// Server → client broadcast of one message.
+    /// Is `client` reachable this round? Offline ([`Fate::Dropped`])
+    /// clients receive no broadcast, skip training, and upload nothing.
+    pub fn client_online(&self, client: usize) -> bool {
+        self.fates[client] != Fate::Dropped
+    }
+
+    /// Server → client broadcast of one message. The transmission is
+    /// always paid for (bytes counted); delivery to an offline client is
+    /// swallowed by the simulated network.
     pub fn send_to_client(&self, client: usize, msg: &WireMessage) {
         let bytes = msg.encode();
-        self.stats.downlink.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.stats
+            .downlink
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        self.to_client[client].send(bytes).expect("client channel closed");
+        if self.fates[client] == Fate::Dropped {
+            return;
+        }
+        self.to_client[client]
+            .send(bytes)
+            .expect("client channel closed");
     }
 
-    /// Client-side receive (blocking; callable from rayon workers).
-    pub fn client_recv(&self, client: usize) -> WireMessage {
-        let bytes = self.at_client[client].recv().expect("server channel closed");
-        WireMessage::decode(bytes).expect("malformed server message")
+    /// Client-side receive. Returns `None` when no broadcast was delivered
+    /// (offline client, or an algorithm that legitimately skipped the
+    /// send) or the payload fails to decode. Algorithms queue broadcasts
+    /// before the client region runs, so a missing message means "not
+    /// coming", never "not yet".
+    pub fn client_recv(&self, client: usize) -> Option<WireMessage> {
+        let bytes = self.at_client[client].try_recv().ok()?;
+        WireMessage::decode(bytes).ok()
     }
 
-    /// Non-blocking client receive.
-    pub fn client_try_recv(&self, client: usize) -> Option<WireMessage> {
-        self.at_client[client]
-            .try_recv()
-            .ok()
-            .map(|b| WireMessage::decode(b).expect("malformed server message"))
-    }
-
-    /// Client → server upload.
+    /// Client → server upload. The client always pays for the
+    /// transmission; the fault plan then decides whether the payload
+    /// arrives intact, arrives corrupted, or misses the deadline.
     pub fn send_to_server(&self, client: usize, msg: &WireMessage) {
         let bytes = msg.encode();
-        self.stats.uplink.fetch_add(bytes.len() as u64, Ordering::Relaxed);
+        self.stats
+            .uplink
+            .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
-        self.to_server.send((client, bytes)).expect("server channel closed");
+        let bytes = match self.fates[client] {
+            Fate::Healthy => bytes,
+            // Offline clients never reach this path; stragglers transmit
+            // but the reply outlives the round's deadline.
+            Fate::Dropped | Fate::Straggler => return,
+            Fate::Corrupt => corrupt_payload(bytes),
+        };
+        self.to_server
+            .send((client, bytes))
+            .expect("server channel closed");
     }
 
-    /// Drain exactly `expected` uplink messages, returned ordered by
-    /// client id (deterministic aggregation regardless of thread timing).
-    pub fn server_collect(&self, expected: usize) -> Vec<(usize, WireMessage)> {
-        let mut msgs = Vec::with_capacity(expected);
-        for _ in 0..expected {
-            let (k, bytes) = self.at_server.recv().expect("client channels closed");
-            msgs.push((k, WireMessage::decode(bytes).expect("malformed client message")));
+    /// Collect up to `expected` uplinks within `budget`, returning
+    /// whatever arrived and decoded, ordered by client id.
+    ///
+    /// The network knows (from [`Network::begin_round`]) how many uplinks
+    /// the round will deliver, so the call returns as soon as they are in —
+    /// missing clients cost no wall-clock time and cannot deadlock the
+    /// round. `budget` is a real-time safety net on top of that count.
+    pub fn server_collect_deadline(&self, expected: usize, budget: Duration) -> Collected {
+        let deadline = Instant::now() + budget;
+        let will_arrive = expected.min(self.expected_deliveries);
+        let mut replies = Vec::with_capacity(will_arrive);
+        let mut corrupt = 0usize;
+        while replies.len() + corrupt < will_arrive {
+            let remaining = deadline.saturating_duration_since(Instant::now());
+            match self.at_server.recv_timeout(remaining) {
+                Ok((k, bytes)) => match WireMessage::decode(bytes) {
+                    Ok(msg) => replies.push((k, msg)),
+                    Err(_) => corrupt += 1,
+                },
+                // Budget exhausted: whatever is still missing is dropped.
+                Err(_) => break,
+            }
         }
-        msgs.sort_by_key(|(k, _)| *k);
-        msgs
+        replies.sort_by_key(|(k, _)| *k);
+        let dropped = expected - replies.len() - corrupt;
+        self.round_dropped
+            .fetch_add(dropped as u64, Ordering::Relaxed);
+        self.round_corrupt
+            .fetch_add(corrupt as u64, Ordering::Relaxed);
+        Collected {
+            replies,
+            dropped,
+            corrupt,
+        }
+    }
+
+    /// Fault-free collection of exactly `expected` uplinks (legacy shape;
+    /// now deadline-bounded underneath, so a missing reply degrades into a
+    /// short reply list instead of a deadlock).
+    pub fn server_collect(&self, expected: usize) -> Vec<(usize, WireMessage)> {
+        self.server_collect_deadline(expected, self.collect_budget)
+            .replies
+    }
+
+    /// Faults observed since [`Network::begin_round`], reset to zero.
+    /// Returns `(dropped, corrupt)`.
+    pub fn take_round_faults(&self) -> (u64, u64) {
+        (
+            self.round_dropped.swap(0, Ordering::Relaxed),
+            self.round_corrupt.swap(0, Ordering::Relaxed),
+        )
     }
 
     /// Traffic statistics.
     pub fn stats(&self) -> &CommStats {
         &self.stats
     }
+}
+
+/// Deterministically mangle a payload so that decoding reliably fails:
+/// flip a byte inside the header region and cut the final byte, which
+/// leaves the last tensor short ([`WireError::Truncated`]) no matter what
+/// the flipped byte did to the framing.
+fn corrupt_payload(bytes: Bytes) -> Bytes {
+    let mut v = bytes.to_vec();
+    if !v.is_empty() {
+        let mid = (v.len() - 1).min(2);
+        v[mid] ^= 0xA5;
+        v.pop();
+    }
+    Bytes::from(v)
 }
 
 #[cfg(test)]
@@ -334,7 +666,10 @@ mod tests {
         let w = ClassifierWeights::zeros(512, 10);
         let msg = WireMessage::Classifier(w);
         let kb = msg.encoded_len() as f64 / 1024.0;
-        assert!((19.0..22.5).contains(&kb), "classifier wire size {kb:.2} KB");
+        assert!(
+            (19.0..22.5).contains(&kb),
+            "classifier wire size {kb:.2} KB"
+        );
     }
 
     #[test]
@@ -346,7 +681,7 @@ mod tests {
         net.send_to_client(0, &msg);
         net.send_to_client(1, &msg);
         assert_eq!(net.stats().downlink_bytes(), 2 * len);
-        let got = net.client_recv(0);
+        let got = net.client_recv(0).expect("broadcast delivered");
         assert_eq!(got, msg);
         net.send_to_server(1, &msg);
         assert_eq!(net.stats().uplink_bytes(), len);
@@ -376,11 +711,14 @@ mod tests {
         };
         let full = WireMessage::Classifier(w.clone());
         let half = WireMessage::ClassifierF16(w.clone());
-        // Payload halves (headers identical).
-        let payload_full = full.encoded_len() - 5;
-        let payload_half = half.encoded_len() - 5;
-        let header_overhead = 2 * (1 + 4 * 2) - (1 + 4); // two tensor headers
-        assert_eq!(payload_full - payload_half + header_overhead - header_overhead, 2 * w.numel());
+        // Headers are format-independent: 5 B message framing plus one
+        // tensor header (1 B rank + 4 B per dim) for the rank-2 weight and
+        // the rank-1 bias.
+        let headers = 5 + (1 + 4 * 2) + (1 + 4);
+        assert_eq!(full.encoded_len(), headers + 4 * w.numel());
+        assert_eq!(half.encoded_len(), headers + 2 * w.numel());
+        // So the f16 payload is exactly 2 bytes-per-element smaller.
+        assert_eq!(full.encoded_len() - half.encoded_len(), 2 * w.numel());
         // Round trip within f16 precision.
         match WireMessage::decode(half.encode()).expect("decode") {
             WireMessage::ClassifierF16(back) => {
@@ -396,5 +734,185 @@ mod tests {
     fn decode_rejects_garbage() {
         let garbage = Bytes::from_static(&[9, 1, 0, 0, 0, 1, 2]);
         assert!(WireMessage::decode(garbage).is_err());
+    }
+
+    #[test]
+    fn decode_reports_unknown_tag() {
+        let garbage = Bytes::from_static(&[0xEE, 1, 0, 0, 0, 1, 2]);
+        assert_eq!(
+            WireMessage::decode(garbage),
+            Err(WireError::UnknownTag(0xEE))
+        );
+    }
+
+    #[test]
+    fn decode_reports_count_mismatch() {
+        // A classifier message whose header claims 3 tensors.
+        let w = ClassifierWeights::zeros(4, 2);
+        let msg = WireMessage::Classifier(w);
+        let mut bytes = msg.encode().to_vec();
+        bytes[1] = 3;
+        assert_eq!(
+            WireMessage::decode(Bytes::from(bytes)),
+            Err(WireError::CountMismatch {
+                expected: 2,
+                got: 3
+            })
+        );
+        // Soft predictions claiming zero tensors.
+        let soft = WireMessage::SoftPredictions(Tensor::zeros([2, 2]));
+        let mut bytes = soft.encode().to_vec();
+        bytes[1] = 0;
+        assert_eq!(
+            WireMessage::decode(Bytes::from(bytes)),
+            Err(WireError::CountMismatch {
+                expected: 1,
+                got: 0
+            })
+        );
+    }
+
+    #[test]
+    fn fault_plan_fates_are_deterministic_and_rate_shaped() {
+        let plan = FaultPlan::new(99, 0.3, 0.1, 0.1);
+        let mut counts = [0usize; 4];
+        for round in 0..50 {
+            for client in 0..20 {
+                let a = plan.fate(round, client);
+                let b = plan.fate(round, client);
+                assert_eq!(a, b, "fate must be a pure function of (round, client)");
+                counts[match a {
+                    Fate::Healthy => 0,
+                    Fate::Dropped => 1,
+                    Fate::Straggler => 2,
+                    Fate::Corrupt => 3,
+                }] += 1;
+            }
+        }
+        let total = 50.0 * 20.0;
+        assert!(
+            (counts[1] as f32 / total - 0.3).abs() < 0.05,
+            "dropout rate off"
+        );
+        assert!(
+            (counts[2] as f32 / total - 0.1).abs() < 0.05,
+            "straggler rate off"
+        );
+        assert!(
+            (counts[3] as f32 / total - 0.1).abs() < 0.05,
+            "corruption rate off"
+        );
+        // A different seed reshuffles individual fates.
+        let other = FaultPlan::new(100, 0.3, 0.1, 0.1);
+        assert!(
+            (0..50).any(|r| (0..20).any(|c| plan.fate(r, c) != other.fate(r, c))),
+            "seed does not influence fates"
+        );
+    }
+
+    #[test]
+    fn none_plan_never_faults() {
+        let plan = FaultPlan::none();
+        for round in 0..10 {
+            for client in 0..10 {
+                assert_eq!(plan.fate(round, client), Fate::Healthy);
+            }
+        }
+    }
+
+    #[test]
+    #[should_panic(expected = "sum to")]
+    fn infeasible_fault_rates_rejected() {
+        FaultPlan::new(1, 0.8, 0.8, 0.8);
+    }
+
+    /// A plan whose rates pin every sampled client to one fate, letting
+    /// tests script exact failure patterns.
+    fn all_fate_plan(fate: Fate) -> FaultPlan {
+        match fate {
+            Fate::Healthy => FaultPlan::none(),
+            Fate::Dropped => FaultPlan::new(7, 1.0, 0.0, 0.0),
+            Fate::Straggler => FaultPlan::new(7, 0.0, 1.0, 0.0),
+            Fate::Corrupt => FaultPlan::new(7, 0.0, 0.0, 1.0),
+        }
+    }
+
+    #[test]
+    fn dropped_client_gets_no_broadcast_and_is_offline() {
+        let mut net = Network::new(2).with_fault_plan(all_fate_plan(Fate::Dropped));
+        net.begin_round(1, &[0, 1]);
+        assert!(!net.client_online(0));
+        let msg = WireMessage::Classifier(ClassifierWeights::zeros(4, 2));
+        net.send_to_client(0, &msg);
+        assert!(
+            net.client_recv(0).is_none(),
+            "offline client received a broadcast"
+        );
+        // The transmission itself is still paid for.
+        assert_eq!(net.stats().downlink_bytes(), msg.encoded_len() as u64);
+    }
+
+    #[test]
+    fn straggler_uplink_counts_as_drop_without_blocking() {
+        let mut net = Network::new(2).with_fault_plan(all_fate_plan(Fate::Straggler));
+        net.begin_round(1, &[0, 1]);
+        let msg = WireMessage::Classifier(ClassifierWeights::zeros(4, 2));
+        net.send_to_server(0, &msg);
+        net.send_to_server(1, &msg);
+        let start = Instant::now();
+        let got = net.server_collect_deadline(2, Duration::from_secs(30));
+        // Count-driven return: no real-time wait despite the huge budget.
+        assert!(
+            start.elapsed() < Duration::from_secs(5),
+            "collection waited on stragglers"
+        );
+        assert!(got.replies.is_empty());
+        assert_eq!(got.dropped, 2);
+        assert_eq!(got.corrupt, 0);
+        assert_eq!(net.take_round_faults(), (2, 0));
+    }
+
+    #[test]
+    fn corrupt_uplink_is_discarded_and_counted() {
+        let mut net = Network::new(3).with_fault_plan(all_fate_plan(Fate::Corrupt));
+        net.begin_round(1, &[1]); // only client 1 is faulted this round
+        let msg = WireMessage::Classifier(ClassifierWeights::zeros(4, 2));
+        net.send_to_server(0, &msg);
+        net.send_to_server(1, &msg);
+        net.send_to_server(2, &msg);
+        let got = net.server_collect_deadline(3, Duration::from_secs(5));
+        assert_eq!(got.ids(), vec![0, 2]);
+        assert_eq!(got.corrupt, 1);
+        assert_eq!(got.dropped, 0);
+    }
+
+    #[test]
+    fn collect_deadline_survives_zero_replies() {
+        let mut net = Network::new(2).with_fault_plan(all_fate_plan(Fate::Dropped));
+        net.begin_round(3, &[0, 1]);
+        let got = net.server_collect_deadline(2, Duration::from_secs(5));
+        assert!(got.replies.is_empty());
+        assert_eq!(got.dropped, 2);
+    }
+
+    #[test]
+    fn corrupt_payload_never_decodes() {
+        let mut rng = seeded_rng(505);
+        let messages = vec![
+            WireMessage::Classifier(ClassifierWeights {
+                weight: Tensor::randn([3, 4], 1.0, &mut rng),
+                bias: Tensor::randn([3], 1.0, &mut rng),
+            }),
+            WireMessage::FullModel(vec![Tensor::randn([2, 2], 1.0, &mut rng)]),
+            WireMessage::Prototypes(vec![None, Some(Tensor::randn([4], 1.0, &mut rng))]),
+            WireMessage::SoftPredictions(Tensor::randn([2, 3], 1.0, &mut rng)),
+        ];
+        for msg in messages {
+            let mangled = super::corrupt_payload(msg.encode());
+            assert!(
+                WireMessage::decode(mangled).is_err(),
+                "corruption survived decode"
+            );
+        }
     }
 }

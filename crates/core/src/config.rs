@@ -1,5 +1,6 @@
 //! Experiment configuration, including the paper's Table 1 hyperparameters.
 
+use crate::comm::FaultPlan;
 use serde::{Deserialize, Serialize};
 
 /// Which optimizer local updates use.
@@ -121,12 +122,17 @@ pub struct FedConfig {
     pub seed: u64,
     /// Local-update hyperparameters.
     pub hp: HyperParams,
+    /// Fault-injection schedule for the simulated network (no faults by
+    /// default; absent from serialized configs written before faults
+    /// existed).
+    #[serde(default)]
+    pub faults: FaultPlan,
 }
 
 impl FedConfig {
     /// Paper-shaped default: 20 clients, full participation.
     pub fn paper_20_clients(hp: HyperParams, rounds: usize, seed: u64) -> Self {
-        FedConfig {
+        let cfg = FedConfig {
             num_clients: 20,
             sample_rate: 1.0,
             rounds,
@@ -134,12 +140,15 @@ impl FedConfig {
             eval_every: 1,
             seed,
             hp,
-        }
+            faults: FaultPlan::none(),
+        };
+        cfg.validate();
+        cfg
     }
 
     /// Paper large-scale setting: 100 clients, 10% sampling.
     pub fn paper_100_clients(hp: HyperParams, rounds: usize, seed: u64) -> Self {
-        FedConfig {
+        let cfg = FedConfig {
             num_clients: 100,
             sample_rate: 0.1,
             rounds,
@@ -147,13 +156,36 @@ impl FedConfig {
             eval_every: 1,
             seed,
             hp,
-        }
+            faults: FaultPlan::none(),
+        };
+        cfg.validate();
+        cfg
+    }
+
+    /// Builder-style fault-plan override.
+    pub fn with_faults(mut self, faults: FaultPlan) -> Self {
+        faults.validate();
+        self.faults = faults;
+        self
+    }
+
+    /// Panic on configurations that would silently misbehave downstream —
+    /// in particular a zero sampling rate, which used to be quietly
+    /// clamped to one client per round instead of failing here.
+    pub fn validate(&self) {
+        assert!(self.num_clients > 0, "num_clients must be positive");
+        assert!(
+            self.sample_rate > 0.0 && self.sample_rate <= 1.0,
+            "sample_rate must be in (0, 1]; got {} — a rate of 0 samples no clients",
+            self.sample_rate
+        );
+        assert!(self.feature_dim > 0, "feature_dim must be positive");
+        self.faults.validate();
     }
 
     /// Number of clients sampled per round (at least one).
     pub fn clients_per_round(&self) -> usize {
-        ((self.num_clients as f32 * self.sample_rate).round() as usize)
-            .clamp(1, self.num_clients)
+        ((self.num_clients as f32 * self.sample_rate).round() as usize).clamp(1, self.num_clients)
     }
 }
 
@@ -194,7 +226,10 @@ mod tests {
 
     #[test]
     fn builders_override() {
-        let hp = HyperParams::micro_default().with_lr(0.5).with_rho(0.2).with_epochs(3);
+        let hp = HyperParams::micro_default()
+            .with_lr(0.5)
+            .with_rho(0.2)
+            .with_epochs(3);
         assert_eq!(hp.lr, 0.5);
         assert_eq!(hp.rho, 0.2);
         assert_eq!(hp.local_epochs, 3);
@@ -205,5 +240,47 @@ mod tests {
         let cfg = FedConfig::paper_20_clients(HyperParams::paper_cifar10(), 5, 1);
         let json = serde_json::to_string(&cfg).expect("serialize");
         assert!(json.contains("\"num_clients\":20"));
+    }
+
+    #[test]
+    fn config_without_faults_field_deserializes() {
+        // Configs serialized before fault injection existed must load.
+        let json = r#"{"num_clients":4,"sample_rate":1.0,"rounds":2,
+                       "feature_dim":8,"eval_every":1,"seed":7,
+                       "hp":{"lr":0.002,"batch_size":32,"rho":0.1,
+                             "local_epochs":1,"temperature":0.5,
+                             "optimizer":"Adam"}}"#;
+        let cfg: FedConfig = serde_json::from_str(json).expect("deserialize");
+        assert!(cfg.faults.is_none());
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "sample_rate must be in (0, 1]")]
+    fn zero_sample_rate_fails_loudly() {
+        let mut cfg = FedConfig::paper_20_clients(HyperParams::micro_default(), 1, 0);
+        cfg.sample_rate = 0.0;
+        cfg.validate();
+    }
+
+    #[test]
+    #[should_panic(expected = "outside [0, 1]")]
+    fn invalid_fault_rate_fails_loudly() {
+        let mut cfg = FedConfig::paper_20_clients(HyperParams::micro_default(), 1, 0);
+        cfg.faults = FaultPlan {
+            seed: 1,
+            dropout: -0.5,
+            straggler: 0.0,
+            corruption: 0.0,
+        };
+        cfg.validate();
+    }
+
+    #[test]
+    fn with_faults_builder_attaches_plan() {
+        let cfg = FedConfig::paper_20_clients(HyperParams::micro_default(), 1, 0)
+            .with_faults(FaultPlan::with_dropout(9, 0.3));
+        assert_eq!(cfg.faults.dropout, 0.3);
+        assert_eq!(cfg.faults.seed, 9);
     }
 }

@@ -9,7 +9,8 @@
 //!
 //! ## Layout
 //!
-//! * [`comm`] — wire messages and per-round byte accounting (Table 5).
+//! * [`comm`] — wire messages, per-round byte accounting (Table 5), and
+//!   deterministic fault injection (dropout / stragglers / corruption).
 //! * [`client`] — a federated client: local dataset + model + trainer.
 //! * [`algo`] — one module per algorithm, all driven by the same
 //!   synchronous-round [`sim`] engine.
@@ -24,5 +25,6 @@ pub mod comm;
 pub mod config;
 pub mod sim;
 
+pub use comm::{Collected, Fate, FaultPlan, Network};
 pub use config::{FedConfig, HyperParams};
 pub use sim::{RoundMetrics, RunResult};

@@ -14,7 +14,7 @@ use rand::seq::SliceRandom;
 use rayon::prelude::*;
 
 /// One evaluation point on the learning curve.
-#[derive(Clone, Copy, Debug)]
+#[derive(Clone, Copy, Debug, Default, PartialEq)]
 pub struct RoundMetrics {
     /// Communication round (1-based, 0 = before training).
     pub round: usize,
@@ -25,6 +25,10 @@ pub struct RoundMetrics {
     pub mean_acc: f32,
     /// Std of client test accuracies.
     pub std_acc: f32,
+    /// Uplinks lost to dropout/stragglers since the previous curve point.
+    pub dropped: u64,
+    /// Uplinks discarded as corrupt since the previous curve point.
+    pub corrupt: u64,
 }
 
 /// Outcome of a full federated run.
@@ -46,6 +50,10 @@ pub struct RunResult {
     pub uplink_bytes: u64,
     /// Rounds executed.
     pub rounds: usize,
+    /// Total uplinks lost to dropout/stragglers over the whole run.
+    pub dropped: u64,
+    /// Total uplinks discarded as corrupt over the whole run.
+    pub corrupt: u64,
 }
 
 impl RunResult {
@@ -55,8 +63,7 @@ impl RunResult {
         if self.rounds == 0 || clients_per_round == 0 {
             return 0.0;
         }
-        (self.downlink_bytes + self.uplink_bytes) as f64
-            / (self.rounds * clients_per_round) as f64
+        (self.downlink_bytes + self.uplink_bytes) as f64 / (self.rounds * clients_per_round) as f64
     }
 }
 
@@ -127,42 +134,79 @@ pub fn evaluate_all(clients: &mut [Client]) -> Vec<f32> {
 }
 
 /// Sample `m` distinct clients for a round, deterministically per
-/// `(seed, round)`.
+/// `(seed, round)`. `m` must be positive — a misconfigured sampling rate
+/// should fail loudly ([`FedConfig::validate`]), not quietly train one
+/// client per round.
 pub fn sample_clients(num_clients: usize, m: usize, seed: u64, round: usize) -> Vec<usize> {
+    assert!(
+        m > 0,
+        "cannot sample zero clients per round — check sample_rate"
+    );
     let mut rng = derived_rng(seed, 0x5A3B_0000 + round as u64);
     let mut ids: Vec<usize> = (0..num_clients).collect();
     ids.shuffle(&mut rng);
-    ids.truncate(m.clamp(1, num_clients));
+    ids.truncate(m.min(num_clients));
     ids.sort_unstable();
     ids
 }
 
 /// Drive a full federated run: `cfg.rounds` rounds of `algo` over
 /// `clients`, evaluating every `cfg.eval_every` rounds.
+///
+/// Client failure is an outcome, not a crash: `cfg.faults` seeds the
+/// network's [`crate::comm::FaultPlan`], each round opens with
+/// [`Network::begin_round`] fixing the sampled clients' fates, algorithms
+/// aggregate whatever survives, and per-round drop/corruption counts land
+/// on the learning curve.
 pub fn run_federation(
     clients: &mut [Client],
     algo: &mut dyn Algorithm,
     cfg: &FedConfig,
 ) -> RunResult {
-    let net = Network::new(clients.len());
+    cfg.validate();
+    let mut net = Network::new(clients.len()).with_fault_plan(cfg.faults);
     let mut curve = Vec::new();
     let mut epochs = 0usize;
+    let (mut point_dropped, mut point_corrupt) = (0u64, 0u64);
+    let (mut total_dropped, mut total_corrupt) = (0u64, 0u64);
 
     // Round 0 point: untrained average accuracy.
     let accs = evaluate_all(clients);
     let (m0, s0) = mean_std(&accs);
-    curve.push(RoundMetrics { round: 0, epochs: 0, mean_acc: m0, std_acc: s0 });
+    curve.push(RoundMetrics {
+        round: 0,
+        epochs: 0,
+        mean_acc: m0,
+        std_acc: s0,
+        dropped: 0,
+        corrupt: 0,
+    });
 
     for round in 1..=cfg.rounds {
-        let sampled =
-            sample_clients(clients.len(), cfg.clients_per_round(), cfg.seed, round);
+        let sampled = sample_clients(clients.len(), cfg.clients_per_round(), cfg.seed, round);
+        net.begin_round(round, &sampled);
         algo.round(round, clients, &sampled, &net, &cfg.hp);
         epochs += algo.epochs_per_round(&cfg.hp);
+
+        let (d, c) = net.take_round_faults();
+        point_dropped += d;
+        point_corrupt += c;
+        total_dropped += d;
+        total_corrupt += c;
 
         if round % cfg.eval_every.max(1) == 0 || round == cfg.rounds {
             let accs = evaluate_all(clients);
             let (m, s) = mean_std(&accs);
-            curve.push(RoundMetrics { round, epochs, mean_acc: m, std_acc: s });
+            curve.push(RoundMetrics {
+                round,
+                epochs,
+                mean_acc: m,
+                std_acc: s,
+                dropped: point_dropped,
+                corrupt: point_corrupt,
+            });
+            point_dropped = 0;
+            point_corrupt = 0;
         }
     }
 
@@ -177,6 +221,8 @@ pub fn run_federation(
         downlink_bytes: net.stats().downlink_bytes(),
         uplink_bytes: net.stats().uplink_bytes(),
         rounds: cfg.rounds,
+        dropped: total_dropped,
+        corrupt: total_corrupt,
     }
 }
 
@@ -224,12 +270,9 @@ pub mod test_support {
         let mut cfg = FedConfig::paper_20_clients(hp, 1, seed);
         cfg.num_clients = n;
         cfg.feature_dim = 8;
-        let clients = build_clients(
-            &data,
-            Partitioner::Dirichlet { alpha: 0.5 },
-            &cfg,
-            &|_| ModelArch::CnnFedAvg,
-        );
+        let clients = build_clients(&data, Partitioner::Dirichlet { alpha: 0.5 }, &cfg, &|_| {
+            ModelArch::CnnFedAvg
+        });
         (clients, Network::new(n))
     }
 
@@ -268,7 +311,12 @@ mod tests {
     #[test]
     fn sampling_respects_bounds() {
         assert_eq!(sample_clients(5, 99, 0, 0).len(), 5);
-        assert_eq!(sample_clients(5, 0, 0, 0).len(), 1);
+    }
+
+    #[test]
+    #[should_panic(expected = "cannot sample zero clients")]
+    fn sampling_zero_clients_panics() {
+        sample_clients(5, 0, 0, 0);
     }
 
     #[test]
@@ -295,7 +343,10 @@ mod tests {
         assert_eq!(result.per_client_acc.len(), 4);
         assert!(result.downlink_bytes > 0);
         assert!(result.uplink_bytes > 0);
-        assert!(result.curve.iter().all(|p| (0.0..=1.0).contains(&p.mean_acc)));
+        assert!(result
+            .curve
+            .iter()
+            .all(|p| (0.0..=1.0).contains(&p.mean_acc)));
         assert!(!result.final_mean.is_nan());
     }
 
@@ -332,6 +383,44 @@ mod tests {
         let b = run();
         assert_eq!(a.per_client_acc, b.per_client_acc, "non-deterministic run");
         assert_eq!(a.downlink_bytes, b.downlink_bytes);
+    }
+
+    #[test]
+    fn faulty_run_completes_and_reports_losses() {
+        use crate::comm::FaultPlan;
+        let run = || {
+            let mut cfg = small_cfg(805, 4);
+            cfg.faults = FaultPlan::new(55, 0.3, 0.1, 0.1);
+            let data = tiny_dataset(3, 96, 48, cfg.seed);
+            let mut clients = build_clients(
+                &data,
+                Partitioner::Dirichlet { alpha: 0.5 },
+                &cfg,
+                &ModelArch::heterogeneous_rotation,
+            );
+            let mut algo = FedClassAvg::new(cfg.feature_dim, 3, cfg.seed);
+            run_federation(&mut clients, &mut algo, &cfg)
+        };
+        let a = run();
+        assert_eq!(a.curve.len(), 5, "faults must not shorten the run");
+        assert!(
+            a.dropped + a.corrupt > 0,
+            "a 50% joint fault rate over 16 client-rounds fired nothing"
+        );
+        let curve_losses: u64 = a.curve.iter().map(|p| p.dropped + p.corrupt).sum();
+        assert_eq!(
+            curve_losses,
+            a.dropped + a.corrupt,
+            "curve and totals disagree"
+        );
+        // Bit-identical replay under the same seeds.
+        let b = run();
+        assert_eq!(
+            a.per_client_acc, b.per_client_acc,
+            "faulty run not reproducible"
+        );
+        assert_eq!(a.dropped, b.dropped);
+        assert_eq!(a.corrupt, b.corrupt);
     }
 
     #[test]

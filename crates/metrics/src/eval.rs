@@ -104,12 +104,14 @@ mod tests {
                 epochs: 0,
                 mean_acc: 0.1,
                 std_acc: 0.01,
+                ..Default::default()
             },
             RoundMetrics {
                 round: 1,
                 epochs: 1,
                 mean_acc: 0.5,
                 std_acc: 0.02,
+                ..Default::default()
             },
         ];
         let t = curve_table(&curve);
@@ -125,6 +127,7 @@ mod tests {
                 epochs: i,
                 mean_acc: i as f32 / 4.0,
                 std_acc: 0.0,
+                ..Default::default()
             })
             .collect();
         let s = curve_sparkline(&curve);

@@ -11,13 +11,24 @@ use crate::shape::Shape;
 use crate::tensor::Tensor;
 use bytes::{Buf, BufMut, Bytes, BytesMut};
 
-/// Errors produced while decoding a tensor from the wire.
+/// Errors produced while decoding a tensor (or a tensor-carrying message)
+/// from the wire.
 #[derive(Debug, PartialEq, Eq)]
 pub enum WireError {
     /// The buffer ended before the declared payload was complete.
     Truncated,
     /// The declared shape is implausibly large (corruption guard).
     ShapeTooLarge,
+    /// The message tag byte names no known message type.
+    UnknownTag(u8),
+    /// The tagged message type carries a fixed tensor count and the header
+    /// declared a different one.
+    CountMismatch {
+        /// Tensor count the tag requires.
+        expected: usize,
+        /// Tensor count the header declared.
+        got: usize,
+    },
 }
 
 impl std::fmt::Display for WireError {
@@ -25,6 +36,13 @@ impl std::fmt::Display for WireError {
         match self {
             WireError::Truncated => write!(f, "wire buffer truncated"),
             WireError::ShapeTooLarge => write!(f, "declared tensor shape too large"),
+            WireError::UnknownTag(tag) => write!(f, "unknown wire message tag {tag}"),
+            WireError::CountMismatch { expected, got } => {
+                write!(
+                    f,
+                    "wire message declares {got} tensors, tag requires {expected}"
+                )
+            }
         }
     }
 }

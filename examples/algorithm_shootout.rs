@@ -10,6 +10,7 @@
 use fedclassavg_suite::data::partition::Partitioner;
 use fedclassavg_suite::data::synth::SynthConfig;
 use fedclassavg_suite::fed::algo::{Algorithm, FedAvg, FedClassAvg, FedProto, KtPfl, LocalOnly};
+use fedclassavg_suite::fed::comm::FaultPlan;
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
 use fedclassavg_suite::fed::sim::{build_clients, run_federation, RunResult};
 use fedclassavg_suite::models::ModelArch;
@@ -27,6 +28,7 @@ fn cfg(rounds: usize) -> FedConfig {
         eval_every: rounds,
         seed: SEED,
         hp: HyperParams::micro_default(),
+        faults: FaultPlan::none(),
     }
 }
 
@@ -36,7 +38,9 @@ fn run(
     heterogeneous: bool,
     make_algo: &mut dyn FnMut(&[fedclassavg_suite::fed::client::Client]) -> Box<dyn Algorithm>,
 ) -> RunResult {
-    let data = SynthConfig::synth_fashion(SEED).with_sizes(900, 300).generate();
+    let data = SynthConfig::synth_fashion(SEED)
+        .with_sizes(900, 300)
+        .generate();
     let cfg = cfg(rounds);
     let arch: Box<dyn Fn(usize) -> ModelArch> = if heterogeneous {
         Box::new(ModelArch::heterogeneous_rotation)
@@ -45,7 +49,9 @@ fn run(
     };
     let mut clients = build_clients(
         &data,
-        Partitioner::Skewed { classes_per_client: 2 },
+        Partitioner::Skewed {
+            classes_per_client: 2,
+        },
         &cfg,
         arch.as_ref(),
     );
@@ -64,8 +70,14 @@ fn main() {
     println!("-- heterogeneous fleets (4 rotating architectures) --");
     let classes = 10;
     let local = run("local-only", 10, true, &mut |_| Box::new(LocalOnly::new()));
-    run("FedProto", 10, true, &mut |_| Box::new(FedProto::new(FEAT, classes, 1.0)));
-    let public = SynthConfig::synth_fashion(SEED + 1).with_sizes(64, 1).generate().train.images;
+    run("FedProto", 10, true, &mut |_| {
+        Box::new(FedProto::new(FEAT, classes, 1.0))
+    });
+    let public = SynthConfig::synth_fashion(SEED + 1)
+        .with_sizes(64, 1)
+        .generate()
+        .train
+        .images;
     run("KT-pFL", 5, true, &mut |_| {
         Box::new(KtPfl::new(public.clone(), CLIENTS).with_local_epochs(2))
     });

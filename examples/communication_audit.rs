@@ -30,7 +30,11 @@ fn main() {
         ktpfl as f64 / 1_048_576.0
     );
     let cls = classifier_bytes(512, 10);
-    println!("  FedClassAvg classifier    : {:>12} B  ({:.1} KB)", cls, cls as f64 / 1024.0);
+    println!(
+        "  FedClassAvg classifier    : {:>12} B  ({:.1} KB)",
+        cls,
+        cls as f64 / 1024.0
+    );
 
     // --- Micro-scale, measured on the wire --------------------------------
     println!("\nmicro-scale messages, measured as serialized bytes:");
@@ -38,7 +42,10 @@ fn main() {
     let msg = WireMessage::Classifier(w.clone());
     println!("  Classifier(32×10)         : {:>12} B", msg.encoded_len());
     let protos = WireMessage::Prototypes((0..10).map(|_| Some(Tensor::zeros([32]))).collect());
-    println!("  Prototypes(10×32)         : {:>12} B", protos.encoded_len());
+    println!(
+        "  Prototypes(10×32)         : {:>12} B",
+        protos.encoded_len()
+    );
     let soft = WireMessage::SoftPredictions(Tensor::zeros([64, 10]));
     println!("  SoftPredictions(64×10)    : {:>12} B", soft.encoded_len());
 
@@ -54,7 +61,7 @@ fn main() {
     assert_eq!(up as usize, soft.encoded_len());
 
     // Decode on the receiving ends.
-    let got = net.client_recv(0);
+    let got = net.client_recv(0).expect("broadcast delivered");
     assert_eq!(got, msg);
     let replies = net.server_collect(1);
     assert_eq!(replies[0].0, 0);

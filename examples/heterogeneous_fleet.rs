@@ -10,6 +10,7 @@
 use fedclassavg_suite::data::partition::Partitioner;
 use fedclassavg_suite::data::synth::SynthConfig;
 use fedclassavg_suite::fed::algo::{Algorithm, FedClassAvg, LocalOnly};
+use fedclassavg_suite::fed::comm::FaultPlan;
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
 use fedclassavg_suite::fed::sim::{build_clients, run_federation};
 use fedclassavg_suite::metrics::eval::extract_fleet_features;
@@ -18,7 +19,9 @@ use fedclassavg_suite::metrics::tsne::{nearest_neighbor_label_agreement, tsne, T
 use fedclassavg_suite::models::ModelArch;
 
 fn main() {
-    let data = SynthConfig::synth_fashion(11).with_sizes(1600, 400).generate();
+    let data = SynthConfig::synth_fashion(11)
+        .with_sizes(1600, 400)
+        .generate();
     let cfg = FedConfig {
         num_clients: 20,
         sample_rate: 1.0,
@@ -27,24 +30,37 @@ fn main() {
         eval_every: 5,
         seed: 11,
         hp: HyperParams::micro_default(),
+        faults: FaultPlan::none(),
     };
 
     let mut summaries = Vec::new();
     for (name, mut algo) in [
-        ("baseline".to_string(), Box::new(LocalOnly::new()) as Box<dyn Algorithm>),
+        (
+            "baseline".to_string(),
+            Box::new(LocalOnly::new()) as Box<dyn Algorithm>,
+        ),
         (
             "FedClassAvg".to_string(),
-            Box::new(FedClassAvg::new(cfg.feature_dim, data.train.num_classes, cfg.seed)),
+            Box::new(FedClassAvg::new(
+                cfg.feature_dim,
+                data.train.num_classes,
+                cfg.seed,
+            )),
         ),
     ] {
         let mut clients = build_clients(
             &data,
-            Partitioner::Skewed { classes_per_client: 2 },
+            Partitioner::Skewed {
+                classes_per_client: 2,
+            },
             &cfg,
             &ModelArch::heterogeneous_rotation,
         );
         let result = run_federation(&mut clients, algo.as_mut(), &cfg);
-        println!("{name}: final accuracy {:.4} ± {:.4}", result.final_mean, result.final_std);
+        println!(
+            "{name}: final accuracy {:.4} ± {:.4}",
+            result.final_mean, result.final_std
+        );
         let fairness = fairness_summary(&result.per_client_acc);
         println!(
             "  fairness: worst client {:.3}, worst decile {:.3}, Jain index {:.3}",
@@ -56,7 +72,12 @@ fn main() {
         let ff = extract_fleet_features(&mut clients, 8);
         let y = tsne(
             &ff.features,
-            &TsneConfig { perplexity: 12.0, iterations: 150, seed: 1, ..Default::default() },
+            &TsneConfig {
+                perplexity: 12.0,
+                iterations: 150,
+                seed: 1,
+                ..Default::default()
+            },
         );
         let by_label = nearest_neighbor_label_agreement(&y, &ff.labels);
         let by_client = nearest_neighbor_label_agreement(&y, &ff.client_ids);

@@ -9,13 +9,16 @@
 use fedclassavg_suite::data::partition::Partitioner;
 use fedclassavg_suite::data::synth::SynthConfig;
 use fedclassavg_suite::fed::algo::FedClassAvg;
+use fedclassavg_suite::fed::comm::FaultPlan;
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
 use fedclassavg_suite::fed::sim::{build_clients, run_federation};
 use fedclassavg_suite::models::ModelArch;
 
 fn main() {
     // 1. A synthetic Fashion-MNIST-like dataset (1×28×28, 10 classes).
-    let data = SynthConfig::synth_fashion(42).with_sizes(1200, 400).generate();
+    let data = SynthConfig::synth_fashion(42)
+        .with_sizes(1200, 400)
+        .generate();
 
     // 2. Federation setup: 8 clients, non-iid Dir(0.5) label split, and the
     //    paper's hyperparameter shape adapted to micro scale.
@@ -27,6 +30,7 @@ fn main() {
         eval_every: 3,
         seed: 42,
         hp: HyperParams::micro_default(),
+        faults: FaultPlan::none(),
     };
     let mut clients = build_clients(
         &data,
@@ -47,7 +51,10 @@ fn main() {
     // 4. Inspect the learning curve and the wire cost.
     println!("\nround  epochs  mean_acc  std");
     for p in &result.curve {
-        println!("{:>5} {:>7} {:>9.4} {:>6.4}", p.round, p.epochs, p.mean_acc, p.std_acc);
+        println!(
+            "{:>5} {:>7} {:>9.4} {:>6.4}",
+            p.round, p.epochs, p.mean_acc, p.std_acc
+        );
     }
     println!(
         "\nfinal accuracy {:.4} ± {:.4} over {} clients",

@@ -17,6 +17,10 @@ cargo test -q
 echo "=== optimized-build numerics: fca-tensor in release ==="
 cargo test -q --release -p fca-tensor
 
+echo "=== fault tolerance: wire fuzz + fault injection in release ==="
+cargo test -q --release --test fault_tolerance
+cargo test -q --release --test failure_injection
+
 echo "=== bench harness smoke run ==="
 cargo bench -p fca-bench -- --test
 

@@ -7,7 +7,7 @@ use fedclassavg_suite::data::synth::SynthConfig;
 use fedclassavg_suite::fed::algo::{
     Algorithm, FedAvg, FedClassAvg, FedProto, FedProx, KtPfl, KtPflWeight, LocalOnly,
 };
-use fedclassavg_suite::fed::comm::WireMessage;
+use fedclassavg_suite::fed::comm::{FaultPlan, WireMessage};
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
 use fedclassavg_suite::fed::sim::{build_clients, run_federation, RunResult};
 use fedclassavg_suite::models::classifier::ClassifierWeights;
@@ -33,6 +33,7 @@ fn small_cfg(seed: u64, rounds: usize) -> FedConfig {
         eval_every: rounds.max(1),
         seed,
         hp: HyperParams::micro_default().with_lr(3e-3),
+        faults: FaultPlan::none(),
     }
 }
 
@@ -79,9 +80,13 @@ fn local_only_learns_above_chance() {
 
 #[test]
 fn fedclassavg_learns_above_chance_heterogeneous() {
-    let r = run_algo(2, 8, Partitioner::Dirichlet { alpha: 0.5 }, true, |cfg, _| {
-        Box::new(FedClassAvg::new(cfg.feature_dim, CLASSES, cfg.seed))
-    });
+    let r = run_algo(
+        2,
+        8,
+        Partitioner::Dirichlet { alpha: 0.5 },
+        true,
+        |cfg, _| Box::new(FedClassAvg::new(cfg.feature_dim, CLASSES, cfg.seed)),
+    );
     assert_learned(&r, "fedclassavg");
     assert!(r.uplink_bytes > 0);
 }
@@ -89,9 +94,13 @@ fn fedclassavg_learns_above_chance_heterogeneous() {
 #[test]
 fn fedclassavg_traffic_matches_classifier_payload() {
     let rounds = 5;
-    let r = run_algo(3, rounds, Partitioner::Dirichlet { alpha: 0.5 }, true, |cfg, _| {
-        Box::new(FedClassAvg::new(cfg.feature_dim, CLASSES, cfg.seed))
-    });
+    let r = run_algo(
+        3,
+        rounds,
+        Partitioner::Dirichlet { alpha: 0.5 },
+        true,
+        |cfg, _| Box::new(FedClassAvg::new(cfg.feature_dim, CLASSES, cfg.seed)),
+    );
     let payload =
         WireMessage::Classifier(ClassifierWeights::zeros(FEAT, CLASSES)).encoded_len() as u64;
     // Per round: 4 broadcasts + 4 uploads of exactly one classifier each.
@@ -101,33 +110,45 @@ fn fedclassavg_traffic_matches_classifier_payload() {
 
 #[test]
 fn fedavg_learns_above_chance_homogeneous() {
-    let r = run_algo(4, 8, Partitioner::Dirichlet { alpha: 0.5 }, false, |cfg, data| {
-        let (c, h, w) = data.train.image_shape();
-        let mut reference = fedclassavg_suite::models::build_model(
-            ModelArch::CnnFedAvg,
-            (c, h, w),
-            cfg.feature_dim,
-            CLASSES,
-            99,
-        );
-        Box::new(FedAvg::new(reference.full_state()))
-    });
+    let r = run_algo(
+        4,
+        8,
+        Partitioner::Dirichlet { alpha: 0.5 },
+        false,
+        |cfg, data| {
+            let (c, h, w) = data.train.image_shape();
+            let mut reference = fedclassavg_suite::models::build_model(
+                ModelArch::CnnFedAvg,
+                (c, h, w),
+                cfg.feature_dim,
+                CLASSES,
+                99,
+            );
+            Box::new(FedAvg::new(reference.full_state()))
+        },
+    );
     assert_learned(&r, "fedavg");
 }
 
 #[test]
 fn fedprox_learns_above_chance_homogeneous() {
-    let r = run_algo(5, 8, Partitioner::Dirichlet { alpha: 0.5 }, false, |cfg, data| {
-        let (c, h, w) = data.train.image_shape();
-        let mut reference = fedclassavg_suite::models::build_model(
-            ModelArch::CnnFedAvg,
-            (c, h, w),
-            cfg.feature_dim,
-            CLASSES,
-            98,
-        );
-        Box::new(FedProx::new(reference.full_state(), 0.1))
-    });
+    let r = run_algo(
+        5,
+        8,
+        Partitioner::Dirichlet { alpha: 0.5 },
+        false,
+        |cfg, data| {
+            let (c, h, w) = data.train.image_shape();
+            let mut reference = fedclassavg_suite::models::build_model(
+                ModelArch::CnnFedAvg,
+                (c, h, w),
+                cfg.feature_dim,
+                CLASSES,
+                98,
+            );
+            Box::new(FedProx::new(reference.full_state(), 0.1))
+        },
+    );
     assert_learned(&r, "fedprox");
 }
 
@@ -135,12 +156,11 @@ fn fedprox_learns_above_chance_homogeneous() {
 fn fedproto_learns_above_chance() {
     let data = small_data(6);
     let cfg = small_cfg(6, 8);
-    let mut clients = build_clients(
-        &data,
-        Partitioner::Dirichlet { alpha: 0.5 },
-        &cfg,
-        &|k| ModelArch::ProtoCnn { width_variant: k % 4 },
-    );
+    let mut clients = build_clients(&data, Partitioner::Dirichlet { alpha: 0.5 }, &cfg, &|k| {
+        ModelArch::ProtoCnn {
+            width_variant: k % 4,
+        }
+    });
     let mut algo = FedProto::new(cfg.feature_dim, CLASSES, 1.0);
     let r = run_federation(&mut clients, &mut algo, &cfg);
     assert_learned(&r, "fedproto");
@@ -163,30 +183,40 @@ fn ktpfl_learns_above_chance() {
 
 #[test]
 fn ktpfl_weight_learns_above_chance() {
-    let r = run_algo(8, 8, Partitioner::Dirichlet { alpha: 0.5 }, false, |_, _| {
-        Box::new(KtPflWeight::new(4))
-    });
+    let r = run_algo(
+        8,
+        8,
+        Partitioner::Dirichlet { alpha: 0.5 },
+        false,
+        |_, _| Box::new(KtPflWeight::new(4)),
+    );
     assert_learned(&r, "kt-pfl +weight");
 }
 
 #[test]
 fn fedclassavg_weight_learns_above_chance() {
-    let r = run_algo(9, 8, Partitioner::Dirichlet { alpha: 0.5 }, false, |cfg, data| {
-        let (c, h, w) = data.train.image_shape();
-        let mut reference = fedclassavg_suite::models::build_model(
-            ModelArch::CnnFedAvg,
-            (c, h, w),
-            cfg.feature_dim,
-            CLASSES,
-            97,
-        );
-        Box::new(FedClassAvg::with_full_weight_sharing(
-            cfg.feature_dim,
-            CLASSES,
-            cfg.seed,
-            reference.full_state(),
-        ))
-    });
+    let r = run_algo(
+        9,
+        8,
+        Partitioner::Dirichlet { alpha: 0.5 },
+        false,
+        |cfg, data| {
+            let (c, h, w) = data.train.image_shape();
+            let mut reference = fedclassavg_suite::models::build_model(
+                ModelArch::CnnFedAvg,
+                (c, h, w),
+                cfg.feature_dim,
+                CLASSES,
+                97,
+            );
+            Box::new(FedClassAvg::with_full_weight_sharing(
+                cfg.feature_dim,
+                CLASSES,
+                cfg.seed,
+                reference.full_state(),
+            ))
+        },
+    );
     assert_learned(&r, "fedclassavg +weight");
 }
 
@@ -195,7 +225,9 @@ fn fedclassavg_helps_on_skewed_labels() {
     // The paper's core claim: under label skew, classifier averaging +
     // representation learning beats isolated local training. Keep the
     // budget small but identical between the arms.
-    let dist = Partitioner::Skewed { classes_per_client: 2 };
+    let dist = Partitioner::Skewed {
+        classes_per_client: 2,
+    };
     let ours = run_algo(10, 10, dist, true, |cfg, _| {
         Box::new(FedClassAvg::new(cfg.feature_dim, CLASSES, cfg.seed))
     });

@@ -5,6 +5,7 @@
 use fedclassavg_suite::data::partition::Partitioner;
 use fedclassavg_suite::data::synth::SynthConfig;
 use fedclassavg_suite::fed::algo::{FedClassAvg, FedMd};
+use fedclassavg_suite::fed::comm::FaultPlan;
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
 use fedclassavg_suite::fed::sim::{build_clients, run_federation};
 use fedclassavg_suite::models::ModelArch;
@@ -30,6 +31,7 @@ fn cfg(seed: u64, rounds: usize) -> FedConfig {
         eval_every: rounds,
         seed,
         hp: HyperParams::micro_default().with_lr(3e-3),
+        faults: FaultPlan::none(),
     }
 }
 
@@ -86,7 +88,11 @@ fn fedmd_learns_above_chance_on_heterogeneous_fleet() {
     );
     let mut algo = FedMd::new(public).with_local_epochs(2);
     let r = run_federation(&mut clients, &mut algo, &c);
-    assert!(r.final_mean > 0.3, "FedMD final accuracy {:.3} not above chance", r.final_mean);
+    assert!(
+        r.final_mean > 0.3,
+        "FedMD final accuracy {:.3} not above chance",
+        r.final_mean
+    );
     assert!(r.downlink_bytes > 0 && r.uplink_bytes > 0);
 }
 
@@ -94,8 +100,8 @@ fn fedmd_learns_above_chance_on_heterogeneous_fleet() {
 fn schedule_driven_federation_decays_client_rates() {
     // Drive rounds manually, applying a cosine schedule to every client's
     // optimizer between rounds — the intended integration pattern.
-    use fedclassavg_suite::fed::comm::Network;
     use fedclassavg_suite::fed::algo::Algorithm as _;
+    use fedclassavg_suite::fed::comm::Network;
 
     let d = data(71);
     let c = cfg(71, 1);
@@ -107,7 +113,10 @@ fn schedule_driven_federation_decays_client_rates() {
     );
     let mut algo = FedClassAvg::new(FEAT, CLASSES, c.seed);
     let net = Network::new(clients.len());
-    let schedule = Schedule::Cosine { horizon: 10, min_lr: 1e-4 };
+    let schedule = Schedule::Cosine {
+        horizon: 10,
+        min_lr: 1e-4,
+    };
     let base = c.hp.lr;
     let mut rates = Vec::new();
     for round in 0..5 {
@@ -117,6 +126,9 @@ fn schedule_driven_federation_decays_client_rates() {
         }
         algo.round(round, &mut clients, &[0, 1, 2, 3], &net, &c.hp);
     }
-    assert!(rates.windows(2).all(|w| w[1] < w[0]), "cosine rates not decreasing: {rates:?}");
+    assert!(
+        rates.windows(2).all(|w| w[1] < w[0]),
+        "cosine rates not decreasing: {rates:?}"
+    );
     assert!(clients.iter_mut().all(|cl| cl.evaluate().is_finite()));
 }

@@ -4,10 +4,10 @@
 use fedclassavg_suite::data::partition::Partitioner;
 use fedclassavg_suite::data::synth::SynthConfig;
 use fedclassavg_suite::data::Dataset;
-use fedclassavg_suite::fed::algo::{FedClassAvg, FedProto};
 use fedclassavg_suite::fed::algo::Algorithm;
+use fedclassavg_suite::fed::algo::{FedClassAvg, FedProto};
 use fedclassavg_suite::fed::client::Client;
-use fedclassavg_suite::fed::comm::{Network, WireMessage};
+use fedclassavg_suite::fed::comm::{FaultPlan, Network, WireMessage};
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
 use fedclassavg_suite::fed::sim::{build_clients, run_federation};
 use fedclassavg_suite::models::classifier::ClassifierWeights;
@@ -30,6 +30,7 @@ fn small_cfg(seed: u64) -> FedConfig {
         feature_dim: 8,
         eval_every: 1,
         seed,
+        faults: FaultPlan::none(),
         hp: HyperParams::micro_default(),
     }
 }
@@ -58,8 +59,9 @@ fn client_with_single_class_trains() {
     // A degenerate shard: one class only. SupCon has positives (two views
     // of the same class), CE is trivially learnable; must not NaN.
     let data = small_data(22);
-    let keep: Vec<usize> =
-        (0..data.train.len()).filter(|&i| data.train.labels[i] == 0).collect();
+    let keep: Vec<usize> = (0..data.train.len())
+        .filter(|&i| data.train.labels[i] == 0)
+        .collect();
     let shard = data.train.subset(&keep[..20.min(keep.len())]);
     let test = data.test.subset(&[0, 1, 2]);
     let model = build_model(ModelArch::MicroResNet, (1, 12, 12), 8, 4, 1);
@@ -78,7 +80,10 @@ fn client_with_single_class_trains() {
     let stats = client.local_update_fedclassavg(
         Some(&global),
         &hp,
-        fedclassavg_suite::fed::client::LocalObjective { contrastive: true, rho: 0.1 },
+        fedclassavg_suite::fed::client::LocalObjective {
+            contrastive: true,
+            rho: 0.1,
+        },
     );
     assert!(stats.ce_loss.is_finite());
     assert!(stats.cl_loss.is_finite());
@@ -117,12 +122,11 @@ fn mismatched_feature_dims_rejected() {
 fn fedproto_rejects_mismatched_prototype_dims() {
     let data = small_data(24);
     let cfg = small_cfg(24);
-    let mut clients = build_clients(
-        &data,
-        Partitioner::Dirichlet { alpha: 0.5 },
-        &cfg,
-        &|k| ModelArch::ProtoCnn { width_variant: k % 4 },
-    );
+    let mut clients = build_clients(&data, Partitioner::Dirichlet { alpha: 0.5 }, &cfg, &|k| {
+        ModelArch::ProtoCnn {
+            width_variant: k % 4,
+        }
+    });
     // Server configured for the wrong feature dimension.
     let mut algo = FedProto::new(cfg.feature_dim + 1, 4, 1.0);
     let net = Network::new(cfg.num_clients);
@@ -139,12 +143,15 @@ fn malformed_wire_bytes_are_rejected() {
 fn empty_class_histogram_is_consistent() {
     // A dataset where one class never appears still partitions cleanly.
     let data = small_data(25);
-    let keep: Vec<usize> =
-        (0..data.train.len()).filter(|&i| data.train.labels[i] != 3).collect();
+    let keep: Vec<usize> = (0..data.train.len())
+        .filter(|&i| data.train.labels[i] != 3)
+        .collect();
     let train = data.train.subset(&keep);
-    let splits =
-        Partitioner::Dirichlet { alpha: 0.5 }.split(&train, &data.test, 3, 9);
-    let mut all: Vec<usize> = splits.iter().flat_map(|s| s.train_indices.clone()).collect();
+    let splits = Partitioner::Dirichlet { alpha: 0.5 }.split(&train, &data.test, 3, 9);
+    let mut all: Vec<usize> = splits
+        .iter()
+        .flat_map(|s| s.train_indices.clone())
+        .collect();
     let n = all.len();
     all.sort_unstable();
     all.dedup();

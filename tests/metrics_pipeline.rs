@@ -6,6 +6,7 @@
 use fedclassavg_suite::data::partition::Partitioner;
 use fedclassavg_suite::data::synth::SynthConfig;
 use fedclassavg_suite::fed::algo::{FedClassAvg, LocalOnly};
+use fedclassavg_suite::fed::comm::FaultPlan;
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
 use fedclassavg_suite::fed::sim::{build_clients, run_federation};
 use fedclassavg_suite::metrics::conductance::{
@@ -38,6 +39,7 @@ fn trained_fleet(
         eval_every: 6,
         seed,
         hp: HyperParams::micro_default().with_lr(3e-3),
+        faults: FaultPlan::none(),
     };
     let mut clients = build_clients(
         &data,
