@@ -6,6 +6,7 @@ use crate::client::Client;
 use crate::comm::{Network, WireMessage};
 use crate::config::HyperParams;
 use fca_tensor::Tensor;
+use fca_trace::PhaseId;
 
 /// FedAvg server: weighted full-model averaging.
 pub struct FedAvg {
@@ -59,9 +60,12 @@ impl Algorithm for FedAvg {
         net: &Network,
         hp: &HyperParams,
     ) {
+        let span = fca_trace::clock();
         for &k in sampled {
             net.send_to_client(k, &WireMessage::FullModel(self.global_state.clone()));
         }
+        fca_trace::phase(PhaseId::Broadcast, span);
+        let span = fca_trace::clock();
         for_sampled_parallel(clients, sampled, |c| {
             let Some(WireMessage::FullModel(state)) = net.client_recv(c.id) else {
                 return; // offline this round
@@ -70,12 +74,17 @@ impl Algorithm for FedAvg {
             c.local_update_supervised(hp.local_epochs, hp);
             net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
         });
+        fca_trace::phase(PhaseId::LocalTrain, span);
+        let span = fca_trace::clock();
         let collected = net.server_collect_deadline(sampled.len(), net.collect_budget());
+        fca_trace::phase(PhaseId::Collect, span);
         if collected.replies.is_empty() {
             return; // zero survivors: the previous global stands
         }
+        let span = fca_trace::clock();
         let weights = normalized_weights(clients, &collected.ids());
         self.aggregate(&collected.replies, &weights);
+        fca_trace::phase(PhaseId::Aggregate, span);
     }
 }
 
@@ -115,10 +124,13 @@ impl Algorithm for FedProx {
         net: &Network,
         hp: &HyperParams,
     ) {
+        let span = fca_trace::clock();
         for &k in sampled {
             net.send_to_client(k, &WireMessage::FullModel(self.inner.global_state.clone()));
         }
+        fca_trace::phase(PhaseId::Broadcast, span);
         let mu = self.mu;
+        let span = fca_trace::clock();
         for_sampled_parallel(clients, sampled, |c| {
             let Some(WireMessage::FullModel(state)) = net.client_recv(c.id) else {
                 return; // offline this round
@@ -135,12 +147,17 @@ impl Algorithm for FedProx {
             c.local_update_fedprox(&snapshot, mu, hp);
             net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
         });
+        fca_trace::phase(PhaseId::LocalTrain, span);
+        let span = fca_trace::clock();
         let collected = net.server_collect_deadline(sampled.len(), net.collect_budget());
+        fca_trace::phase(PhaseId::Collect, span);
         if collected.replies.is_empty() {
             return; // zero survivors: the previous global stands
         }
+        let span = fca_trace::clock();
         let weights = normalized_weights(clients, &collected.ids());
         self.inner.aggregate(&collected.replies, &weights);
+        fca_trace::phase(PhaseId::Aggregate, span);
     }
 }
 

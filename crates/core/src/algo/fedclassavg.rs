@@ -19,6 +19,7 @@ use crate::config::HyperParams;
 use fca_models::classifier::ClassifierWeights;
 use fca_tensor::rng::derived_rng;
 use fca_tensor::Tensor;
+use fca_trace::PhaseId;
 
 /// FedClassAvg server.
 pub struct FedClassAvg {
@@ -141,6 +142,7 @@ impl Algorithm for FedClassAvg {
         let obj = self.objective_for(hp);
 
         // Broadcast.
+        let span = fca_trace::clock();
         for &k in sampled {
             let msg = if self.share_full_weights {
                 WireMessage::FullModel(
@@ -156,10 +158,12 @@ impl Algorithm for FedClassAvg {
             };
             net.send_to_client(k, &msg);
         }
+        fca_trace::phase(PhaseId::Broadcast, span);
 
         // Local updates (parallel). Offline clients received nothing and
         // sit the round out.
         let share_full = self.share_full_weights;
+        let span = fca_trace::clock();
         for_sampled_parallel(clients, sampled, |c| {
             let Some(msg) = net.client_recv(c.id) else {
                 return;
@@ -195,15 +199,19 @@ impl Algorithm for FedClassAvg {
                 other => panic!("unexpected broadcast {other:?}"),
             }
         });
+        fca_trace::phase(PhaseId::LocalTrain, span);
 
         // Aggregate (Eq. 3) over whatever survived the round,
         // deterministically ordered by client id; survivor weights are
         // renormalized to sum to 1 so the average stays unbiased. Zero
         // survivors skip the round: the previous global stands.
+        let span = fca_trace::clock();
         let collected = net.server_collect_deadline(sampled.len(), net.collect_budget());
+        fca_trace::phase(PhaseId::Collect, span);
         if collected.replies.is_empty() {
             return;
         }
+        let span = fca_trace::clock();
         let replies = collected.replies;
         let weights = normalized_weights(
             clients,
@@ -248,6 +256,7 @@ impl Algorithm for FedClassAvg {
             }
             self.global = acc;
         }
+        fca_trace::phase(PhaseId::Aggregate, span);
     }
 }
 

@@ -14,6 +14,7 @@ use crate::comm::{Network, WireMessage};
 use crate::config::HyperParams;
 use fca_tensor::ops::softmax_rows;
 use fca_tensor::Tensor;
+use fca_trace::PhaseId;
 
 /// FedMD server.
 pub struct FedMd {
@@ -61,11 +62,14 @@ impl Algorithm for FedMd {
         hp: &HyperParams,
     ) {
         // Phase A: broadcast public data, local training, soft predictions.
+        let span = fca_trace::clock();
         for &k in sampled {
             net.send_to_client(k, &WireMessage::PublicData(self.public.clone()));
         }
+        fca_trace::phase(PhaseId::Broadcast, span);
         let temp = self.temperature;
         let local_epochs = self.local_epochs;
+        let span = fca_trace::clock();
         for_sampled_parallel(clients, sampled, |c| {
             let Some(WireMessage::PublicData(public)) = net.client_recv(c.id) else {
                 return; // offline this round
@@ -75,12 +79,16 @@ impl Algorithm for FedMd {
             let soft = softmax_rows(&logits.scaled(1.0 / temp));
             net.send_to_server(c.id, &WireMessage::SoftPredictions(soft));
         });
+        fca_trace::phase(PhaseId::LocalTrain, span);
 
         // Uniform consensus over the survivors; with no survivors there is
         // nothing to distill toward, so the round ends after local training.
+        let span = fca_trace::clock();
         let replies = net
             .server_collect_deadline(sampled.len(), net.collect_budget())
             .replies;
+        fca_trace::phase(PhaseId::Collect, span);
+        let span = fca_trace::clock();
         let mut consensus: Option<Tensor> = None;
         for (_, msg) in &replies {
             let WireMessage::SoftPredictions(t) = msg else {
@@ -102,14 +110,17 @@ impl Algorithm for FedMd {
         for &k in sampled {
             net.send_to_client(k, &WireMessage::SoftTargets(consensus.clone()));
         }
+        fca_trace::phase(PhaseId::Aggregate, span);
         let (steps, batch) = (self.distill_steps, self.distill_batch);
         let public = self.public.clone();
+        let span = fca_trace::clock();
         for_sampled_parallel(clients, sampled, |c| {
             let Some(WireMessage::SoftTargets(t)) = net.client_recv(c.id) else {
                 return;
             };
             c.distill(&public, &t, temp, steps, batch);
         });
+        fca_trace::phase(PhaseId::LocalTrain, span);
     }
 }
 

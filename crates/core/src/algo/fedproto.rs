@@ -7,6 +7,7 @@ use crate::client::Client;
 use crate::comm::{Network, WireMessage};
 use crate::config::HyperParams;
 use fca_tensor::Tensor;
+use fca_trace::PhaseId;
 
 /// FedProto server: per-class weighted prototype averaging.
 pub struct FedProto {
@@ -47,10 +48,13 @@ impl Algorithm for FedProto {
         net: &Network,
         hp: &HyperParams,
     ) {
+        let span = fca_trace::clock();
         for &k in sampled {
             net.send_to_client(k, &WireMessage::Prototypes(self.global_protos.clone()));
         }
+        fca_trace::phase(PhaseId::Broadcast, span);
         let lambda = self.lambda;
+        let span = fca_trace::clock();
         for_sampled_parallel(clients, sampled, |c| {
             let Some(WireMessage::Prototypes(protos)) = net.client_recv(c.id) else {
                 return; // offline this round
@@ -59,18 +63,22 @@ impl Algorithm for FedProto {
             let local = c.compute_prototypes();
             net.send_to_server(c.id, &WireMessage::Prototypes(local));
         });
+        fca_trace::phase(PhaseId::LocalTrain, span);
 
         // Aggregate per class over the survivors, weighting each
         // contribution by the client's data share (clients lacking a class
         // contribute nothing to it). The per-class mass already
         // renormalizes over whoever reported, so lost uplinks shrink no
         // prototype; zero survivors keep every previous prototype.
+        let span = fca_trace::clock();
         let replies = net
             .server_collect_deadline(sampled.len(), net.collect_budget())
             .replies;
+        fca_trace::phase(PhaseId::Collect, span);
         if replies.is_empty() {
             return;
         }
+        let span = fca_trace::clock();
         let mut sums: Vec<Tensor> = vec![Tensor::zeros([self.feature_dim]); self.num_classes];
         let mut mass = vec![0.0f32; self.num_classes];
         for (k, msg) in &replies {
@@ -104,6 +112,7 @@ impl Algorithm for FedProto {
             }
             // Classes nobody saw this round keep their previous prototype.
         }
+        fca_trace::phase(PhaseId::Aggregate, span);
     }
 }
 

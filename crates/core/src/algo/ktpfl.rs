@@ -15,6 +15,7 @@ use crate::comm::{Network, WireMessage};
 use crate::config::HyperParams;
 use fca_tensor::ops::softmax_rows;
 use fca_tensor::Tensor;
+use fca_trace::PhaseId;
 
 /// Soft-prediction KT-pFL server.
 pub struct KtPfl {
@@ -155,11 +156,14 @@ impl Algorithm for KtPfl {
     ) {
         // Phase A: broadcast public data (the payload Table 5 prices),
         // train locally, upload temperature-softened predictions.
+        let span = fca_trace::clock();
         for &k in sampled {
             net.send_to_client(k, &WireMessage::PublicData(self.public.clone()));
         }
+        fca_trace::phase(PhaseId::Broadcast, span);
         let temp = self.temperature;
         let local_epochs = self.local_epochs;
+        let span = fca_trace::clock();
         for_sampled_parallel(clients, sampled, |c| {
             let Some(WireMessage::PublicData(public)) = net.client_recv(c.id) else {
                 return; // offline this round
@@ -169,6 +173,8 @@ impl Algorithm for KtPfl {
             let soft = softmax_rows(&logits.scaled(1.0 / temp));
             net.send_to_server(c.id, &WireMessage::SoftPredictions(soft));
         });
+        fca_trace::phase(PhaseId::LocalTrain, span);
+        let span = fca_trace::clock();
         let soft: Vec<(usize, Tensor)> = net
             .server_collect_deadline(sampled.len(), net.collect_budget())
             .replies
@@ -178,6 +184,7 @@ impl Algorithm for KtPfl {
                 other => panic!("expected SoftPredictions, got {other:?}"),
             })
             .collect();
+        fca_trace::phase(PhaseId::Collect, span);
         if soft.is_empty() {
             return; // zero survivors: coefficients and targets stand
         }
@@ -185,22 +192,26 @@ impl Algorithm for KtPfl {
         // Server: learn coefficients and build personalized targets over
         // the survivors only — the coefficient rows/columns of lost
         // clients are untouched this round.
+        let span = fca_trace::clock();
         let survivors: Vec<usize> = soft.iter().map(|(k, _)| *k).collect();
         self.update_coefficients(&survivors, &soft);
         for (k, t) in self.personalized_targets(&survivors, &soft) {
             net.send_to_client(k, &WireMessage::SoftTargets(t));
         }
+        fca_trace::phase(PhaseId::Aggregate, span);
 
         // Phase B: surviving clients distill toward their targets (lost
         // clients got no target and skip).
         let (steps, batch) = (self.distill_steps, self.distill_batch);
         let public = self.public.clone();
+        let span = fca_trace::clock();
         for_sampled_parallel(clients, sampled, |c| {
             let Some(WireMessage::SoftTargets(t)) = net.client_recv(c.id) else {
                 return;
             };
             c.distill(&public, &t, temp, steps, batch);
         });
+        fca_trace::phase(PhaseId::LocalTrain, span);
     }
 }
 
@@ -314,12 +325,15 @@ impl Algorithm for KtPflWeight {
     ) {
         // Broadcast personalized mixtures where available (round 0 has
         // nothing to send — clients start from their own weights).
+        let span = fca_trace::clock();
         for &k in sampled {
             if let Some(state) = self.personalized_state(k) {
                 net.send_to_client(k, &WireMessage::FullModel(state));
             }
         }
+        fca_trace::phase(PhaseId::Broadcast, span);
         let local_epochs = self.local_epochs;
+        let span = fca_trace::clock();
         for_sampled_parallel(clients, sampled, |c| {
             if !net.client_online(c.id) {
                 return; // offline this round
@@ -332,7 +346,11 @@ impl Algorithm for KtPflWeight {
             c.local_update_supervised(local_epochs, hp);
             net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
         });
+        fca_trace::phase(PhaseId::LocalTrain, span);
+        let span = fca_trace::clock();
         let collected = net.server_collect_deadline(sampled.len(), net.collect_budget());
+        fca_trace::phase(PhaseId::Collect, span);
+        let span = fca_trace::clock();
         for (k, msg) in collected.replies {
             let WireMessage::FullModel(state) = msg else {
                 panic!("expected FullModel uplink")
@@ -340,6 +358,7 @@ impl Algorithm for KtPflWeight {
             self.states[k] = Some(state);
         }
         self.refresh_coefficients();
+        fca_trace::phase(PhaseId::Aggregate, span);
     }
 }
 

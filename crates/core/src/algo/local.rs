@@ -4,6 +4,7 @@ use super::{for_sampled_parallel, Algorithm};
 use crate::client::Client;
 use crate::comm::Network;
 use crate::config::HyperParams;
+use fca_trace::PhaseId;
 
 /// Local-only training — the "Baseline (local training)" rows of Tables
 /// 2–3. Each round every sampled client trains `local_epochs` on its own
@@ -31,9 +32,11 @@ impl Algorithm for LocalOnly {
         _net: &Network,
         hp: &HyperParams,
     ) {
+        let span = fca_trace::clock();
         for_sampled_parallel(clients, sampled, |c| {
             c.local_update_supervised(hp.local_epochs, hp);
         });
+        fca_trace::phase(PhaseId::LocalTrain, span);
     }
 }
 

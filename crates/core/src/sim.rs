@@ -10,6 +10,7 @@ use fca_data::partition::{ClientSplit, Partitioner};
 use fca_data::synth::SynthDataset;
 use fca_models::{build_model, ClientModel, ModelArch};
 use fca_tensor::rng::{derive_seed, derived_rng};
+use fca_trace::{PhaseId, RoundRecord};
 use rand::seq::SliceRandom;
 use rayon::prelude::*;
 
@@ -150,6 +151,25 @@ pub fn sample_clients(num_clients: usize, m: usize, seed: u64, round: usize) -> 
     ids
 }
 
+/// Fold the fleet's per-client workspace counters into one fleet-wide
+/// trace event: hand-out counts are summed, the high-water mark is the
+/// max across clients (each client owns an independent arena).
+fn emit_workspace_point(round: u64, clients: &[Client]) {
+    if !fca_trace::is_active() {
+        return;
+    }
+    let mut allocations = 0u64;
+    let mut reuses = 0u64;
+    let mut peak_bytes = 0u64;
+    for client in clients.iter() {
+        let s = client.workspace_stats();
+        allocations += s.allocations;
+        reuses += s.reuses;
+        peak_bytes = peak_bytes.max(s.peak_bytes);
+    }
+    fca_trace::emit_workspace(round, clients.len() as u64, allocations, reuses, peak_bytes);
+}
+
 /// Drive a full federated run: `cfg.rounds` rounds of `algo` over
 /// `clients`, evaluating every `cfg.eval_every` rounds.
 ///
@@ -171,7 +191,9 @@ pub fn run_federation(
     let (mut total_dropped, mut total_corrupt) = (0u64, 0u64);
 
     // Round 0 point: untrained average accuracy.
+    let span = fca_trace::clock();
     let accs = evaluate_all(clients);
+    fca_trace::phase(PhaseId::Evaluate, span);
     let (m0, s0) = mean_std(&accs);
     curve.push(RoundMetrics {
         round: 0,
@@ -181,8 +203,15 @@ pub fn run_federation(
         dropped: 0,
         corrupt: 0,
     });
+    emit_workspace_point(0, clients);
+    fca_trace::flush_ops(0);
 
     for round in 1..=cfg.rounds {
+        // Tracing observes the round, never steers it: the timer and byte
+        // snapshots feed the journal and touch nothing the algorithms see.
+        let round_span = fca_trace::clock();
+        let (down0, up0) = (net.stats().downlink_bytes(), net.stats().uplink_bytes());
+
         let sampled = sample_clients(clients.len(), cfg.clients_per_round(), cfg.seed, round);
         net.begin_round(round, &sampled);
         algo.round(round, clients, &sampled, &net, &cfg.hp);
@@ -195,7 +224,9 @@ pub fn run_federation(
         total_corrupt += c;
 
         if round % cfg.eval_every.max(1) == 0 || round == cfg.rounds {
+            let span = fca_trace::clock();
             let accs = evaluate_all(clients);
+            fca_trace::phase(PhaseId::Evaluate, span);
             let (m, s) = mean_std(&accs);
             curve.push(RoundMetrics {
                 round,
@@ -207,10 +238,28 @@ pub fn run_federation(
             });
             point_dropped = 0;
             point_corrupt = 0;
+            emit_workspace_point(round as u64, clients);
+        }
+
+        fca_trace::flush_ops(round as u64);
+        if let Some(started) = round_span {
+            fca_trace::emit_round(&RoundRecord {
+                round: round as u64,
+                dur_us: started.elapsed().as_micros() as u64,
+                downlink_bytes: net.stats().downlink_bytes() - down0,
+                uplink_bytes: net.stats().uplink_bytes() - up0,
+                dropped: d,
+                corrupt: c,
+            });
         }
     }
 
+    let span = fca_trace::clock();
     let per_client_acc = evaluate_all(clients);
+    fca_trace::phase(PhaseId::Evaluate, span);
+    // The final fleet evaluation lands on the last round's op/phase rows
+    // (the report aggregates additively per `(round, name)` key).
+    fca_trace::flush_ops(cfg.rounds as u64);
     let (final_mean, final_std) = mean_std(&per_client_acc);
     RunResult {
         algo: algo.name(),

@@ -6,6 +6,7 @@ use crate::module::{Module, Param};
 use fca_tensor::gemm::{gemm_packed, pack_a, pack_b, packed_a_len, packed_b_len};
 use fca_tensor::linalg::dot;
 use fca_tensor::{SlotId, Tensor, Workspace};
+use fca_trace::OpId;
 use rand::Rng;
 use rayon::prelude::*;
 
@@ -221,6 +222,7 @@ fn col2im(
 
 impl Module for Conv2d {
     fn forward(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
+        let fwd_span = fca_trace::clock();
         let (n, c, h, w) = x.shape().as_nchw();
         let g = self.geom;
         assert_eq!(
@@ -249,6 +251,7 @@ impl Module for Conv2d {
         // panels are shared read-only by every image in the rayon region.
         let a_len = packed_a_len(ocg, kdim);
         let mut wpack = ws.take_slot(self.wpack_slot, g.groups * a_len);
+        let span = fca_trace::clock();
         for grp in 0..g.groups {
             pack_a(
                 &weight[grp * ocg * kdim..(grp + 1) * ocg * kdim],
@@ -258,6 +261,7 @@ impl Module for Conv2d {
                 &mut wpack[grp * a_len..(grp + 1) * a_len],
             );
         }
+        fca_trace::op(OpId::GemmPack, span);
         let b_len = packed_b_len(kdim, row_len);
         let mut bpack_all = ws.take_slot(self.bpack_slot, n * g.groups * b_len);
 
@@ -275,15 +279,21 @@ impl Module for Conv2d {
                 let img = &x_data[ni * img_sz..(ni + 1) * img_sz];
                 for grp in 0..g.groups {
                     let col_g = &mut col[grp * kdim * row_len..(grp + 1) * kdim * row_len];
+                    let span = fca_trace::clock();
                     im2col(img, h, w, grp * icg, (grp + 1) * icg, &g, oh, ow, col_g);
+                    fca_trace::op(OpId::Im2col, span);
                     let y_g = &mut out_img[grp * ocg * row_len..(grp + 1) * ocg * row_len];
                     for (oc_local, plane) in y_g.chunks_mut(row_len).enumerate() {
                         plane.fill(bias[grp * ocg + oc_local]);
                     }
                     let pb = &mut bpack[grp * b_len..(grp + 1) * b_len];
+                    let span = fca_trace::clock();
                     pack_b(col_g, kdim, row_len, false, pb);
+                    fca_trace::op(OpId::GemmPack, span);
                     let pa = &wpack[grp * a_len..(grp + 1) * a_len];
+                    let span = fca_trace::clock();
                     gemm_packed(pa, pb, y_g, ocg, kdim, row_len);
+                    fca_trace::op_flops(OpId::GemmKernel, span, 2 * (ocg * kdim * row_len) as u64);
                 }
             });
 
@@ -291,10 +301,12 @@ impl Module for Conv2d {
         ws.put_slot(self.wpack_slot, wpack);
         ws.put_slot(self.bpack_slot, bpack_all);
         self.in_dims = [n, c, h, w];
+        fca_trace::op(OpId::ConvForward, fwd_span);
         out
     }
 
     fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let bwd_span = fca_trace::clock();
         let [n, c, h, w] = self.in_dims;
         assert!(n > 0, "backward before forward on Conv2d");
         let g = self.geom;
@@ -323,6 +335,7 @@ impl Module for Conv2d {
         // roles of its axes swapped — a pack-time layout choice).
         let a_len = packed_a_len(kdim, ocg);
         let mut wtpack = ws.take_slot(self.wtpack_slot, g.groups * a_len);
+        let span = fca_trace::clock();
         for grp in 0..g.groups {
             pack_a(
                 &weight[grp * ocg * kdim..(grp + 1) * ocg * kdim],
@@ -332,6 +345,7 @@ impl Module for Conv2d {
                 &mut wtpack[grp * a_len..(grp + 1) * a_len],
             );
         }
+        fca_trace::op(OpId::GemmPack, span);
         let b_len = packed_b_len(ocg, row_len);
         let mut gypack_all = ws.take_slot(self.gypack_slot, n * g.groups * b_len);
         let mut dx = ws.tensor_zeroed([n, c, h, w]);
@@ -347,12 +361,18 @@ impl Module for Conv2d {
                 for grp in 0..g.groups {
                     let gy_g = &gy[grp * ocg * row_len..(grp + 1) * ocg * row_len];
                     let pb = &mut gypack[grp * b_len..(grp + 1) * b_len];
+                    let span = fca_trace::clock();
                     pack_b(gy_g, ocg, row_len, false, pb);
+                    fca_trace::op(OpId::GemmPack, span);
                     let dcol_g = &mut dcol[grp * kdim * row_len..(grp + 1) * kdim * row_len];
                     dcol_g.fill(0.0);
                     let pa = &wtpack[grp * a_len..(grp + 1) * a_len];
+                    let span = fca_trace::clock();
                     gemm_packed(pa, pb, dcol_g, kdim, ocg, row_len);
+                    fca_trace::op_flops(OpId::GemmKernel, span, 2 * (kdim * ocg * row_len) as u64);
+                    let span = fca_trace::clock();
                     col2im(dcol_g, h, w, grp * icg, (grp + 1) * icg, &g, oh, ow, dx_img);
+                    fca_trace::op(OpId::Col2im, span);
                 }
             });
 
@@ -389,6 +409,7 @@ impl Module for Conv2d {
         ws.put_slot(self.dcol_slot, dcol_all);
         ws.put_slot(self.wtpack_slot, wtpack);
         ws.put_slot(self.gypack_slot, gypack_all);
+        fca_trace::op(OpId::ConvBackward, bwd_span);
         dx
     }
 

@@ -5,6 +5,7 @@ use crate::module::{Module, Param};
 use fca_tensor::linalg::{gemm_nn_ws, gemm_nt_ws, gemm_tn_ws};
 use fca_tensor::ops::add_bias_rows;
 use fca_tensor::{SlotId, Tensor, Workspace};
+use fca_trace::OpId;
 use rand::Rng;
 
 /// `y = x·Wᵀ + b` with `W: (out, in)`, operating on `(batch, in)` inputs.
@@ -52,6 +53,7 @@ impl Linear {
 
     /// Forward without caching (inference-only helper).
     pub fn forward_inference(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
+        let span = fca_trace::clock();
         let n = x.dims()[0];
         let mut y = ws.tensor_zeroed([n, self.out_features()]);
         gemm_nt_ws(
@@ -64,12 +66,14 @@ impl Linear {
             ws,
         );
         add_bias_rows(&mut y, &self.bias.value);
+        fca_trace::op(OpId::LinearForward, span);
         y
     }
 }
 
 impl Module for Linear {
     fn forward(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
+        let span = fca_trace::clock();
         assert_eq!(
             x.dims()[1],
             self.in_features(),
@@ -97,10 +101,12 @@ impl Module for Linear {
         cache.copy_from_slice(x.data());
         ws.put_slot(self.in_slot, cache);
         self.cached_rows = n;
+        fca_trace::op(OpId::LinearForward, span);
         y
     }
 
     fn backward(&mut self, grad_out: &Tensor, ws: &mut Workspace) -> Tensor {
+        let span = fca_trace::clock();
         let n = self.cached_rows;
         assert!(n > 0, "backward before forward on Linear");
         assert_eq!(
@@ -138,6 +144,7 @@ impl Module for Linear {
             ws,
         );
         ws.put_slot(self.in_slot, cache);
+        fca_trace::op(OpId::LinearBackward, span);
         dx
     }
 

@@ -15,6 +15,13 @@
 //! The API is deliberately small: the [`Tensor`] type plus free-function
 //! kernels in [`linalg`] and [`ops`]. Higher layers (`fca-nn`) build layer
 //! semantics on top.
+//!
+//! The GEMM entry points carry `fca-trace` probes (pack vs. kernel time,
+//! flop counts); tracing observes and never branches, so traced results
+//! stay bit-identical to untraced ones — see `linalg`'s module docs and
+//! DESIGN.md §7.4.
+
+#![warn(missing_docs)]
 
 pub mod gemm;
 pub mod linalg;

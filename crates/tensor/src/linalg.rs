@@ -25,10 +25,18 @@
 //! The pre-packing seed kernels survive as `gemm_*_naive` — the perf
 //! baseline for `fca-bench`'s snapshot tooling and a second reference for
 //! property tests.
+//!
+//! Every entry point carries `fca-trace` probes: pack time and kernel time
+//! are split ([`fca_trace::OpId::GemmPack`] vs. `GemmKernel`, the latter
+//! with the canonical `2·m·k·n` flop count), and each public variant adds
+//! its own call/latency row. Probes observe and never branch, so traced
+//! results are bit-identical to untraced ones; with tracing inactive each
+//! probe is one relaxed atomic load.
 
 use crate::gemm::{gemm_packed, pack_a, pack_b, packed_a_len, packed_b_len};
 use crate::tensor::Tensor;
 use crate::workspace::Workspace;
+use fca_trace::OpId;
 use rayon::prelude::*;
 use std::cell::RefCell;
 
@@ -63,9 +71,13 @@ fn gemm_into(
     if pb.len() < blen {
         pb.resize(blen, 0.0);
     }
+    let span = fca_trace::clock();
     pack_a(a, m, k, trans.0, &mut pa[..alen]);
     pack_b(b, k, n, trans.1, &mut pb[..blen]);
+    fca_trace::op(OpId::GemmPack, span);
+    let span = fca_trace::clock();
     gemm_packed(&pa[..alen], &pb[..blen], c, m, k, n);
+    fca_trace::op_flops(OpId::GemmKernel, span, 2 * (m * k * n) as u64);
 }
 
 fn gemm_thread_local(
@@ -136,7 +148,9 @@ pub fn gemm_nn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let span = fca_trace::clock();
     gemm_thread_local(a, b, c, m, k, n, (false, false));
+    fca_trace::op(OpId::GemmNn, span);
 }
 
 /// Raw `C += Aᵀ·B` on flat slices, `A: k×m`, `B: k×n`, `C: m×n`.
@@ -144,7 +158,9 @@ pub fn gemm_tn(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let span = fca_trace::clock();
     gemm_thread_local(a, b, c, m, k, n, (true, false));
+    fca_trace::op(OpId::GemmTn, span);
 }
 
 /// Raw `C += A·Bᵀ` on flat slices, `A: m×k`, `B: n×k`, `C: m×n`.
@@ -152,7 +168,9 @@ pub fn gemm_nt(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    let span = fca_trace::clock();
     gemm_thread_local(a, b, c, m, k, n, (false, true));
+    fca_trace::op(OpId::GemmNt, span);
 }
 
 /// [`gemm_nn`] with packing scratch drawn from `ws`'s recycle pool.
@@ -171,7 +189,9 @@ pub fn gemm_nn_ws(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let span = fca_trace::clock();
     gemm_workspace(a, b, c, m, k, n, (false, false), ws);
+    fca_trace::op(OpId::GemmNn, span);
 }
 
 /// [`gemm_tn`] with packing scratch drawn from `ws`'s recycle pool.
@@ -187,7 +207,9 @@ pub fn gemm_tn_ws(
     debug_assert_eq!(a.len(), k * m);
     debug_assert_eq!(b.len(), k * n);
     debug_assert_eq!(c.len(), m * n);
+    let span = fca_trace::clock();
     gemm_workspace(a, b, c, m, k, n, (true, false), ws);
+    fca_trace::op(OpId::GemmTn, span);
 }
 
 /// [`gemm_nt`] with packing scratch drawn from `ws`'s recycle pool.
@@ -203,7 +225,9 @@ pub fn gemm_nt_ws(
     debug_assert_eq!(a.len(), m * k);
     debug_assert_eq!(b.len(), n * k);
     debug_assert_eq!(c.len(), m * n);
+    let span = fca_trace::clock();
     gemm_workspace(a, b, c, m, k, n, (false, true), ws);
+    fca_trace::op(OpId::GemmNt, span);
 }
 
 /// Seed `ikj` kernel for `C += A·B` (row-parallel, no packing). Kept as
@@ -223,11 +247,13 @@ pub fn gemm_nn_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n:
             }
         }
     };
+    let span = fca_trace::clock();
     if m * k * n >= PAR_THRESHOLD && n > 0 {
         c.par_chunks_mut(n).enumerate().for_each(body);
     } else if n > 0 {
         c.chunks_mut(n).enumerate().for_each(body);
     }
+    fca_trace::op_flops(OpId::GemmNaive, span, 2 * (m * k * n) as u64);
 }
 
 /// Seed kernel for `C += Aᵀ·B` (row-parallel, strided A reads).
@@ -246,11 +272,13 @@ pub fn gemm_tn_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n:
             }
         }
     };
+    let span = fca_trace::clock();
     if m * k * n >= PAR_THRESHOLD && n > 0 {
         c.par_chunks_mut(n).enumerate().for_each(body);
     } else if n > 0 {
         c.chunks_mut(n).enumerate().for_each(body);
     }
+    fca_trace::op_flops(OpId::GemmNaive, span, 2 * (m * k * n) as u64);
 }
 
 /// Seed kernel for `C += A·Bᵀ` (row-dot products).
@@ -265,11 +293,13 @@ pub fn gemm_nt_naive(a: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n:
             *cj += dot(a_row, b_row);
         }
     };
+    let span = fca_trace::clock();
     if m * k * n >= PAR_THRESHOLD && n > 0 {
         c.par_chunks_mut(n).enumerate().for_each(body);
     } else if n > 0 {
         c.chunks_mut(n).enumerate().for_each(body);
     }
+    fca_trace::op_flops(OpId::GemmNaive, span, 2 * (m * k * n) as u64);
 }
 
 /// Dot product with 8 independent accumulators.

@@ -59,6 +59,43 @@ pub struct WorkspaceStats {
 ///
 /// A workspace is single-threaded by design (`&mut` threading); for
 /// data-parallel regions, take one large buffer and `par_chunks_mut` it.
+///
+/// # Examples
+///
+/// Keyed-slot reuse — the second `take_slot` of the same [`SlotId`] hands
+/// back the same storage with its contents intact, and the counters show
+/// the steady state no longer touches the allocator:
+///
+/// ```
+/// use fca_tensor::{SlotId, Workspace};
+///
+/// let mut ws = Workspace::new();
+/// let id = SlotId::fresh();
+///
+/// let mut buf = ws.take_slot(id, 4); // first take: allocates
+/// buf.copy_from_slice(&[1.0, 2.0, 3.0, 4.0]);
+/// ws.put_slot(id, buf);
+///
+/// let buf = ws.take_slot(id, 4); // same storage, contents preserved
+/// assert_eq!(buf, [1.0, 2.0, 3.0, 4.0]);
+/// ws.put_slot(id, buf);
+///
+/// assert_eq!(ws.stats().allocations, 1);
+/// assert_eq!(ws.stats().reuses, 1);
+/// ```
+///
+/// Anonymous buffers flow through the recycle pool instead:
+///
+/// ```
+/// use fca_tensor::Workspace;
+///
+/// let mut ws = Workspace::new();
+/// let t = ws.tensor_zeroed([8, 8]);
+/// ws.recycle(t); // retire the storage…
+/// ws.reset_stats();
+/// let _t2 = ws.tensor_zeroed([4, 16]); // …and the next request reuses it
+/// assert_eq!(ws.stats().allocations, 0);
+/// ```
 #[derive(Debug, Default)]
 pub struct Workspace {
     slots: HashMap<SlotId, Vec<f32>>,

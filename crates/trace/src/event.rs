@@ -1,0 +1,514 @@
+//! The trace event schema: one JSON object per journal line.
+//!
+//! Events are encoded by hand (no serde dependency — this crate sits below
+//! everything else in the workspace) and parsed back by a strict,
+//! flat-object JSON reader, so a journal round-trips exactly:
+//! `Event::parse(&ev.to_json()) == Ok(ev)` for every variant. The schema is
+//! documented field-by-field in DESIGN.md §7.4; [`SCHEMA_VERSION`] is
+//! bumped whenever a field or variant is added, removed, or changes
+//! meaning, and readers reject journals from a different version.
+
+use std::fmt::Write as _;
+
+/// Version stamped into every journal's `run_start` event.
+///
+/// Bump on **any** schema change — new/removed variants, new/removed
+/// fields, or a change in a field's unit or meaning. Readers (the
+/// `trace_report` bin, the CI smoke check) refuse other versions rather
+/// than guessing.
+pub const SCHEMA_VERSION: u64 = 1;
+
+/// One journal line. See DESIGN.md §7.4 for units and emission points.
+///
+/// All durations are integer microseconds; all byte counts are bytes.
+/// `round` is 0 for work before the first communication round (the
+/// untrained round-0 evaluation).
+#[derive(Clone, Debug, PartialEq, Eq)]
+pub enum Event {
+    /// First line of every journal: schema version and a free-form label.
+    RunStart {
+        /// The writer's [`SCHEMA_VERSION`].
+        schema: u64,
+        /// Free-form run label chosen at install time.
+        label: String,
+    },
+    /// Accumulated time inside one round phase (broadcast, local_train,
+    /// collect, aggregate, evaluate). `calls` counts span activations —
+    /// two-stage algorithms like FedMD enter `local_train` twice per round.
+    Phase {
+        /// Communication round the phase ran in.
+        round: u64,
+        /// Phase name (one of [`crate::PhaseId`]'s strings).
+        phase: String,
+        /// Number of span activations folded into this event.
+        calls: u64,
+        /// Total time inside the phase, microseconds.
+        total_us: u64,
+    },
+    /// Accumulated time/work of one instrumented operation over a round.
+    /// Op timers run inside data-parallel regions, so `total_us` sums
+    /// *per-thread* time and can exceed the round's wall clock.
+    Op {
+        /// Communication round the work happened in.
+        round: u64,
+        /// Operation name (one of [`crate::OpId`]'s strings).
+        op: String,
+        /// Number of timed invocations.
+        calls: u64,
+        /// Total time across invocations (summed over threads), µs.
+        total_us: u64,
+        /// Floating-point operations attributed to this op (0 when the op
+        /// does not count flops).
+        flops: u64,
+    },
+    /// Fleet-wide workspace allocator counters at an evaluation point
+    /// (cumulative since run start; see `fca_tensor::WorkspaceStats`).
+    Workspace {
+        /// Round of the evaluation point.
+        round: u64,
+        /// Number of client workspaces aggregated.
+        clients: u64,
+        /// Total hand-outs that touched the heap allocator.
+        allocations: u64,
+        /// Total hand-outs served from already-owned capacity.
+        reuses: u64,
+        /// Largest single-client capacity high-water mark, bytes.
+        peak_bytes: u64,
+    },
+    /// One communication round: wall time, traffic deltas, fault counts.
+    Round {
+        /// Communication round (1-based).
+        round: u64,
+        /// Wall-clock duration of the round, µs (evaluation included on
+        /// eval rounds).
+        dur_us: u64,
+        /// Server→client bytes sent during this round.
+        downlink_bytes: u64,
+        /// Client→server bytes sent during this round.
+        uplink_bytes: u64,
+        /// Uplinks lost to dropout/stragglers this round.
+        dropped: u64,
+        /// Uplinks discarded as corrupt this round.
+        corrupt: u64,
+    },
+    /// Last line of every journal, written when the guard drops.
+    RunEnd {
+        /// Number of `round` events the journal carries.
+        rounds: u64,
+        /// Wall time from install to guard drop, µs.
+        wall_us: u64,
+    },
+}
+
+impl Event {
+    /// Encode as one JSON object (no trailing newline), suitable for a
+    /// JSONL journal line.
+    pub fn to_json(&self) -> String {
+        let mut s = String::with_capacity(96);
+        match self {
+            Event::RunStart { schema, label } => {
+                s.push_str("{\"ev\":\"run_start\",\"schema\":");
+                let _ = write!(s, "{schema},\"label\":");
+                push_json_string(&mut s, label);
+                s.push('}');
+            }
+            Event::Phase {
+                round,
+                phase,
+                calls,
+                total_us,
+            } => {
+                s.push_str("{\"ev\":\"phase\",\"round\":");
+                let _ = write!(s, "{round},\"phase\":");
+                push_json_string(&mut s, phase);
+                let _ = write!(s, ",\"calls\":{calls},\"total_us\":{total_us}}}");
+            }
+            Event::Op {
+                round,
+                op,
+                calls,
+                total_us,
+                flops,
+            } => {
+                s.push_str("{\"ev\":\"op\",\"round\":");
+                let _ = write!(s, "{round},\"op\":");
+                push_json_string(&mut s, op);
+                let _ = write!(
+                    s,
+                    ",\"calls\":{calls},\"total_us\":{total_us},\"flops\":{flops}}}"
+                );
+            }
+            Event::Workspace {
+                round,
+                clients,
+                allocations,
+                reuses,
+                peak_bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"workspace\",\"round\":{round},\"clients\":{clients},\
+                     \"allocations\":{allocations},\"reuses\":{reuses},\
+                     \"peak_bytes\":{peak_bytes}}}"
+                );
+            }
+            Event::Round {
+                round,
+                dur_us,
+                downlink_bytes,
+                uplink_bytes,
+                dropped,
+                corrupt,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"round\",\"round\":{round},\"dur_us\":{dur_us},\
+                     \"downlink_bytes\":{downlink_bytes},\"uplink_bytes\":{uplink_bytes},\
+                     \"dropped\":{dropped},\"corrupt\":{corrupt}}}"
+                );
+            }
+            Event::RunEnd { rounds, wall_us } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"run_end\",\"rounds\":{rounds},\"wall_us\":{wall_us}}}"
+                );
+            }
+        }
+        s
+    }
+
+    /// Strictly parse one journal line.
+    ///
+    /// Rejects unknown event kinds, missing fields, *extra* fields, nested
+    /// values, and malformed JSON — `--check` mode of `trace_report` leans
+    /// on this strictness, and the round-trip property test pins it.
+    pub fn parse(line: &str) -> Result<Event, String> {
+        let mut fields = parse_flat_object(line)?;
+        let ev = take_str(&mut fields, "ev")?;
+        let event = match ev.as_str() {
+            "run_start" => Event::RunStart {
+                schema: take_num(&mut fields, "schema")?,
+                label: take_str(&mut fields, "label")?,
+            },
+            "phase" => Event::Phase {
+                round: take_num(&mut fields, "round")?,
+                phase: take_str(&mut fields, "phase")?,
+                calls: take_num(&mut fields, "calls")?,
+                total_us: take_num(&mut fields, "total_us")?,
+            },
+            "op" => Event::Op {
+                round: take_num(&mut fields, "round")?,
+                op: take_str(&mut fields, "op")?,
+                calls: take_num(&mut fields, "calls")?,
+                total_us: take_num(&mut fields, "total_us")?,
+                flops: take_num(&mut fields, "flops")?,
+            },
+            "workspace" => Event::Workspace {
+                round: take_num(&mut fields, "round")?,
+                clients: take_num(&mut fields, "clients")?,
+                allocations: take_num(&mut fields, "allocations")?,
+                reuses: take_num(&mut fields, "reuses")?,
+                peak_bytes: take_num(&mut fields, "peak_bytes")?,
+            },
+            "round" => Event::Round {
+                round: take_num(&mut fields, "round")?,
+                dur_us: take_num(&mut fields, "dur_us")?,
+                downlink_bytes: take_num(&mut fields, "downlink_bytes")?,
+                uplink_bytes: take_num(&mut fields, "uplink_bytes")?,
+                dropped: take_num(&mut fields, "dropped")?,
+                corrupt: take_num(&mut fields, "corrupt")?,
+            },
+            "run_end" => Event::RunEnd {
+                rounds: take_num(&mut fields, "rounds")?,
+                wall_us: take_num(&mut fields, "wall_us")?,
+            },
+            other => return Err(format!("unknown event kind {other:?}")),
+        };
+        if let Some((k, _)) = fields.first() {
+            return Err(format!("unexpected field {k:?} on {ev:?} event"));
+        }
+        Ok(event)
+    }
+}
+
+/// Append `v` to `out` as a JSON string literal with escaping.
+fn push_json_string(out: &mut String, v: &str) {
+    out.push('"');
+    for ch in v.chars() {
+        match ch {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\t' => out.push_str("\\t"),
+            '\r' => out.push_str("\\r"),
+            c if (c as u32) < 0x20 => {
+                let _ = write!(out, "\\u{:04x}", c as u32);
+            }
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+}
+
+/// A parsed flat JSON value: journals only carry strings and unsigned
+/// integers.
+enum Json {
+    Str(String),
+    Num(u64),
+}
+
+/// Parse a single-level JSON object of string/u64 values. Nested arrays or
+/// objects, floats, booleans, and trailing content are errors.
+fn parse_flat_object(s: &str) -> Result<Vec<(String, Json)>, String> {
+    let mut p = Parser {
+        b: s.as_bytes(),
+        i: 0,
+    };
+    p.skip_ws();
+    p.expect(b'{')?;
+    let mut fields = Vec::new();
+    p.skip_ws();
+    if p.peek() == Some(b'}') {
+        p.i += 1;
+    } else {
+        loop {
+            p.skip_ws();
+            let key = p.string()?;
+            if fields.iter().any(|(k, _)| *k == key) {
+                return Err(format!("duplicate field {key:?}"));
+            }
+            p.skip_ws();
+            p.expect(b':')?;
+            p.skip_ws();
+            let value = match p.peek() {
+                Some(b'"') => Json::Str(p.string()?),
+                Some(c) if c.is_ascii_digit() => Json::Num(p.number()?),
+                Some(c) => return Err(format!("unsupported value starting with {:?}", c as char)),
+                None => return Err("truncated object".into()),
+            };
+            fields.push((key, value));
+            p.skip_ws();
+            match p.peek() {
+                Some(b',') => p.i += 1,
+                Some(b'}') => {
+                    p.i += 1;
+                    break;
+                }
+                _ => return Err("expected ',' or '}'".into()),
+            }
+        }
+    }
+    p.skip_ws();
+    if p.i != p.b.len() {
+        return Err("trailing content after object".into());
+    }
+    Ok(fields)
+}
+
+struct Parser<'a> {
+    b: &'a [u8],
+    i: usize,
+}
+
+impl Parser<'_> {
+    fn peek(&self) -> Option<u8> {
+        self.b.get(self.i).copied()
+    }
+
+    fn skip_ws(&mut self) {
+        while matches!(self.peek(), Some(b' ' | b'\t' | b'\n' | b'\r')) {
+            self.i += 1;
+        }
+    }
+
+    fn expect(&mut self, c: u8) -> Result<(), String> {
+        if self.peek() == Some(c) {
+            self.i += 1;
+            Ok(())
+        } else {
+            Err(format!("expected {:?} at byte {}", c as char, self.i))
+        }
+    }
+
+    fn string(&mut self) -> Result<String, String> {
+        self.expect(b'"')?;
+        let mut out = String::new();
+        // Track a pending multi-byte char by decoding from the raw str.
+        let s = std::str::from_utf8(&self.b[self.i..]).map_err(|_| "invalid utf-8".to_string())?;
+        let mut chars = s.char_indices();
+        while let Some((off, ch)) = chars.next() {
+            match ch {
+                '"' => {
+                    self.i += off + 1;
+                    return Ok(out);
+                }
+                '\\' => {
+                    let (_, esc) = chars.next().ok_or("truncated escape")?;
+                    match esc {
+                        '"' => out.push('"'),
+                        '\\' => out.push('\\'),
+                        '/' => out.push('/'),
+                        'n' => out.push('\n'),
+                        't' => out.push('\t'),
+                        'r' => out.push('\r'),
+                        'u' => {
+                            let mut code = 0u32;
+                            for _ in 0..4 {
+                                let (_, h) = chars.next().ok_or("truncated \\u escape")?;
+                                code = code * 16
+                                    + h.to_digit(16).ok_or_else(|| {
+                                        format!("bad hex digit {h:?} in \\u escape")
+                                    })?;
+                            }
+                            out.push(
+                                char::from_u32(code)
+                                    .ok_or_else(|| format!("invalid codepoint {code:#x}"))?,
+                            );
+                        }
+                        other => return Err(format!("unsupported escape \\{other}")),
+                    }
+                }
+                c if (c as u32) < 0x20 => return Err("unescaped control char".into()),
+                c => out.push(c),
+            }
+        }
+        Err("unterminated string".into())
+    }
+
+    fn number(&mut self) -> Result<u64, String> {
+        let start = self.i;
+        while matches!(self.peek(), Some(c) if c.is_ascii_digit()) {
+            self.i += 1;
+        }
+        if matches!(self.peek(), Some(b'.' | b'e' | b'E' | b'-' | b'+')) {
+            return Err("only unsigned integers are allowed".into());
+        }
+        std::str::from_utf8(&self.b[start..self.i])
+            .expect("digits are ascii")
+            .parse::<u64>()
+            .map_err(|e| format!("bad integer: {e}"))
+    }
+}
+
+fn take_field(fields: &mut Vec<(String, Json)>, key: &str) -> Result<Json, String> {
+    let pos = fields
+        .iter()
+        .position(|(k, _)| k == key)
+        .ok_or_else(|| format!("missing field {key:?}"))?;
+    Ok(fields.remove(pos).1)
+}
+
+fn take_num(fields: &mut Vec<(String, Json)>, key: &str) -> Result<u64, String> {
+    match take_field(fields, key)? {
+        Json::Num(n) => Ok(n),
+        Json::Str(_) => Err(format!("field {key:?} must be an integer")),
+    }
+}
+
+fn take_str(fields: &mut Vec<(String, Json)>, key: &str) -> Result<String, String> {
+    match take_field(fields, key)? {
+        Json::Str(s) => Ok(s),
+        Json::Num(_) => Err(format!("field {key:?} must be a string")),
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    /// One representative of every variant — extend when the schema grows.
+    fn samples() -> Vec<Event> {
+        vec![
+            Event::RunStart {
+                schema: SCHEMA_VERSION,
+                label: "quickstart".into(),
+            },
+            Event::Phase {
+                round: 3,
+                phase: "broadcast".into(),
+                calls: 1,
+                total_us: 412,
+            },
+            Event::Op {
+                round: 3,
+                op: "gemm_kernel".into(),
+                calls: 1024,
+                total_us: 88_210,
+                flops: 3_221_225_472,
+            },
+            Event::Workspace {
+                round: 3,
+                clients: 8,
+                allocations: 0,
+                reuses: 65_536,
+                peak_bytes: 4_194_304,
+            },
+            Event::Round {
+                round: 3,
+                dur_us: 1_500_000,
+                downlink_bytes: 1120,
+                uplink_bytes: 1120,
+                dropped: 1,
+                corrupt: 0,
+            },
+            Event::RunEnd {
+                rounds: 12,
+                wall_us: 18_000_000,
+            },
+        ]
+    }
+
+    #[test]
+    fn every_variant_round_trips() {
+        for ev in samples() {
+            let line = ev.to_json();
+            let back = Event::parse(&line).unwrap_or_else(|e| panic!("{line}: {e}"));
+            assert_eq!(back, ev, "round trip changed {line}");
+        }
+    }
+
+    #[test]
+    fn labels_with_specials_round_trip() {
+        for label in [
+            "quote \" backslash \\ tab \t newline \n",
+            "unicode λ→∞ ok",
+            "",
+            "\u{1}\u{1f}",
+        ] {
+            let ev = Event::RunStart {
+                schema: 1,
+                label: label.into(),
+            };
+            assert_eq!(Event::parse(&ev.to_json()), Ok(ev));
+        }
+    }
+
+    #[test]
+    fn parse_rejects_malformed_lines() {
+        for bad in [
+            "",
+            "{",
+            "not json",
+            r#"{"ev":"phase"}"#,             // missing fields
+            r#"{"ev":"mystery","round":1}"#, // unknown kind
+            r#"{"ev":"run_end","rounds":1,"wall_us":2,"extra":3}"#, // extra field
+            r#"{"ev":"run_end","rounds":-1,"wall_us":2}"#, // negative
+            r#"{"ev":"run_end","rounds":1.5,"wall_us":2}"#, // float
+            r#"{"ev":"run_end","rounds":"1","wall_us":2}"#, // wrong type
+            r#"{"ev":"run_end","rounds":1,"rounds":1,"wall_us":2}"#, // duplicate
+            r#"{"ev":"run_end","rounds":1,"wall_us":2} trailing"#,
+            r#"{"ev":"run_end","rounds":{},"wall_us":2}"#, // nested
+        ] {
+            assert!(Event::parse(bad).is_err(), "accepted {bad:?}");
+        }
+    }
+
+    #[test]
+    fn journals_from_other_schema_versions_are_detectable() {
+        let ev = Event::parse(r#"{"ev":"run_start","schema":999,"label":"x"}"#).expect("parses");
+        let Event::RunStart { schema, .. } = ev else {
+            panic!("wrong variant")
+        };
+        assert_ne!(schema, SCHEMA_VERSION);
+    }
+}

@@ -1,0 +1,249 @@
+//! # fca-trace
+//!
+//! Lightweight span/counter instrumentation for the FedClassAvg
+//! reproduction: lock-free per-op timers and FLOP counters (GEMM packing
+//! vs. kernel, im2col/col2im, layer forward/backward), per-round phase
+//! spans (broadcast / local_train / collect / aggregate / evaluate), and a
+//! versioned JSONL run journal under `results/trace/`.
+//!
+//! Design rules, in order:
+//!
+//! 1. **Determinism** — timers observe, they never branch. A traced run is
+//!    bit-identical to an untraced run at the same seed; the e2e test
+//!    `trace_e2e` proves it. Nothing in this crate returns a measured
+//!    value to the instrumented code.
+//! 2. **Hot-path cost** — with no sink installed, a probe is one relaxed
+//!    atomic load. With the `enabled` feature off, probes compile to
+//!    nothing and [`clock`] is a constant `None`.
+//! 3. **Thread safety** — probes run inside rayon regions; counter cells
+//!    are static atomics, and only cold paths (install/flush/drop) lock.
+//!
+//! Typical wiring (the round loop in `fca-core::sim` does exactly this):
+//!
+//! ```
+//! use fca_trace::{clock, op, phase, OpId, PhaseId};
+//!
+//! let span = clock();                 // None when tracing is inactive
+//! // ... do the work being measured ...
+//! op(OpId::GemmKernel, span);         // adds to the op's counter cell
+//!
+//! let span = clock();
+//! // ... broadcast to clients ...
+//! phase(PhaseId::Broadcast, span);
+//! // later, once per round: fca_trace::flush_ops(round);
+//! ```
+//!
+//! The journal schema lives in [`event`]; DESIGN.md §7.4 documents every
+//! event kind, field, and unit, plus the version-bump rule.
+
+#![warn(missing_docs)]
+
+pub mod event;
+mod ids;
+
+pub use event::{Event, SCHEMA_VERSION};
+pub use ids::{OpId, PhaseId};
+
+/// Everything `emit_round` needs to describe one communication round.
+///
+/// Built by the round loop from the network's byte counters (as deltas
+/// across the round) and the fault counts it already tracks for
+/// `RoundMetrics`.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct RoundRecord {
+    /// Communication round (1-based).
+    pub round: u64,
+    /// Wall-clock duration of the round, microseconds.
+    pub dur_us: u64,
+    /// Server→client bytes sent during the round.
+    pub downlink_bytes: u64,
+    /// Client→server bytes sent during the round.
+    pub uplink_bytes: u64,
+    /// Uplinks lost to dropout/stragglers during the round.
+    pub dropped: u64,
+    /// Uplinks discarded as corrupt during the round.
+    pub corrupt: u64,
+}
+
+#[cfg(feature = "enabled")]
+mod collector;
+#[cfg(feature = "enabled")]
+pub use collector::{
+    clock, emit_round, emit_workspace, flush_ops, install_file, install_writer, is_active, op,
+    op_flops, phase, TraceGuard,
+};
+
+#[cfg(not(feature = "enabled"))]
+mod disabled;
+#[cfg(not(feature = "enabled"))]
+pub use disabled::{
+    clock, emit_round, emit_workspace, flush_ops, install_file, install_writer, is_active, op,
+    op_flops, phase, TraceGuard,
+};
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use std::io::Write;
+    use std::sync::{Arc, Mutex};
+
+    /// Cloneable in-memory writer so tests can read back what the sink
+    /// wrote after the guard drops.
+    #[derive(Clone, Default)]
+    struct Shared(Arc<Mutex<Vec<u8>>>);
+
+    impl Shared {
+        fn contents(&self) -> String {
+            String::from_utf8(self.0.lock().expect("buffer").clone()).expect("utf-8 journal")
+        }
+    }
+
+    impl Write for Shared {
+        fn write(&mut self, buf: &[u8]) -> std::io::Result<usize> {
+            self.0.lock().expect("buffer").extend_from_slice(buf);
+            Ok(buf.len())
+        }
+
+        fn flush(&mut self) -> std::io::Result<()> {
+            Ok(())
+        }
+    }
+
+    /// The collector is a process-wide singleton, so every assertion that
+    /// installs a sink lives in this ONE test function — parallel test
+    /// threads must never race on the global tracer.
+    #[cfg(feature = "enabled")]
+    #[test]
+    fn live_collector_lifecycle() {
+        // Inactive: clock is None and probes are inert.
+        assert!(!is_active());
+        assert!(clock().is_none());
+        op(OpId::GemmKernel, clock());
+        flush_ops(0); // no sink: must not panic
+
+        let buf = Shared::default();
+        let guard = install_writer(Box::new(buf.clone()), "unit \"quoted\"").expect("install");
+        assert!(is_active());
+
+        // Second install while active must fail.
+        let second = install_writer(Box::new(Shared::default()), "dup");
+        assert!(second.is_err(), "double install accepted");
+
+        // Record spans from a few threads, then flush round 1.
+        let workers: Vec<_> = (0..4)
+            .map(|_| {
+                std::thread::spawn(|| {
+                    for _ in 0..10 {
+                        op_flops(OpId::GemmKernel, clock(), 1000);
+                    }
+                })
+            })
+            .collect();
+        for w in workers {
+            w.join().expect("worker");
+        }
+        phase(PhaseId::Broadcast, clock());
+        phase(PhaseId::LocalTrain, clock());
+        flush_ops(1);
+        emit_workspace(1, 4, 2, 98, 4096);
+        emit_round(&RoundRecord {
+            round: 1,
+            dur_us: 10,
+            downlink_bytes: 100,
+            uplink_bytes: 50,
+            dropped: 1,
+            corrupt: 0,
+        });
+        drop(guard);
+        assert!(!is_active());
+        assert!(clock().is_none());
+
+        // Every line must parse; the shape must match what we recorded.
+        let body = buf.contents();
+        let events: Vec<Event> = body
+            .lines()
+            .map(|l| Event::parse(l).unwrap_or_else(|e| panic!("{l}: {e}")))
+            .collect();
+        assert!(
+            matches!(
+                &events[0],
+                Event::RunStart { schema, label }
+                    if *schema == SCHEMA_VERSION && label == "unit \"quoted\""
+            ),
+            "journal must open with run_start: {:?}",
+            events[0]
+        );
+        assert!(
+            matches!(events.last(), Some(Event::RunEnd { rounds: 1, .. })),
+            "journal must close with run_end counting 1 round: {:?}",
+            events.last()
+        );
+        let kernel = events
+            .iter()
+            .find_map(|e| match e {
+                Event::Op {
+                    op, calls, flops, ..
+                } if op == "gemm_kernel" => Some((*calls, *flops)),
+                _ => None,
+            })
+            .expect("gemm_kernel op event");
+        assert_eq!(kernel, (40, 40_000), "atomic op totals are exact");
+        let phases: Vec<&str> = events
+            .iter()
+            .filter_map(|e| match e {
+                Event::Phase { phase, .. } => Some(phase.as_str()),
+                _ => None,
+            })
+            .collect();
+        assert_eq!(phases, ["broadcast", "local_train"]);
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Workspace { reuses: 98, .. })));
+        assert!(events
+            .iter()
+            .any(|e| matches!(e, Event::Round { dropped: 1, .. })));
+
+        // A fresh install after drop starts from zeroed cells.
+        let buf2 = Shared::default();
+        let guard2 = install_writer(Box::new(buf2.clone()), "second").expect("reinstall");
+        flush_ops(9);
+        drop(guard2);
+        let events2: Vec<Event> = buf2
+            .contents()
+            .lines()
+            .map(|l| Event::parse(l).expect("line"))
+            .collect();
+        assert_eq!(
+            events2.len(),
+            2,
+            "leftover counters leaked into a fresh journal: {events2:?}"
+        );
+    }
+
+    /// With the feature off the whole surface must be inert: probes do
+    /// nothing, install succeeds without writing, and the guard carries no
+    /// state (the "spans compile to zero code" contract, asserted as
+    /// zero-sized guard + constant-`None` clock).
+    #[cfg(not(feature = "enabled"))]
+    #[test]
+    fn disabled_build_is_inert_and_zero_sized() {
+        assert_eq!(std::mem::size_of::<TraceGuard>(), 0);
+        assert!(clock().is_none());
+        assert!(!is_active());
+
+        let buf = Shared::default();
+        let guard = install_writer(Box::new(buf.clone()), "noop").expect("install");
+        assert!(!is_active(), "disabled build must never activate");
+        assert!(clock().is_none());
+        op_flops(OpId::GemmKernel, clock(), 123);
+        phase(PhaseId::Broadcast, clock());
+        flush_ops(1);
+        emit_workspace(1, 1, 1, 1, 1);
+        emit_round(&RoundRecord::default());
+        drop(guard);
+        assert!(
+            buf.contents().is_empty(),
+            "disabled build wrote journal bytes"
+        );
+    }
+}

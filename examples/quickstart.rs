@@ -5,6 +5,14 @@
 //! ```sh
 //! cargo run --release --example quickstart
 //! ```
+//!
+//! Flags:
+//!
+//! * `--quick` — a 4-round run on a quarter of the data (the CI smoke
+//!   configuration; the learning bar is relaxed accordingly).
+//! * `--trace` — journal the run to `results/trace/quickstart.jsonl` and
+//!   print where it landed; render it with
+//!   `cargo run --release -p fca-bench --bin trace_report`.
 
 use fedclassavg_suite::data::partition::Partitioner;
 use fedclassavg_suite::data::synth::SynthConfig;
@@ -13,11 +21,36 @@ use fedclassavg_suite::fed::comm::FaultPlan;
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
 use fedclassavg_suite::fed::sim::{build_clients, run_federation};
 use fedclassavg_suite::models::ModelArch;
+use fedclassavg_suite::trace;
 
 fn main() {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let quick = args.iter().any(|a| a == "--quick");
+    let traced = args.iter().any(|a| a == "--trace");
+    for a in &args {
+        assert!(
+            a == "--quick" || a == "--trace",
+            "unknown flag {a} (usage: quickstart [--quick] [--trace])"
+        );
+    }
+
+    // Tracing observes without steering: with or without `--trace`, the
+    // same seed produces bit-identical results (tests/trace_e2e.rs holds
+    // the repo to that).
+    let journal = std::path::PathBuf::from("results/trace/quickstart.jsonl");
+    let guard = traced.then(|| {
+        let label = if quick {
+            "quickstart --quick"
+        } else {
+            "quickstart"
+        };
+        trace::install_file(&journal, label).expect("install trace journal")
+    });
+
     // 1. A synthetic Fashion-MNIST-like dataset (1×28×28, 10 classes).
+    let (train_n, test_n) = if quick { (600, 200) } else { (1200, 400) };
     let data = SynthConfig::synth_fashion(42)
-        .with_sizes(1200, 400)
+        .with_sizes(train_n, test_n)
         .generate();
 
     // 2. Federation setup: 8 clients, non-iid Dir(0.5) label split, and the
@@ -25,9 +58,9 @@ fn main() {
     let cfg = FedConfig {
         num_clients: 8,
         sample_rate: 1.0,
-        rounds: 12,
+        rounds: if quick { 4 } else { 12 },
         feature_dim: 32,
-        eval_every: 3,
+        eval_every: if quick { 2 } else { 3 },
         seed: 42,
         hp: HyperParams::micro_default(),
         faults: FaultPlan::none(),
@@ -68,5 +101,10 @@ fn main() {
         result.uplink_bytes,
         result.bytes_per_client_round(cfg.num_clients) as u64,
     );
-    assert!(result.final_mean > 0.3, "federation failed to learn");
+    if let Some(guard) = guard {
+        drop(guard); // flush run_end before pointing at the journal
+        println!("trace journal: {}", journal.display());
+    }
+    let bar = if quick { 0.12 } else { 0.3 };
+    assert!(result.final_mean > bar, "federation failed to learn");
 }

@@ -14,6 +14,12 @@ echo "=== tier-1: build + test ==="
 cargo build --release
 cargo test -q
 
+echo "=== trace compiled out: fca-trace with the 'enabled' feature off ==="
+cargo test -q -p fca-trace --no-default-features
+
+echo "=== doc build (rustdoc warnings are errors) ==="
+RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
+
 echo "=== optimized-build numerics: fca-tensor in release ==="
 cargo test -q --release -p fca-tensor
 
@@ -23,5 +29,9 @@ cargo test -q --release --test failure_injection
 
 echo "=== bench harness smoke run ==="
 cargo bench -p fca-bench -- --test
+
+echo "=== observability smoke: traced quick run + journal schema check ==="
+cargo run --release --example quickstart -- --quick --trace
+cargo run --release -p fca-bench --bin trace_report -- --check results/trace/quickstart.jsonl
 
 echo "ci: all green"

@@ -15,10 +15,12 @@
 //! * [`models`] — the heterogeneous micro-CNN zoo.
 //! * [`fed`] — the federated-learning core: algorithms + communication.
 //! * [`metrics`] — evaluation, t-SNE, layer conductance.
+//! * [`trace`] — span/counter instrumentation and the JSONL run journal.
 
 pub use fca_data as data;
 pub use fca_metrics as metrics;
 pub use fca_models as models;
 pub use fca_nn as nn;
 pub use fca_tensor as tensor;
+pub use fca_trace as trace;
 pub use fedclassavg as fed;
