@@ -10,6 +10,9 @@
 //! cargo run --release -p fca-bench --bin gemm_snapshot
 //! ```
 
+// Bench binaries time wall-clock by design (fca-lint D1 exempts crates/bench).
+#![allow(clippy::disallowed_methods)]
+
 use fca_tensor::linalg::{gemm_nn, gemm_nn_naive, gemm_nt, gemm_nt_naive, gemm_tn, gemm_tn_naive};
 use fca_tensor::rng::seeded_rng;
 use fca_tensor::Tensor;

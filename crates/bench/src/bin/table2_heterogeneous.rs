@@ -6,6 +6,9 @@
 //! Usage: `cargo run --release -p fca-bench --bin table2_heterogeneous
 //! [--quick] [--seed N] [--dataset cifar|fashion|emnist]`
 
+// Bench binaries time wall-clock by design (fca-lint D1 exempts crates/bench).
+#![allow(clippy::disallowed_methods)]
+
 use fca_bench::experiments::{run_heterogeneous, DatasetKind, ExperimentContext, Method};
 use fca_bench::report::{comparison_table, ordering_holds, write_json, Comparison};
 use fca_data::partition::Partitioner;

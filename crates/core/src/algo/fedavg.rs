@@ -1,7 +1,7 @@
 //! FedAvg (McMahan et al. 2017) and FedProx (Li et al. 2020) — the
 //! homogeneous full-weight-sharing baselines of Table 3.
 
-use super::{for_sampled_parallel, normalized_weights, Algorithm};
+use super::{for_sampled_parallel, full_model_states, normalized_weights, Algorithm};
 use crate::client::Client;
 use crate::comm::{Network, WireMessage};
 use crate::config::HyperParams;
@@ -28,22 +28,24 @@ impl FedAvg {
         &self.global_state
     }
 
-    fn aggregate(&mut self, replies: &[(usize, WireMessage)], weights: &[f32]) {
-        let mut acc: Option<Vec<Tensor>> = None;
-        for ((_, msg), &w) in replies.iter().zip(weights) {
-            let WireMessage::FullModel(state) = msg else {
-                panic!("expected FullModel uplink")
-            };
-            match &mut acc {
-                None => acc = Some(state.iter().map(|t| t.scaled(w)).collect()),
-                Some(a) => {
-                    for (ai, ti) in a.iter_mut().zip(state) {
-                        ai.axpy(w, ti);
-                    }
-                }
+    /// Weighted-average the `FullModel` replies into the global state.
+    /// Wrong-variant replies count as corrupt and are skipped; weights
+    /// renormalize over the survivors. Zero usable replies leave the
+    /// previous global standing.
+    fn aggregate(&mut self, clients: &[Client], replies: &[(usize, WireMessage)]) {
+        let states = full_model_states(replies);
+        let Some(((_, first), rest)) = states.split_first() else {
+            return;
+        };
+        let ids: Vec<usize> = states.iter().map(|(k, _)| *k).collect();
+        let weights = normalized_weights(clients, &ids);
+        let mut acc: Vec<Tensor> = first.iter().map(|t| t.scaled(weights[0])).collect();
+        for ((_, state), &w) in rest.iter().zip(&weights[1..]) {
+            for (ai, ti) in acc.iter_mut().zip(state.iter()) {
+                ai.axpy(w, ti);
             }
         }
-        self.global_state = acc.expect("at least one reply");
+        self.global_state = acc;
     }
 }
 
@@ -62,7 +64,9 @@ impl Algorithm for FedAvg {
     ) {
         let span = fca_trace::clock();
         for &k in sampled {
-            net.send_to_client(k, &WireMessage::FullModel(self.global_state.clone()));
+            // A closed endpoint is an offline client; the count-driven
+            // collect already tolerates the missing reply.
+            let _ = net.send_to_client(k, &WireMessage::FullModel(self.global_state.clone()));
         }
         fca_trace::phase(PhaseId::Broadcast, span);
         let span = fca_trace::clock();
@@ -72,7 +76,7 @@ impl Algorithm for FedAvg {
             };
             c.model.load_full_state(&state);
             c.local_update_supervised(hp.local_epochs, hp);
-            net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
+            let _ = net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
         });
         fca_trace::phase(PhaseId::LocalTrain, span);
         let span = fca_trace::clock();
@@ -82,8 +86,7 @@ impl Algorithm for FedAvg {
             return; // zero survivors: the previous global stands
         }
         let span = fca_trace::clock();
-        let weights = normalized_weights(clients, &collected.ids());
-        self.aggregate(&collected.replies, &weights);
+        self.aggregate(clients, &collected.replies);
         fca_trace::phase(PhaseId::Aggregate, span);
     }
 }
@@ -126,7 +129,8 @@ impl Algorithm for FedProx {
     ) {
         let span = fca_trace::clock();
         for &k in sampled {
-            net.send_to_client(k, &WireMessage::FullModel(self.inner.global_state.clone()));
+            // As in FedAvg: a closed endpoint is an offline client.
+            let _ = net.send_to_client(k, &WireMessage::FullModel(self.inner.global_state.clone()));
         }
         fca_trace::phase(PhaseId::Broadcast, span);
         let mu = self.mu;
@@ -145,7 +149,7 @@ impl Algorithm for FedProx {
                 .map(|p| p.value.clone())
                 .collect();
             c.local_update_fedprox(&snapshot, mu, hp);
-            net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
+            let _ = net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
         });
         fca_trace::phase(PhaseId::LocalTrain, span);
         let span = fca_trace::clock();
@@ -155,8 +159,7 @@ impl Algorithm for FedProx {
             return; // zero survivors: the previous global stands
         }
         let span = fca_trace::clock();
-        let weights = normalized_weights(clients, &collected.ids());
-        self.inner.aggregate(&collected.replies, &weights);
+        self.inner.aggregate(clients, &collected.replies);
         fca_trace::phase(PhaseId::Aggregate, span);
     }
 }

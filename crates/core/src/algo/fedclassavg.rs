@@ -12,7 +12,7 @@
 //! * `share_full_weights` reproduces the homogeneous "+weight" rows of
 //!   Table 3 (all weights averaged, proximal still classifier-only).
 
-use super::{for_sampled_parallel, normalized_weights, Algorithm};
+use super::{for_sampled_parallel, full_model_states, normalized_weights, Algorithm};
 use crate::client::{Client, LocalObjective};
 use crate::comm::{Network, WireMessage};
 use crate::config::HyperParams;
@@ -148,6 +148,7 @@ impl Algorithm for FedClassAvg {
                 WireMessage::FullModel(
                     self.global_state
                         .as_ref()
+                        // fca-lint: allow(P1, reason = "invariant set by the only constructor that enables share_full_weights; never reachable from wire input")
                         .expect("+weight state initialized")
                         .clone(),
                 )
@@ -156,7 +157,9 @@ impl Algorithm for FedClassAvg {
             } else {
                 WireMessage::Classifier(self.global.clone())
             };
-            net.send_to_client(k, &msg);
+            // A closed endpoint is an offline client; the count-driven
+            // collect already tolerates the missing reply.
+            let _ = net.send_to_client(k, &msg);
         }
         fca_trace::phase(PhaseId::Broadcast, span);
 
@@ -172,7 +175,7 @@ impl Algorithm for FedClassAvg {
                 WireMessage::Classifier(global) => {
                     c.model.classifier.set_weights(&global);
                     c.local_update_fedclassavg(Some(&global), hp, obj);
-                    net.send_to_server(
+                    let _ = net.send_to_server(
                         c.id,
                         &WireMessage::Classifier(c.model.classifier.weights()),
                     );
@@ -180,7 +183,7 @@ impl Algorithm for FedClassAvg {
                 WireMessage::ClassifierF16(global) => {
                     c.model.classifier.set_weights(&global);
                     c.local_update_fedclassavg(Some(&global), hp, obj);
-                    net.send_to_server(
+                    let _ = net.send_to_server(
                         c.id,
                         &WireMessage::ClassifierF16(c.model.classifier.weights()),
                     );
@@ -194,9 +197,11 @@ impl Algorithm for FedClassAvg {
                         bias: state[n - 1].clone(),
                     };
                     c.local_update_fedclassavg(Some(&global_cls), hp, obj);
-                    net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
+                    let _ = net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
                 }
-                other => panic!("unexpected broadcast {other:?}"),
+                // A broadcast that decoded to an unexpected variant is
+                // treated like a lost broadcast: sit the round out.
+                _ => {}
             }
         });
         fca_trace::phase(PhaseId::LocalTrain, span);
@@ -213,48 +218,48 @@ impl Algorithm for FedClassAvg {
         }
         let span = fca_trace::clock();
         let replies = collected.replies;
-        let weights = normalized_weights(
-            clients,
-            &replies.iter().map(|(k, _)| *k).collect::<Vec<_>>(),
-        );
 
+        // Wrong-variant replies count as corrupt and are skipped below;
+        // weights renormalize over the survivors. Zero usable replies
+        // leave the previous global standing.
         if self.share_full_weights {
-            let mut acc: Option<Vec<Tensor>> = None;
-            for ((_, msg), &w) in replies.iter().zip(&weights) {
-                let WireMessage::FullModel(state) = msg else {
-                    panic!("expected FullModel uplink")
-                };
-                match &mut acc {
-                    None => {
-                        acc = Some(state.iter().map(|t| t.scaled(w)).collect());
-                    }
-                    Some(a) => {
-                        for (ai, ti) in a.iter_mut().zip(state) {
-                            ai.axpy(w, ti);
-                        }
+            let states = full_model_states(&replies);
+            if let Some(((_, first), rest)) = states.split_first() {
+                let ids: Vec<usize> = states.iter().map(|(k, _)| *k).collect();
+                let weights = normalized_weights(clients, &ids);
+                let mut acc: Vec<Tensor> = first.iter().map(|t| t.scaled(weights[0])).collect();
+                for ((_, state), &w) in rest.iter().zip(&weights[1..]) {
+                    for (ai, ti) in acc.iter_mut().zip(state.iter()) {
+                        ai.axpy(w, ti);
                     }
                 }
-            }
-            let state = acc.expect("at least one reply");
-            let n = state.len();
-            self.global = ClassifierWeights {
-                weight: state[n - 2].clone(),
-                bias: state[n - 1].clone(),
-            };
-            self.global_state = Some(state);
-        } else {
-            let mut acc = ClassifierWeights::zeros(
-                self.global.weight.dims()[1],
-                self.global.weight.dims()[0],
-            );
-            for ((_, msg), &w) in replies.iter().zip(&weights) {
-                let cw = match msg {
-                    WireMessage::Classifier(cw) | WireMessage::ClassifierF16(cw) => cw,
-                    other => panic!("expected classifier uplink, got {other:?}"),
+                let n = acc.len();
+                self.global = ClassifierWeights {
+                    weight: acc[n - 2].clone(),
+                    bias: acc[n - 1].clone(),
                 };
-                acc.axpy(w, cw);
+                self.global_state = Some(acc);
             }
-            self.global = acc;
+        } else {
+            let classifiers: Vec<(usize, &ClassifierWeights)> = replies
+                .iter()
+                .filter_map(|(k, msg)| match msg {
+                    WireMessage::Classifier(cw) | WireMessage::ClassifierF16(cw) => Some((*k, cw)),
+                    _ => None,
+                })
+                .collect();
+            if !classifiers.is_empty() {
+                let ids: Vec<usize> = classifiers.iter().map(|(k, _)| *k).collect();
+                let weights = normalized_weights(clients, &ids);
+                let mut acc = ClassifierWeights::zeros(
+                    self.global.weight.dims()[1],
+                    self.global.weight.dims()[0],
+                );
+                for ((_, cw), &w) in classifiers.iter().zip(&weights) {
+                    acc.axpy(w, cw);
+                }
+                self.global = acc;
+            }
         }
         fca_trace::phase(PhaseId::Aggregate, span);
     }

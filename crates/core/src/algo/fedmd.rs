@@ -64,7 +64,9 @@ impl Algorithm for FedMd {
         // Phase A: broadcast public data, local training, soft predictions.
         let span = fca_trace::clock();
         for &k in sampled {
-            net.send_to_client(k, &WireMessage::PublicData(self.public.clone()));
+            // A closed endpoint is an offline client; the count-driven
+            // collect already tolerates the missing reply.
+            let _ = net.send_to_client(k, &WireMessage::PublicData(self.public.clone()));
         }
         fca_trace::phase(PhaseId::Broadcast, span);
         let temp = self.temperature;
@@ -77,7 +79,7 @@ impl Algorithm for FedMd {
             c.local_update_supervised(local_epochs, hp);
             let logits = c.logits_on(&public);
             let soft = softmax_rows(&logits.scaled(1.0 / temp));
-            net.send_to_server(c.id, &WireMessage::SoftPredictions(soft));
+            let _ = net.send_to_server(c.id, &WireMessage::SoftPredictions(soft));
         });
         fca_trace::phase(PhaseId::LocalTrain, span);
 
@@ -89,11 +91,15 @@ impl Algorithm for FedMd {
             .replies;
         fca_trace::phase(PhaseId::Collect, span);
         let span = fca_trace::clock();
+        // Wrong-variant replies count as corrupt and are skipped; the
+        // uniform consensus averages over the usable predictions only.
         let mut consensus: Option<Tensor> = None;
+        let mut usable = 0usize;
         for (_, msg) in &replies {
             let WireMessage::SoftPredictions(t) = msg else {
-                panic!("expected SoftPredictions uplink")
+                continue;
             };
+            usable += 1;
             match &mut consensus {
                 None => consensus = Some(t.clone()),
                 Some(acc) => acc.add_assign(t),
@@ -102,13 +108,13 @@ impl Algorithm for FedMd {
         let Some(mut consensus) = consensus else {
             return;
         };
-        consensus.scale(1.0 / replies.len() as f32);
+        consensus.scale(1.0 / usable as f32);
 
         // Phase B: every reachable client distills toward the consensus
         // (stragglers and corrupt uplinks still trained and may distill;
         // offline clients get nothing).
         for &k in sampled {
-            net.send_to_client(k, &WireMessage::SoftTargets(consensus.clone()));
+            let _ = net.send_to_client(k, &WireMessage::SoftTargets(consensus.clone()));
         }
         fca_trace::phase(PhaseId::Aggregate, span);
         let (steps, batch) = (self.distill_steps, self.distill_batch);

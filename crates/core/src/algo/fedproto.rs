@@ -50,7 +50,9 @@ impl Algorithm for FedProto {
     ) {
         let span = fca_trace::clock();
         for &k in sampled {
-            net.send_to_client(k, &WireMessage::Prototypes(self.global_protos.clone()));
+            // A closed endpoint is an offline client; the count-driven
+            // collect already tolerates the missing reply.
+            let _ = net.send_to_client(k, &WireMessage::Prototypes(self.global_protos.clone()));
         }
         fca_trace::phase(PhaseId::Broadcast, span);
         let lambda = self.lambda;
@@ -61,7 +63,7 @@ impl Algorithm for FedProto {
             };
             c.local_update_fedproto(&protos, lambda, hp);
             let local = c.compute_prototypes();
-            net.send_to_server(c.id, &WireMessage::Prototypes(local));
+            let _ = net.send_to_server(c.id, &WireMessage::Prototypes(local));
         });
         fca_trace::phase(PhaseId::LocalTrain, span);
 
@@ -81,25 +83,22 @@ impl Algorithm for FedProto {
         let span = fca_trace::clock();
         let mut sums: Vec<Tensor> = vec![Tensor::zeros([self.feature_dim]); self.num_classes];
         let mut mass = vec![0.0f32; self.num_classes];
+        // A reply with the wrong variant, the wrong class count, or a
+        // mis-sized prototype is treated like a corrupt payload: its
+        // contribution is skipped rather than crashing the server.
         for (k, msg) in &replies {
             let WireMessage::Prototypes(protos) = msg else {
-                panic!("expected Prototypes uplink")
+                continue;
             };
-            assert_eq!(
-                protos.len(),
-                self.num_classes,
-                "prototype class-count mismatch"
-            );
+            if protos.len() != self.num_classes {
+                continue;
+            }
             let w = clients[*k].weight;
             for (c, p) in protos.iter().enumerate() {
                 if let Some(p) = p {
-                    assert_eq!(
-                        p.numel(),
-                        self.feature_dim,
-                        "client {k} prototype dim {} != {}",
-                        p.numel(),
-                        self.feature_dim
-                    );
+                    if p.numel() != self.feature_dim {
+                        continue;
+                    }
                     sums[c].axpy(w, p);
                     mass[c] += w;
                 }

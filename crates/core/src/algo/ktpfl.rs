@@ -63,7 +63,10 @@ impl KtPfl {
     /// minimize `Σ_k KL(t_k ‖ s_k)` with `t_k = Σ_l c_kl · s_l`.
     fn update_coefficients(&mut self, sampled: &[usize], soft: &[(usize, Tensor)]) {
         let n_items = soft[0].1.numel();
-        let by_id: std::collections::HashMap<usize, &Tensor> =
+        // BTreeMap, not HashMap: the map only gathers replies by id here,
+        // but keeping aggregation paths free of randomized iteration order
+        // is a blanket rule (D1) — cheaper than auditing each use.
+        let by_id: std::collections::BTreeMap<usize, &Tensor> =
             soft.iter().map(|(k, t)| (*k, t)).collect();
         for _ in 0..self.coeff_steps {
             let coeff = softmax_rows(&self.theta);
@@ -116,7 +119,7 @@ impl KtPfl {
         soft: &[(usize, Tensor)],
     ) -> Vec<(usize, Tensor)> {
         let coeff = softmax_rows(&self.theta);
-        let by_id: std::collections::HashMap<usize, &Tensor> =
+        let by_id: std::collections::BTreeMap<usize, &Tensor> =
             soft.iter().map(|(k, t)| (*k, t)).collect();
         sampled
             .iter()
@@ -158,7 +161,9 @@ impl Algorithm for KtPfl {
         // train locally, upload temperature-softened predictions.
         let span = fca_trace::clock();
         for &k in sampled {
-            net.send_to_client(k, &WireMessage::PublicData(self.public.clone()));
+            // A closed endpoint is an offline client; the count-driven
+            // collect already tolerates the missing reply.
+            let _ = net.send_to_client(k, &WireMessage::PublicData(self.public.clone()));
         }
         fca_trace::phase(PhaseId::Broadcast, span);
         let temp = self.temperature;
@@ -171,7 +176,7 @@ impl Algorithm for KtPfl {
             c.local_update_supervised(local_epochs, hp);
             let logits = c.logits_on(&public);
             let soft = softmax_rows(&logits.scaled(1.0 / temp));
-            net.send_to_server(c.id, &WireMessage::SoftPredictions(soft));
+            let _ = net.send_to_server(c.id, &WireMessage::SoftPredictions(soft));
         });
         fca_trace::phase(PhaseId::LocalTrain, span);
         let span = fca_trace::clock();
@@ -179,9 +184,10 @@ impl Algorithm for KtPfl {
             .server_collect_deadline(sampled.len(), net.collect_budget())
             .replies
             .into_iter()
-            .map(|(k, m)| match m {
-                WireMessage::SoftPredictions(t) => (k, t),
-                other => panic!("expected SoftPredictions, got {other:?}"),
+            // A wrong-variant reply counts as corrupt and is skipped.
+            .filter_map(|(k, m)| match m {
+                WireMessage::SoftPredictions(t) => Some((k, t)),
+                _ => None,
             })
             .collect();
         fca_trace::phase(PhaseId::Collect, span);
@@ -196,7 +202,7 @@ impl Algorithm for KtPfl {
         let survivors: Vec<usize> = soft.iter().map(|(k, _)| *k).collect();
         self.update_coefficients(&survivors, &soft);
         for (k, t) in self.personalized_targets(&survivors, &soft) {
-            net.send_to_client(k, &WireMessage::SoftTargets(t));
+            let _ = net.send_to_client(k, &WireMessage::SoftTargets(t));
         }
         fca_trace::phase(PhaseId::Aggregate, span);
 
@@ -246,8 +252,13 @@ impl KtPflWeight {
     /// similarity-driven stand-in for the parameterized update — see
     /// DESIGN.md substitutions).
     fn refresh_coefficients(&mut self) {
-        let known: Vec<usize> = (0..self.states.len())
-            .filter(|&k| self.states[k].is_some())
+        // Bind each known id to its state up front so the pair loop needs
+        // no per-access unwrapping.
+        let known: Vec<(usize, &Vec<Tensor>)> = self
+            .states
+            .iter()
+            .enumerate()
+            .filter_map(|(k, s)| s.as_ref().map(|s| (k, s)))
             .collect();
         if known.len() < 2 {
             return;
@@ -255,12 +266,8 @@ impl KtPflWeight {
         let mut d2 = vec![vec![0.0f32; known.len()]; known.len()];
         let mut mean = 0.0f32;
         let mut pairs = 0usize;
-        for (i, &a) in known.iter().enumerate() {
-            for (j, &b) in known.iter().enumerate().skip(i + 1) {
-                let (sa, sb) = (
-                    self.states[a].as_ref().expect("known"),
-                    self.states[b].as_ref().expect("known"),
-                );
+        for (i, &(_, sa)) in known.iter().enumerate() {
+            for (j, &(_, sb)) in known.iter().enumerate().skip(i + 1) {
                 let dist: f32 = sa.iter().zip(sb).map(|(x, y)| x.sub(y).sq_norm()).sum();
                 d2[i][j] = dist;
                 d2[j][i] = dist;
@@ -269,8 +276,8 @@ impl KtPflWeight {
             }
         }
         let sigma2 = (mean / pairs.max(1) as f32).max(1e-6);
-        for (i, &a) in known.iter().enumerate() {
-            for (j, &b) in known.iter().enumerate() {
+        for (i, &(a, _)) in known.iter().enumerate() {
+            for (j, &(b, _)) in known.iter().enumerate() {
                 self.theta
                     .set2(a, b, -self.coeff_sharpness * d2[i][j] / sigma2);
             }
@@ -328,7 +335,9 @@ impl Algorithm for KtPflWeight {
         let span = fca_trace::clock();
         for &k in sampled {
             if let Some(state) = self.personalized_state(k) {
-                net.send_to_client(k, &WireMessage::FullModel(state));
+                // A closed endpoint is an offline client; skipped uplinks
+                // are already tolerated by the count-driven collect.
+                let _ = net.send_to_client(k, &WireMessage::FullModel(state));
             }
         }
         fca_trace::phase(PhaseId::Broadcast, span);
@@ -344,7 +353,7 @@ impl Algorithm for KtPflWeight {
                 c.model.load_full_state(&state);
             }
             c.local_update_supervised(local_epochs, hp);
-            net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
+            let _ = net.send_to_server(c.id, &WireMessage::FullModel(c.model.full_state()));
         });
         fca_trace::phase(PhaseId::LocalTrain, span);
         let span = fca_trace::clock();
@@ -352,8 +361,10 @@ impl Algorithm for KtPflWeight {
         fca_trace::phase(PhaseId::Collect, span);
         let span = fca_trace::clock();
         for (k, msg) in collected.replies {
+            // A wrong-variant reply counts as corrupt: the client's last
+            // known state stands.
             let WireMessage::FullModel(state) = msg else {
-                panic!("expected FullModel uplink")
+                continue;
             };
             self.states[k] = Some(state);
         }

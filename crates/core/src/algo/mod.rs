@@ -19,8 +19,9 @@ pub use ktpfl::{KtPfl, KtPflWeight};
 pub use local::LocalOnly;
 
 use crate::client::Client;
-use crate::comm::Network;
+use crate::comm::{Network, WireMessage};
 use crate::config::HyperParams;
+use fca_tensor::Tensor;
 
 /// A federated-learning algorithm: server state + one synchronous round.
 pub trait Algorithm: Send {
@@ -54,6 +55,23 @@ pub trait Algorithm: Send {
     );
 }
 
+/// The `FullModel` payloads among a round's replies, keyed by client id.
+///
+/// A reply that decoded to a different variant is treated exactly like a
+/// corrupt payload — dropped from the aggregate — instead of crashing the
+/// server: the wire format is versionless, so a stale or confused peer
+/// sending the wrong message type is a fault to survive, not a bug to
+/// panic on.
+pub(crate) fn full_model_states(replies: &[(usize, WireMessage)]) -> Vec<(usize, &Vec<Tensor>)> {
+    replies
+        .iter()
+        .filter_map(|(k, msg)| match msg {
+            WireMessage::FullModel(state) => Some((*k, state)),
+            _ => None,
+        })
+        .collect()
+}
+
 /// Normalized aggregation weights `|D_k| / Σ|D_j|` over a set of client
 /// ids — callers pass the round's *survivors*, so after faults the
 /// weights renormalize to sum to 1 over whoever actually replied.
@@ -81,6 +99,7 @@ where
     for &k in sampled {
         assert!(k >= offset, "sampled indices must be sorted and distinct");
         let tail = rest.split_at_mut(k - offset).1;
+        // fca-lint: allow(P1, reason = "guards a caller contract (sample_clients yields sorted, distinct, in-range ids), not wire input; violating it is a simulator bug worth crashing on")
         let (c, tail) = tail.split_first_mut().expect("sampled index out of range");
         picked.push(c);
         rest = tail;

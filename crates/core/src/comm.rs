@@ -488,18 +488,24 @@ impl Network {
     /// Server → client broadcast of one message. The transmission is
     /// always paid for (bytes counted); delivery to an offline client is
     /// swallowed by the simulated network.
-    pub fn send_to_client(&self, client: usize, msg: &WireMessage) {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::ChannelClosed`] when the client endpoint is gone
+    /// (its receiver was dropped). Callers may treat this like an offline
+    /// client: the round proceeds without it.
+    pub fn send_to_client(&self, client: usize, msg: &WireMessage) -> Result<(), WireError> {
         let bytes = msg.encode();
         self.stats
             .downlink
             .fetch_add(bytes.len() as u64, Ordering::Relaxed);
         self.stats.messages.fetch_add(1, Ordering::Relaxed);
         if self.fates[client] == Fate::Dropped {
-            return;
+            return Ok(());
         }
         self.to_client[client]
             .send(bytes)
-            .expect("client channel closed");
+            .map_err(|_| WireError::ChannelClosed)
     }
 
     /// Client-side receive. Returns `None` when no broadcast was delivered
@@ -515,7 +521,14 @@ impl Network {
     /// Client → server upload. The client always pays for the
     /// transmission; the fault plan then decides whether the payload
     /// arrives intact, arrives corrupted, or misses the deadline.
-    pub fn send_to_server(&self, client: usize, msg: &WireMessage) {
+    ///
+    /// # Errors
+    ///
+    /// [`WireError::ChannelClosed`] when the server endpoint is gone.
+    /// From the client's perspective this is indistinguishable from its
+    /// reply being dropped in flight, and the count-driven collect on the
+    /// server side already tolerates missing replies.
+    pub fn send_to_server(&self, client: usize, msg: &WireMessage) -> Result<(), WireError> {
         let bytes = msg.encode();
         self.stats
             .uplink
@@ -525,12 +538,12 @@ impl Network {
             Fate::Healthy => bytes,
             // Offline clients never reach this path; stragglers transmit
             // but the reply outlives the round's deadline.
-            Fate::Dropped | Fate::Straggler => return,
+            Fate::Dropped | Fate::Straggler => return Ok(()),
             Fate::Corrupt => corrupt_payload(bytes),
         };
         self.to_server
             .send((client, bytes))
-            .expect("server channel closed");
+            .map_err(|_| WireError::ChannelClosed)
     }
 
     /// Collect up to `expected` uplinks within `budget`, returning
@@ -540,12 +553,15 @@ impl Network {
     /// the round will deliver, so the call returns as soon as they are in —
     /// missing clients cost no wall-clock time and cannot deadlock the
     /// round. `budget` is a real-time safety net on top of that count.
+    #[allow(clippy::disallowed_methods)] // sanctioned wall-clock: safety-net deadline below
     pub fn server_collect_deadline(&self, expected: usize, budget: Duration) -> Collected {
+        // fca-lint: allow(D1, reason = "real-time safety net only; collection is count-driven via expected_deliveries, so the clock never decides *which* replies are seen, only bounds how long an impossible wait can last")
         let deadline = Instant::now() + budget;
         let will_arrive = expected.min(self.expected_deliveries);
         let mut replies = Vec::with_capacity(will_arrive);
         let mut corrupt = 0usize;
         while replies.len() + corrupt < will_arrive {
+            // fca-lint: allow(D1, reason = "remaining budget for the recv_timeout safety net; see deadline above")
             let remaining = deadline.saturating_duration_since(Instant::now());
             match self.at_server.recv_timeout(remaining) {
                 Ok((k, bytes)) => match WireMessage::decode(bytes) {
@@ -678,12 +694,12 @@ mod tests {
         let w = ClassifierWeights::zeros(8, 4);
         let msg = WireMessage::Classifier(w);
         let len = msg.encoded_len() as u64;
-        net.send_to_client(0, &msg);
-        net.send_to_client(1, &msg);
+        net.send_to_client(0, &msg).expect("send");
+        net.send_to_client(1, &msg).expect("send");
         assert_eq!(net.stats().downlink_bytes(), 2 * len);
         let got = net.client_recv(0).expect("broadcast delivered");
         assert_eq!(got, msg);
-        net.send_to_server(1, &msg);
+        net.send_to_server(1, &msg).expect("send");
         assert_eq!(net.stats().uplink_bytes(), len);
         let collected = net.server_collect(1);
         assert_eq!(collected[0].0, 1);
@@ -694,9 +710,9 @@ mod tests {
     fn server_collect_orders_by_client_id() {
         let net = Network::new(3);
         let msg = WireMessage::SoftPredictions(Tensor::zeros([2, 2]));
-        net.send_to_server(2, &msg);
-        net.send_to_server(0, &msg);
-        net.send_to_server(1, &msg);
+        net.send_to_server(2, &msg).expect("send");
+        net.send_to_server(0, &msg).expect("send");
+        net.send_to_server(1, &msg).expect("send");
         let got = net.server_collect(3);
         let ids: Vec<usize> = got.iter().map(|(k, _)| *k).collect();
         assert_eq!(ids, vec![0, 1, 2]);
@@ -843,7 +859,7 @@ mod tests {
         net.begin_round(1, &[0, 1]);
         assert!(!net.client_online(0));
         let msg = WireMessage::Classifier(ClassifierWeights::zeros(4, 2));
-        net.send_to_client(0, &msg);
+        net.send_to_client(0, &msg).expect("send");
         assert!(
             net.client_recv(0).is_none(),
             "offline client received a broadcast"
@@ -853,12 +869,13 @@ mod tests {
     }
 
     #[test]
+    #[allow(clippy::disallowed_methods)] // asserts on real elapsed time by design
     fn straggler_uplink_counts_as_drop_without_blocking() {
         let mut net = Network::new(2).with_fault_plan(all_fate_plan(Fate::Straggler));
         net.begin_round(1, &[0, 1]);
         let msg = WireMessage::Classifier(ClassifierWeights::zeros(4, 2));
-        net.send_to_server(0, &msg);
-        net.send_to_server(1, &msg);
+        net.send_to_server(0, &msg).expect("send");
+        net.send_to_server(1, &msg).expect("send");
         let start = Instant::now();
         let got = net.server_collect_deadline(2, Duration::from_secs(30));
         // Count-driven return: no real-time wait despite the huge budget.
@@ -877,9 +894,9 @@ mod tests {
         let mut net = Network::new(3).with_fault_plan(all_fate_plan(Fate::Corrupt));
         net.begin_round(1, &[1]); // only client 1 is faulted this round
         let msg = WireMessage::Classifier(ClassifierWeights::zeros(4, 2));
-        net.send_to_server(0, &msg);
-        net.send_to_server(1, &msg);
-        net.send_to_server(2, &msg);
+        net.send_to_server(0, &msg).expect("send");
+        net.send_to_server(1, &msg).expect("send");
+        net.send_to_server(2, &msg).expect("send");
         let got = net.server_collect_deadline(3, Duration::from_secs(5));
         assert_eq!(got.ids(), vec![0, 2]);
         assert_eq!(got.corrupt, 1);

@@ -1,0 +1,176 @@
+//! The committed-findings baseline.
+//!
+//! Grandfathered violations live in a committed JSON file; `fca-lint`
+//! subtracts them from its report so `--deny` can gate CI on *new*
+//! violations only. Entries are matched by a content fingerprint — rule,
+//! path, the trimmed source line, and the occurrence ordinal of that line
+//! within the file — so findings survive unrelated edits that shift line
+//! numbers, and die (forcing a baseline refresh) when the offending line
+//! itself changes.
+//!
+//! The repo's checked-in baseline is **empty** by policy: every
+//! pre-existing violation was either fixed or carries a reasoned
+//! `allow` directive. The mechanism exists for future adopters of new
+//! rules, where fixing a large backlog in the introducing PR would be
+//! impractical.
+
+use crate::engine::Finding;
+use std::collections::BTreeSet;
+
+/// Default baseline filename, resolved relative to `--root`.
+pub const DEFAULT_BASELINE: &str = "fca-lint.baseline.json";
+
+/// 64-bit FNV-1a (std has no stable, seedable, portable hasher).
+fn fnv1a64(bytes: &[u8]) -> u64 {
+    let mut h: u64 = 0xcbf2_9ce4_8422_2325;
+    for &b in bytes {
+        h ^= b as u64;
+        h = h.wrapping_mul(0x0000_0100_0000_01b3);
+    }
+    h
+}
+
+/// Content fingerprint of one finding. `ordinal` distinguishes repeated
+/// identical lines within the same file.
+pub fn fingerprint(f: &Finding, ordinal: usize) -> String {
+    let mut bytes = Vec::new();
+    for part in [f.rule, &f.path, f.snippet.trim()] {
+        bytes.extend_from_slice(part.as_bytes());
+        bytes.push(0);
+    }
+    bytes.extend_from_slice(&(ordinal as u64).to_le_bytes());
+    format!("{:016x}", fnv1a64(&bytes))
+}
+
+/// Assign fingerprints to a position-sorted finding list, numbering
+/// duplicate (rule, path, snippet) triples in order of appearance.
+pub fn fingerprints(findings: &[Finding]) -> Vec<String> {
+    let mut seen: Vec<(String, usize)> = Vec::new();
+    findings
+        .iter()
+        .map(|f| {
+            let key = format!("{}\0{}\0{}", f.rule, f.path, f.snippet.trim());
+            let ordinal = match seen.iter_mut().find(|(k, _)| *k == key) {
+                Some((_, n)) => {
+                    *n += 1;
+                    *n
+                }
+                None => {
+                    seen.push((key, 0));
+                    0
+                }
+            };
+            fingerprint(f, ordinal)
+        })
+        .collect()
+}
+
+/// A parsed baseline: the set of grandfathered fingerprints.
+#[derive(Debug, Default)]
+pub struct Baseline {
+    fingerprints: BTreeSet<String>,
+}
+
+impl Baseline {
+    /// Parse the baseline JSON. The parser is deliberately narrow: it
+    /// accepts what [`render`] writes — any `"fingerprint": "…"` string
+    /// pair anywhere in the document registers an entry.
+    pub fn parse(text: &str) -> Baseline {
+        let mut fingerprints = BTreeSet::new();
+        let mut rest = text;
+        while let Some(at) = rest.find("\"fingerprint\"") {
+            rest = &rest[at + "\"fingerprint\"".len()..];
+            let Some(colon) = rest.find(':') else { break };
+            let after = rest[colon + 1..].trim_start();
+            let Some(body) = after.strip_prefix('"') else {
+                continue;
+            };
+            let Some(end) = body.find('"') else { break };
+            fingerprints.insert(body[..end].to_string());
+            rest = &body[end..];
+        }
+        Baseline { fingerprints }
+    }
+
+    /// Is this fingerprint grandfathered?
+    pub fn contains(&self, fp: &str) -> bool {
+        self.fingerprints.contains(fp)
+    }
+
+    /// Number of entries.
+    pub fn len(&self) -> usize {
+        self.fingerprints.len()
+    }
+
+    /// True when the baseline holds no entries.
+    pub fn is_empty(&self) -> bool {
+        self.fingerprints.is_empty()
+    }
+}
+
+/// Render findings as a baseline document (sorted, human-auditable).
+pub fn render(findings: &[Finding]) -> String {
+    let fps = fingerprints(findings);
+    let mut entries: Vec<String> = findings
+        .iter()
+        .zip(&fps)
+        .map(|(f, fp)| {
+            format!(
+                "    {{\"rule\": {}, \"path\": {}, \"fingerprint\": {}, \"snippet\": {}}}",
+                crate::output::json_string(f.rule),
+                crate::output::json_string(&f.path),
+                crate::output::json_string(fp),
+                crate::output::json_string(f.snippet.trim())
+            )
+        })
+        .collect();
+    entries.sort();
+    format!(
+        "{{\n  \"version\": 1,\n  \"entries\": [\n{}\n  ]\n}}\n",
+        entries.join(",\n")
+    )
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn finding(rule: &'static str, path: &str, line: u32, snippet: &str) -> Finding {
+        Finding {
+            rule,
+            path: path.to_string(),
+            line,
+            col: 1,
+            message: "m".to_string(),
+            snippet: snippet.to_string(),
+        }
+    }
+
+    #[test]
+    fn roundtrip_through_render_and_parse() {
+        let fs = vec![
+            finding("P1", "a.rs", 3, "x.unwrap();"),
+            finding("P1", "a.rs", 9, "x.unwrap();"),
+            finding("D1", "b.rs", 1, "use std::collections::HashMap;"),
+        ];
+        let doc = render(&fs);
+        let base = Baseline::parse(&doc);
+        assert_eq!(base.len(), 3, "duplicate lines must fingerprint apart");
+        for fp in fingerprints(&fs) {
+            assert!(base.contains(&fp));
+        }
+    }
+
+    #[test]
+    fn fingerprint_is_line_number_independent() {
+        let a = finding("P1", "a.rs", 3, "x.unwrap();");
+        let b = finding("P1", "a.rs", 300, "x.unwrap();");
+        assert_eq!(fingerprint(&a, 0), fingerprint(&b, 0));
+    }
+
+    #[test]
+    fn empty_baseline_parses() {
+        let base = Baseline::parse("{\n  \"version\": 1,\n  \"entries\": []\n}\n");
+        assert!(base.is_empty());
+    }
+}

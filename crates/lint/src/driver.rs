@@ -1,0 +1,121 @@
+//! Workspace walking and the end-to-end lint pass shared by the binary
+//! and the integration tests.
+
+use crate::baseline::{self, Baseline};
+use crate::engine::{FileLint, Finding};
+use std::fs;
+use std::io;
+use std::path::{Path, PathBuf};
+
+/// Directory names never descended into.
+const SKIP_DIRS: &[&str] = &["target", "results", "node_modules"];
+
+/// Path suffix (relative, forward slashes) of the lint crate's own test
+/// fixtures: those files violate the rules **on purpose** and must never
+/// count against the workspace.
+const FIXTURES: &str = "crates/lint/tests/fixtures";
+
+/// Aggregated result of linting a file set.
+#[derive(Debug, Default)]
+pub struct Report {
+    /// Active findings (not suppressed, not baselined), position-sorted.
+    pub findings: Vec<Finding>,
+    /// Findings silenced by `allow` directives.
+    pub suppressed: usize,
+    /// Findings subtracted by the baseline.
+    pub baselined: usize,
+    /// Number of `.rs` files scanned.
+    pub files_scanned: usize,
+}
+
+/// Recursively collect `.rs` files under `root`, sorted for deterministic
+/// output, skipping build/output directories, hidden directories, and the
+/// lint crate's violation fixtures.
+pub fn collect_rs_files(root: &Path) -> io::Result<Vec<PathBuf>> {
+    let mut out = Vec::new();
+    walk(root, &mut out)?;
+    out.sort();
+    Ok(out)
+}
+
+fn walk(dir: &Path, out: &mut Vec<PathBuf>) -> io::Result<()> {
+    let mut entries: Vec<PathBuf> = fs::read_dir(dir)?
+        .filter_map(|e| e.ok().map(|e| e.path()))
+        .collect();
+    entries.sort();
+    for path in entries {
+        let name = path
+            .file_name()
+            .map(|n| n.to_string_lossy().into_owned())
+            .unwrap_or_default();
+        if path.is_dir() {
+            if name.starts_with('.') || SKIP_DIRS.contains(&name.as_str()) {
+                continue;
+            }
+            if normalize(&path).ends_with(FIXTURES) {
+                continue;
+            }
+            walk(&path, out)?;
+        } else if name.ends_with(".rs") {
+            out.push(path);
+        }
+    }
+    Ok(())
+}
+
+/// Forward-slash string form of a path.
+fn normalize(path: &Path) -> String {
+    path.to_string_lossy().replace('\\', "/")
+}
+
+/// The path string the rules' policies match: `file` relative to `root`
+/// when possible, the path as given otherwise.
+pub fn policy_path(root: &Path, file: &Path) -> String {
+    let rel = file.strip_prefix(root).unwrap_or(file);
+    normalize(rel)
+}
+
+/// Lint every file in `files` (policy paths computed against `root`),
+/// subtracting `baseline` when given.
+pub fn lint_files(
+    root: &Path,
+    files: &[PathBuf],
+    baseline: Option<&Baseline>,
+) -> io::Result<Report> {
+    let mut report = Report::default();
+    let mut all: Vec<Finding> = Vec::new();
+    for file in files {
+        let source = fs::read_to_string(file)?;
+        let lint = FileLint::new(&policy_path(root, file), &source);
+        let (findings, suppressed) = lint.check();
+        report.suppressed += suppressed;
+        report.files_scanned += 1;
+        all.extend(findings);
+    }
+    all.sort_by(|a, b| (&a.path, a.line, a.col, a.rule).cmp(&(&b.path, b.line, b.col, b.rule)));
+    if let Some(base) = baseline {
+        let fps = baseline::fingerprints(&all);
+        for (finding, fp) in all.into_iter().zip(fps) {
+            if base.contains(&fp) {
+                report.baselined += 1;
+            } else {
+                report.findings.push(finding);
+            }
+        }
+    } else {
+        report.findings = all;
+    }
+    Ok(report)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn policy_path_is_root_relative_and_forward_slashed() {
+        let root = Path::new("/repo");
+        let file = Path::new("/repo/crates/core/src/comm.rs");
+        assert_eq!(policy_path(root, file), "crates/core/src/comm.rs");
+    }
+}

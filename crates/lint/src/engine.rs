@@ -1,0 +1,435 @@
+//! The rule engine: per-file lint context, suppression directives, and
+//! test-module detection.
+//!
+//! A [`FileLint`] owns the token stream for one file plus everything the
+//! rules need to scope themselves: which lines sit inside `#[cfg(test)]`
+//! modules, and which lines carry `// fca-lint: allow(rule, reason = "…")`
+//! directives. Rules produce raw [`Finding`]s; [`FileLint::check`] then
+//! applies the directives, converts directive-hygiene problems (missing
+//! reason, unknown rule, suppressing nothing) into `LINT` findings, and
+//! returns what is left.
+
+use crate::lexer::{lex, Token};
+use crate::rules;
+
+/// One rule violation at a precise source position.
+#[derive(Debug, Clone, PartialEq, Eq)]
+pub struct Finding {
+    /// Rule identifier (`D1`, `P1`, `U1`, `W1`, or `LINT`).
+    pub rule: &'static str,
+    /// Repo-relative path of the offending file.
+    pub path: String,
+    /// 1-indexed line.
+    pub line: u32,
+    /// 1-indexed character column.
+    pub col: u32,
+    /// Human explanation of the violation.
+    pub message: String,
+    /// The trimmed source line, for fingerprinting and display.
+    pub snippet: String,
+}
+
+/// A parsed `// fca-lint: allow(rule, reason = "…")` directive.
+#[derive(Debug, Clone)]
+pub struct Directive {
+    /// The rule this directive suppresses.
+    pub rule: String,
+    /// The mandatory justification.
+    pub reason: String,
+    /// Line of the directive comment itself.
+    pub line: u32,
+    /// Lines whose findings this directive suppresses.
+    pub targets: Vec<u32>,
+}
+
+/// How far (in lines) a line-leading directive reaches past trailing
+/// comment lines to find the code line it governs.
+const DIRECTIVE_REACH: u32 = 5;
+
+/// Everything the rules need to know about one source file.
+pub struct FileLint {
+    /// Repo-relative path with forward slashes (drives the path policies).
+    pub path: String,
+    /// All tokens, comments included, in source order.
+    pub tokens: Vec<Token>,
+    /// Indices into `tokens` of the non-comment tokens.
+    pub code: Vec<usize>,
+    /// Trimmed text of every source line (index 0 = line 1).
+    pub lines: Vec<String>,
+    /// `test_lines[i]` is true when line `i + 1` is inside a
+    /// `#[cfg(test)]` item.
+    pub test_lines: Vec<bool>,
+    /// Well-formed suppression directives found in the file.
+    pub directives: Vec<Directive>,
+    /// Directive-hygiene findings (malformed/unknown/missing reason).
+    directive_findings: Vec<Finding>,
+}
+
+impl FileLint {
+    /// Lex `source` and build the lint context for `path` (repo-relative,
+    /// forward slashes — this string is what the path policies match).
+    pub fn new(path: &str, source: &str) -> FileLint {
+        let tokens = lex(source);
+        let code: Vec<usize> = tokens
+            .iter()
+            .enumerate()
+            .filter(|(_, t)| !t.is_comment())
+            .map(|(i, _)| i)
+            .collect();
+        let lines: Vec<String> = source.lines().map(|l| l.trim().to_string()).collect();
+        let test_lines = find_test_lines(&tokens, &code, lines.len());
+        let mut file = FileLint {
+            path: path.to_string(),
+            tokens,
+            code,
+            lines,
+            test_lines,
+            directives: Vec::new(),
+            directive_findings: Vec::new(),
+        };
+        file.collect_directives();
+        file
+    }
+
+    /// Run every rule, apply suppression directives, and fold directive
+    /// hygiene into the result. Returns `(active findings, suppressed
+    /// count)`; active findings are sorted by position.
+    pub fn check(&self) -> (Vec<Finding>, usize) {
+        let raw = rules::check_file(self);
+        let mut used = vec![false; self.directives.len()];
+        let mut active: Vec<Finding> = Vec::new();
+        let mut suppressed = 0usize;
+        for finding in raw {
+            let slot = self
+                .directives
+                .iter()
+                .position(|d| d.rule == finding.rule && d.targets.contains(&finding.line));
+            match slot {
+                Some(i) => {
+                    used[i] = true;
+                    suppressed += 1;
+                }
+                None => active.push(finding),
+            }
+        }
+        active.extend(self.directive_findings.iter().cloned());
+        for (d, was_used) in self.directives.iter().zip(&used) {
+            if !was_used {
+                active.push(self.finding_at(
+                    "LINT",
+                    d.line,
+                    1,
+                    format!(
+                        "allow({}) directive suppresses nothing; remove it or fix the rule id",
+                        d.rule
+                    ),
+                ));
+            }
+        }
+        active.sort_by(|a, b| (a.line, a.col, a.rule).cmp(&(b.line, b.col, b.rule)));
+        (active, suppressed)
+    }
+
+    /// Build a finding anchored at `line`/`col` in this file.
+    pub fn finding_at(&self, rule: &'static str, line: u32, col: u32, message: String) -> Finding {
+        Finding {
+            rule,
+            path: self.path.clone(),
+            line,
+            col,
+            message,
+            snippet: self
+                .lines
+                .get(line as usize - 1)
+                .cloned()
+                .unwrap_or_default(),
+        }
+    }
+
+    /// Build a finding anchored at a token.
+    pub fn finding(&self, rule: &'static str, tok: &Token, message: String) -> Finding {
+        self.finding_at(rule, tok.line, tok.col, message)
+    }
+
+    /// Is 1-indexed `line` inside a `#[cfg(test)]` item?
+    pub fn in_test_code(&self, line: u32) -> bool {
+        self.test_lines
+            .get(line as usize - 1)
+            .copied()
+            .unwrap_or(false)
+    }
+
+    /// The code token at code-index `ci` (panics only on out-of-range
+    /// internal indices, which the scanners never produce).
+    pub fn code_tok(&self, ci: usize) -> &Token {
+        &self.tokens[self.code[ci]]
+    }
+
+    /// True when the code tokens starting at code-index `ci` match
+    /// `pattern`, where each pattern element is either an identifier text
+    /// or a single punctuation character.
+    pub fn code_matches(&self, ci: usize, pattern: &[&str]) -> bool {
+        pattern.iter().enumerate().all(|(off, want)| {
+            self.code.get(ci + off).is_some_and(|&ti| {
+                let t = &self.tokens[ti];
+                let mut chars = want.chars();
+                match (chars.next(), chars.next()) {
+                    (Some(c), None) if !c.is_alphanumeric() && c != '_' => t.is_punct(c),
+                    _ => t.is_ident(want),
+                }
+            })
+        })
+    }
+
+    /// First code line strictly after `line`, if within `reach` lines.
+    fn next_code_line(&self, line: u32, reach: u32) -> Option<u32> {
+        self.code
+            .iter()
+            .map(|&ti| self.tokens[ti].line)
+            .filter(|&l| l > line && l <= line + reach)
+            .min()
+    }
+
+    /// Scan comments for `fca-lint:` directives, splitting well-formed
+    /// ones from hygiene findings.
+    fn collect_directives(&mut self) {
+        let comments: Vec<Token> = self
+            .tokens
+            .iter()
+            .filter(|t| t.is_comment())
+            .cloned()
+            .collect();
+        for tok in comments {
+            // Directives live in plain comments only. Doc comments
+            // (`///`, `//!`, `/**`, `/*!`) are rendered prose and often
+            // *describe* the directive syntax without meaning it.
+            let is_doc = ["///", "//!", "/**", "/*!"]
+                .iter()
+                .any(|p| tok.text.starts_with(p) && !tok.text.starts_with("/**/"));
+            if is_doc {
+                continue;
+            }
+            let Some(at) = tok.text.find("fca-lint:") else {
+                continue;
+            };
+            let body = tok.text[at + "fca-lint:".len()..].trim();
+            match parse_allow(body) {
+                Ok((rule, reason)) => {
+                    if !rules::RULES.iter().any(|(id, _)| *id == rule) {
+                        self.directive_findings.push(self.finding(
+                            "LINT",
+                            &tok,
+                            format!("allow directive names unknown rule `{rule}`"),
+                        ));
+                        continue;
+                    }
+                    let mut targets: Vec<u32> = (tok.line..=tok.end_line).collect();
+                    if self.comment_leads_line(&tok) {
+                        if let Some(next) = self.next_code_line(tok.end_line, DIRECTIVE_REACH) {
+                            targets.push(next);
+                        }
+                    }
+                    self.directives.push(Directive {
+                        rule,
+                        reason,
+                        line: tok.line,
+                        targets,
+                    });
+                }
+                Err(msg) => {
+                    self.directive_findings
+                        .push(self.finding("LINT", &tok, msg));
+                }
+            }
+        }
+    }
+
+    /// True when nothing but whitespace precedes `tok` on its line.
+    fn comment_leads_line(&self, tok: &Token) -> bool {
+        !self.code.iter().any(|&ti| {
+            let t = &self.tokens[ti];
+            t.line == tok.line && t.col < tok.col
+        })
+    }
+}
+
+/// Parse the body of a directive after `fca-lint:`. Expected form:
+/// `allow(RULE, reason = "…")`.
+fn parse_allow(body: &str) -> Result<(String, String), String> {
+    let usage = "malformed directive; expected `fca-lint: allow(RULE, reason = \"…\")`";
+    let rest = body
+        .strip_prefix("allow(")
+        .ok_or_else(|| usage.to_string())?;
+    let rule: String = rest
+        .chars()
+        .take_while(|c| c.is_alphanumeric() || *c == '_')
+        .collect();
+    if rule.is_empty() {
+        return Err(usage.to_string());
+    }
+    let after_rule = rest[rule.len()..].trim_start();
+    let Some(args) = after_rule.strip_prefix(',') else {
+        return Err(format!(
+            "allow({rule}) is missing its mandatory `reason = \"…\"` argument"
+        ));
+    };
+    let args = args.trim_start();
+    let Some(eq) = args.strip_prefix("reason") else {
+        return Err(format!(
+            "allow({rule}) is missing its mandatory `reason = \"…\"` argument"
+        ));
+    };
+    let Some(quoted) = eq.trim_start().strip_prefix('=') else {
+        return Err(usage.to_string());
+    };
+    let quoted = quoted.trim_start();
+    let Some(open) = quoted.strip_prefix('"') else {
+        return Err(usage.to_string());
+    };
+    let Some(close) = open.find('"') else {
+        return Err(usage.to_string());
+    };
+    let reason = open[..close].trim().to_string();
+    if reason.is_empty() {
+        return Err(format!("allow({rule}) carries an empty reason"));
+    }
+    Ok((rule, reason))
+}
+
+/// Mark every line covered by a `#[cfg(test)]` item (attribute through the
+/// end of the following brace-delimited item, or through the `;` of a
+/// braceless item).
+fn find_test_lines(tokens: &[Token], code: &[usize], num_lines: usize) -> Vec<bool> {
+    let mut test = vec![false; num_lines];
+    let mut mark = |from: u32, to: u32| {
+        for line in from..=to {
+            if let Some(slot) = test.get_mut(line as usize - 1) {
+                *slot = true;
+            }
+        }
+    };
+    let tok = |ci: usize| -> &Token { &tokens[code[ci]] };
+    let mut ci = 0usize;
+    while ci + 6 < code.len() {
+        let is_cfg_test = tok(ci).is_punct('#')
+            && tok(ci + 1).is_punct('[')
+            && tok(ci + 2).is_ident("cfg")
+            && tok(ci + 3).is_punct('(')
+            && tok(ci + 4).is_ident("test")
+            && tok(ci + 5).is_punct(')')
+            && tok(ci + 6).is_punct(']');
+        if !is_cfg_test {
+            ci += 1;
+            continue;
+        }
+        let start_line = tok(ci).line;
+        // Walk to the end of the annotated item: the matching brace of its
+        // first `{`, or the first `;` before any `{`.
+        let mut j = ci + 7;
+        let mut end_line = start_line;
+        while j < code.len() {
+            let t = tok(j);
+            if t.is_punct(';') {
+                end_line = t.line;
+                break;
+            }
+            if t.is_punct('{') {
+                let close = match_brace(tokens, code, j);
+                end_line = tok(close).end_line;
+                j = close;
+                break;
+            }
+            j += 1;
+        }
+        mark(start_line, end_line);
+        ci = j + 1;
+    }
+    test
+}
+
+/// Index (in `code`) of the `}` matching the `{` at code-index `open`.
+/// Returns the last token on unbalanced input.
+pub fn match_brace(tokens: &[Token], code: &[usize], open: usize) -> usize {
+    let mut depth = 0usize;
+    for (off, &ti) in code[open..].iter().enumerate() {
+        let t = &tokens[ti];
+        if t.is_punct('{') {
+            depth += 1;
+        } else if t.is_punct('}') {
+            depth -= 1;
+            if depth == 0 {
+                return open + off;
+            }
+        }
+    }
+    code.len().saturating_sub(1)
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn test_module_lines_are_detected() {
+        let src = "fn live() {}\n#[cfg(test)]\nmod tests {\n    fn t() {}\n}\nfn after() {}\n";
+        let f = FileLint::new("crates/core/src/algo/x.rs", src);
+        assert!(!f.in_test_code(1));
+        assert!(f.in_test_code(2));
+        assert!(f.in_test_code(4));
+        assert!(f.in_test_code(5));
+        assert!(!f.in_test_code(6));
+    }
+
+    #[test]
+    fn directive_parses_rule_and_reason() {
+        let src = "// fca-lint: allow(P1, reason = \"caller invariant\")\nfoo.unwrap();\n";
+        let f = FileLint::new("crates/core/src/algo/x.rs", src);
+        assert_eq!(f.directives.len(), 1);
+        let d = &f.directives[0];
+        assert_eq!(d.rule, "P1");
+        assert_eq!(d.reason, "caller invariant");
+        assert!(
+            d.targets.contains(&2),
+            "leading directive covers next code line"
+        );
+    }
+
+    #[test]
+    fn directive_without_reason_is_a_lint_finding() {
+        let src = "// fca-lint: allow(P1)\nfoo.unwrap();\n";
+        let f = FileLint::new("crates/core/src/algo/x.rs", src);
+        let (findings, _) = f.check();
+        assert!(findings
+            .iter()
+            .any(|x| x.rule == "LINT" && x.message.contains("reason")));
+    }
+
+    #[test]
+    fn unknown_rule_is_a_lint_finding() {
+        let src = "// fca-lint: allow(Z9, reason = \"nope\")\nlet x = 1;\n";
+        let f = FileLint::new("crates/core/src/algo/x.rs", src);
+        let (findings, _) = f.check();
+        assert!(findings
+            .iter()
+            .any(|x| x.rule == "LINT" && x.message.contains("unknown rule")));
+    }
+
+    #[test]
+    fn unused_directive_is_a_lint_finding() {
+        let src = "// fca-lint: allow(P1, reason = \"nothing here panics\")\nlet x = 1;\n";
+        let f = FileLint::new("crates/core/src/algo/x.rs", src);
+        let (findings, _) = f.check();
+        assert!(findings
+            .iter()
+            .any(|x| x.rule == "LINT" && x.message.contains("suppresses nothing")));
+    }
+
+    #[test]
+    fn trailing_directive_covers_its_own_line() {
+        let src = "foo.unwrap(); // fca-lint: allow(P1, reason = \"infallible by construction\")\n";
+        let f = FileLint::new("crates/core/src/algo/x.rs", src);
+        let (findings, suppressed) = f.check();
+        assert_eq!(suppressed, 1);
+        assert!(findings.is_empty(), "unexpected findings: {findings:?}");
+    }
+}

@@ -1,0 +1,368 @@
+//! A minimal comment/string/raw-string-aware Rust lexer.
+//!
+//! `fca-lint` runs in an offline container, so it cannot lean on `syn` or
+//! any other parser crate; instead this module tokenizes just enough Rust
+//! for the rules to be sound on this workspace. It understands:
+//!
+//! * line comments (including `///` and `//!` doc comments),
+//! * block comments with **nesting** (`/* a /* b */ c */`),
+//! * string, byte-string, char, and byte-char literals with escapes,
+//! * raw strings with arbitrary `#` guards (`r#"…"#`, `br##"…"##`),
+//! * raw identifiers (`r#fn`) and lifetimes (`'a`) vs char literals,
+//!
+//! so a `.unwrap()` inside a raw string, or the word `unsafe` inside a
+//! string literal, never confuses a rule. Comments are kept as tokens:
+//! the rules need them to find `// SAFETY:` justifications and
+//! `// fca-lint: allow(…)` suppression directives.
+
+/// Token classification.
+#[derive(Debug, Clone, Copy, PartialEq, Eq)]
+pub enum TokKind {
+    /// Identifier or keyword (also raw identifiers like `r#fn`).
+    Ident,
+    /// Numeric literal (split naively; `1e-4` lexes as three tokens).
+    Num,
+    /// A single punctuation character.
+    Punct,
+    /// `"…"` or `b"…"` string literal, escapes resolved lexically.
+    Str,
+    /// `r"…"` / `r#"…"#` raw string literal (and `br…` byte variants).
+    RawStr,
+    /// Character or byte-character literal.
+    Char,
+    /// Lifetime such as `'a` or `'static`.
+    Lifetime,
+    /// `// …` comment, including doc comments.
+    LineComment,
+    /// `/* … */` comment, possibly nested and multi-line.
+    BlockComment,
+}
+
+/// One lexed token with its 1-indexed source position.
+#[derive(Debug, Clone)]
+pub struct Token {
+    /// Token class.
+    pub kind: TokKind,
+    /// Raw text including delimiters and prefixes.
+    pub text: String,
+    /// Line the token starts on.
+    pub line: u32,
+    /// Line the token ends on (differs from `line` for multi-line tokens).
+    pub end_line: u32,
+    /// Character column the token starts at.
+    pub col: u32,
+}
+
+impl Token {
+    /// True for line and block comments.
+    pub fn is_comment(&self) -> bool {
+        matches!(self.kind, TokKind::LineComment | TokKind::BlockComment)
+    }
+
+    /// True when this is an identifier with exactly this text.
+    pub fn is_ident(&self, text: &str) -> bool {
+        self.kind == TokKind::Ident && self.text == text
+    }
+
+    /// True when this is a punctuation token with exactly this character.
+    pub fn is_punct(&self, c: char) -> bool {
+        self.kind == TokKind::Punct && self.text.len() == c.len_utf8() && self.text.starts_with(c)
+    }
+}
+
+fn is_ident_start(c: char) -> bool {
+    c == '_' || c.is_alphabetic()
+}
+
+fn is_ident_cont(c: char) -> bool {
+    c == '_' || c.is_alphanumeric()
+}
+
+struct Cursor {
+    chars: Vec<char>,
+    i: usize,
+    line: u32,
+    col: u32,
+}
+
+impl Cursor {
+    fn peek(&self, off: usize) -> Option<char> {
+        self.chars.get(self.i + off).copied()
+    }
+
+    fn bump(&mut self) -> Option<char> {
+        let c = self.chars.get(self.i).copied()?;
+        self.i += 1;
+        if c == '\n' {
+            self.line += 1;
+            self.col = 1;
+        } else {
+            self.col += 1;
+        }
+        Some(c)
+    }
+
+    fn bump_into(&mut self, text: &mut String) {
+        if let Some(c) = self.bump() {
+            text.push(c);
+        }
+    }
+}
+
+/// Lex `src` into a token stream, comments included.
+pub fn lex(src: &str) -> Vec<Token> {
+    let mut cur = Cursor {
+        chars: src.chars().collect(),
+        i: 0,
+        line: 1,
+        col: 1,
+    };
+    let mut out = Vec::new();
+    while let Some(c) = cur.peek(0) {
+        if c.is_whitespace() {
+            cur.bump();
+            continue;
+        }
+        let (line, col) = (cur.line, cur.col);
+        let mut text = String::new();
+        let kind = if c == '/' && cur.peek(1) == Some('/') {
+            while let Some(n) = cur.peek(0) {
+                if n == '\n' {
+                    break;
+                }
+                cur.bump_into(&mut text);
+            }
+            TokKind::LineComment
+        } else if c == '/' && cur.peek(1) == Some('*') {
+            cur.bump_into(&mut text);
+            cur.bump_into(&mut text);
+            let mut depth = 1usize;
+            while depth > 0 {
+                match (cur.peek(0), cur.peek(1)) {
+                    (Some('/'), Some('*')) => {
+                        depth += 1;
+                        cur.bump_into(&mut text);
+                        cur.bump_into(&mut text);
+                    }
+                    (Some('*'), Some('/')) => {
+                        depth -= 1;
+                        cur.bump_into(&mut text);
+                        cur.bump_into(&mut text);
+                    }
+                    (Some(_), _) => cur.bump_into(&mut text),
+                    (None, _) => break,
+                }
+            }
+            TokKind::BlockComment
+        } else if is_ident_start(c) {
+            while cur.peek(0).is_some_and(is_ident_cont) {
+                cur.bump_into(&mut text);
+            }
+            lex_after_word(&mut cur, &mut text)
+        } else if c == '"' {
+            scan_string(&mut cur, &mut text);
+            TokKind::Str
+        } else if c == '\'' {
+            lex_quote(&mut cur, &mut text)
+        } else if c.is_ascii_digit() {
+            while cur.peek(0).is_some_and(is_ident_cont) {
+                cur.bump_into(&mut text);
+            }
+            TokKind::Num
+        } else {
+            cur.bump_into(&mut text);
+            TokKind::Punct
+        };
+        out.push(Token {
+            kind,
+            text,
+            line,
+            end_line: cur.line,
+            col,
+        });
+    }
+    out
+}
+
+/// Classify what follows an identifier-shaped word: raw strings
+/// (`r"…"`, `br#"…"#`), byte strings (`b"…"`), byte chars (`b'x'`),
+/// raw identifiers (`r#fn`), or just the identifier itself.
+fn lex_after_word(cur: &mut Cursor, text: &mut String) -> TokKind {
+    let raw_capable = text == "r" || text == "br";
+    let byte_capable = text == "b";
+    if raw_capable {
+        let mut hashes = 0usize;
+        while cur.peek(hashes) == Some('#') {
+            hashes += 1;
+        }
+        if cur.peek(hashes) == Some('"') {
+            for _ in 0..=hashes {
+                cur.bump_into(text); // the `#` guards and the opening quote
+            }
+            scan_raw_string_body(cur, text, hashes);
+            return TokKind::RawStr;
+        }
+        if text == "r" && hashes == 1 && cur.peek(1).is_some_and(is_ident_start) {
+            cur.bump_into(text); // `#`
+            while cur.peek(0).is_some_and(is_ident_cont) {
+                cur.bump_into(text);
+            }
+            return TokKind::Ident;
+        }
+    }
+    if byte_capable && cur.peek(0) == Some('"') {
+        scan_string(cur, text);
+        return TokKind::Str;
+    }
+    if byte_capable && cur.peek(0) == Some('\'') {
+        scan_char(cur, text);
+        return TokKind::Char;
+    }
+    TokKind::Ident
+}
+
+/// Consume a raw-string body after the opening quote: runs until a `"`
+/// followed by the same number of `#` guards.
+fn scan_raw_string_body(cur: &mut Cursor, text: &mut String, hashes: usize) {
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        if c == '"' && (0..hashes).all(|j| cur.peek(j) == Some('#')) {
+            for _ in 0..hashes {
+                cur.bump_into(text);
+            }
+            break;
+        }
+    }
+}
+
+/// Consume a `"…"` literal (cursor on the opening quote), honoring `\`
+/// escapes.
+fn scan_string(cur: &mut Cursor, text: &mut String) {
+    cur.bump_into(text); // opening quote
+    while let Some(c) = cur.bump() {
+        text.push(c);
+        match c {
+            '\\' => cur.bump_into(text),
+            '"' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Consume a `'…'` literal (cursor on the opening quote), honoring `\`
+/// escapes. Stops at a newline as a safety net against malformed input.
+fn scan_char(cur: &mut Cursor, text: &mut String) {
+    cur.bump_into(text); // opening quote
+    while let Some(c) = cur.peek(0) {
+        if c == '\n' {
+            break;
+        }
+        cur.bump_into(text);
+        match c {
+            '\\' => cur.bump_into(text),
+            '\'' => break,
+            _ => {}
+        }
+    }
+}
+
+/// Disambiguate `'` between char literals and lifetimes.
+fn lex_quote(cur: &mut Cursor, text: &mut String) -> TokKind {
+    let next = cur.peek(1);
+    let after = cur.peek(2);
+    if next == Some('\\') {
+        scan_char(cur, text);
+        return TokKind::Char;
+    }
+    if next.is_some_and(is_ident_start) && after != Some('\'') {
+        // `'a` in `<'a>` or `&'a str`: a lifetime, not a literal.
+        cur.bump_into(text); // quote
+        while cur.peek(0).is_some_and(is_ident_cont) {
+            cur.bump_into(text);
+        }
+        return TokKind::Lifetime;
+    }
+    scan_char(cur, text);
+    TokKind::Char
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn kinds(src: &str) -> Vec<(TokKind, String)> {
+        lex(src).into_iter().map(|t| (t.kind, t.text)).collect()
+    }
+
+    #[test]
+    fn nested_block_comments_are_one_token() {
+        let toks = kinds("/* outer /* inner */ tail */ unsafe");
+        assert_eq!(toks.len(), 2);
+        assert_eq!(toks[0].0, TokKind::BlockComment);
+        assert_eq!(toks[1], (TokKind::Ident, "unsafe".to_string()));
+    }
+
+    #[test]
+    fn raw_strings_hide_their_contents() {
+        let toks = kinds(r##"let s = r#"x.unwrap() unsafe"#;"##);
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::RawStr && t.contains("unwrap")));
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && (t == "unwrap" || t == "unsafe")));
+    }
+
+    #[test]
+    fn plain_strings_hide_their_contents() {
+        let toks = kinds(r#"let s = "unsafe \" still unsafe";"#);
+        assert_eq!(
+            toks.iter().filter(|(k, _)| *k == TokKind::Str).count(),
+            1,
+            "escaped quote must not split the literal"
+        );
+        assert!(!toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "unsafe"));
+    }
+
+    #[test]
+    fn lifetimes_are_not_char_literals() {
+        let toks = kinds("fn f<'a>(x: &'a str) -> char { 'x' }");
+        let lifetimes: Vec<_> = toks
+            .iter()
+            .filter(|(k, _)| *k == TokKind::Lifetime)
+            .collect();
+        assert_eq!(lifetimes.len(), 2);
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 1);
+    }
+
+    #[test]
+    fn byte_and_escape_char_literals() {
+        let toks = kinds(r"let a = b'x'; let b = '\''; let c = '\n';");
+        assert_eq!(toks.iter().filter(|(k, _)| *k == TokKind::Char).count(), 3);
+    }
+
+    #[test]
+    fn raw_identifiers_stay_idents() {
+        let toks = kinds("let r#fn = 1;");
+        assert!(toks
+            .iter()
+            .any(|(k, t)| *k == TokKind::Ident && t == "r#fn"));
+    }
+
+    #[test]
+    fn positions_are_one_indexed() {
+        let toks = lex("a\n  bb");
+        assert_eq!((toks[0].line, toks[0].col), (1, 1));
+        assert_eq!((toks[1].line, toks[1].col), (2, 3));
+    }
+
+    #[test]
+    fn multiline_comment_spans_lines() {
+        let toks = lex("/* a\nb\nc */ x");
+        assert_eq!(toks[0].line, 1);
+        assert_eq!(toks[0].end_line, 3);
+        assert_eq!(toks[1].line, 3);
+    }
+}

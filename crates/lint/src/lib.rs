@@ -1,0 +1,41 @@
+//! `fca-lint` — a workspace-aware static-analysis pass for the FedClassAvg
+//! reproduction.
+//!
+//! The simulator makes three promises that ordinary tests cannot police:
+//! bit-exact determinism across runs and thread counts, panic-freedom on
+//! every path that handles bytes from the (simulated) wire, and documented
+//! safety arguments for every `unsafe` block. This crate enforces those
+//! promises as lint rules over the source text itself, with no dependency
+//! on `syn`, `rustc` internals, or the network — a hand-written
+//! comment/string-aware lexer ([`lexer`]), a token-sequence rule engine
+//! ([`engine`], [`rules`]), a committed-findings baseline ([`baseline`]),
+//! and table/JSON renderers ([`output`]).
+//!
+//! Rules:
+//!
+//! - **D1** determinism — no wall-clock reads or `thread_rng` outside the
+//!   trace/bench crates; no iteration-order-unstable `HashMap`/`HashSet`
+//!   in aggregation or wire code.
+//! - **P1** panic-freedom — no `unwrap`/`expect`/`panic!` in wire
+//!   encode/decode/collect paths or the per-round loops of the five
+//!   algorithms (test modules exempt).
+//! - **U1** unsafe hygiene — every `unsafe` token is preceded by a
+//!   `// SAFETY:` comment within four lines.
+//! - **W1** workspace discipline — no fresh `Vec` allocation inside
+//!   `forward`/`backward` bodies in `fca-nn`; buffers come from the
+//!   threaded [`Workspace`] (PR 1's contract).
+//! - **LINT** — malformed, unknown-rule, or unused `allow` directives.
+//!
+//! Violations that are deliberate carry an inline
+//! `// fca-lint: allow(RULE, reason = "…")` directive; the reason is
+//! mandatory and unused directives are themselves findings, so
+//! suppressions cannot rot silently.
+//!
+//! [`Workspace`]: https://docs.rs/fca-nn
+
+pub mod baseline;
+pub mod driver;
+pub mod engine;
+pub mod lexer;
+pub mod output;
+pub mod rules;

@@ -1,0 +1,188 @@
+//! Command-line driver for `fca-lint`. See the library docs for the rule
+//! set; see `DESIGN.md` §7.5 for the policy rationale.
+
+use fca_lint::baseline::{self, Baseline, DEFAULT_BASELINE};
+use fca_lint::{driver, output, rules};
+use std::path::PathBuf;
+use std::process::ExitCode;
+
+const USAGE: &str = "\
+fca-lint — static-analysis pass for the fca workspace
+
+USAGE:
+    fca-lint [OPTIONS] [FILES...]
+
+OPTIONS:
+    --root <DIR>        Workspace root (default: .). Rule path policies
+                        match paths relative to this directory.
+    --deny              Exit 2 when any finding remains after allow
+                        directives and the baseline.
+    --json              Emit findings as JSON instead of a table.
+    --baseline <FILE>   Baseline file (default: <root>/fca-lint.baseline.json
+                        when it exists).
+    --no-baseline       Ignore any baseline file.
+    --write-baseline    Write current findings to the baseline file and exit.
+    --list-rules        Print the rule table and exit.
+    -h, --help          Show this help.
+
+FILES are linted instead of walking <root>; their policy paths are still
+computed relative to <root>.
+
+EXIT CODES: 0 clean (or findings without --deny); 2 findings under --deny;
+1 usage or I/O error.";
+
+struct Opts {
+    root: PathBuf,
+    deny: bool,
+    json: bool,
+    baseline: Option<PathBuf>,
+    no_baseline: bool,
+    write_baseline: bool,
+    list_rules: bool,
+    files: Vec<PathBuf>,
+}
+
+fn parse_args(args: &[String]) -> Result<Opts, String> {
+    let mut opts = Opts {
+        root: PathBuf::from("."),
+        deny: false,
+        json: false,
+        baseline: None,
+        no_baseline: false,
+        write_baseline: false,
+        list_rules: false,
+        files: Vec::new(),
+    };
+    let mut it = args.iter();
+    while let Some(arg) = it.next() {
+        match arg.as_str() {
+            "--root" => {
+                let v = it.next().ok_or("--root requires a directory")?;
+                opts.root = PathBuf::from(v);
+            }
+            "--baseline" => {
+                let v = it.next().ok_or("--baseline requires a file")?;
+                opts.baseline = Some(PathBuf::from(v));
+            }
+            "--deny" => opts.deny = true,
+            "--json" => opts.json = true,
+            "--no-baseline" => opts.no_baseline = true,
+            "--write-baseline" => opts.write_baseline = true,
+            "--list-rules" => opts.list_rules = true,
+            "-h" | "--help" => return Err(String::new()),
+            other if other.starts_with('-') => {
+                return Err(format!("unknown option: {other}"));
+            }
+            file => opts.files.push(PathBuf::from(file)),
+        }
+    }
+    Ok(opts)
+}
+
+fn baseline_path(opts: &Opts) -> PathBuf {
+    opts.baseline
+        .clone()
+        .unwrap_or_else(|| opts.root.join(DEFAULT_BASELINE))
+}
+
+fn load_baseline(opts: &Opts) -> Result<Option<Baseline>, String> {
+    if opts.no_baseline {
+        return Ok(None);
+    }
+    let path = baseline_path(opts);
+    match std::fs::read_to_string(&path) {
+        Ok(text) => Ok(Some(Baseline::parse(&text))),
+        Err(e) if e.kind() == std::io::ErrorKind::NotFound => {
+            if opts.baseline.is_some() {
+                Err(format!("baseline {} not found", path.display()))
+            } else {
+                Ok(None)
+            }
+        }
+        Err(e) => Err(format!("reading {}: {e}", path.display())),
+    }
+}
+
+fn run(opts: &Opts) -> Result<ExitCode, String> {
+    if opts.list_rules {
+        for (rule, summary) in rules::RULES {
+            println!("{rule:<5} {summary}");
+        }
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let files = if opts.files.is_empty() {
+        driver::collect_rs_files(&opts.root)
+            .map_err(|e| format!("walking {}: {e}", opts.root.display()))?
+    } else {
+        opts.files.clone()
+    };
+
+    if opts.write_baseline {
+        let report =
+            driver::lint_files(&opts.root, &files, None).map_err(|e| format!("lint: {e}"))?;
+        let path = baseline_path(opts);
+        std::fs::write(&path, baseline::render(&report.findings))
+            .map_err(|e| format!("writing {}: {e}", path.display()))?;
+        println!(
+            "fca-lint: wrote {} entr{} to {}",
+            report.findings.len(),
+            if report.findings.len() == 1 {
+                "y"
+            } else {
+                "ies"
+            },
+            path.display()
+        );
+        return Ok(ExitCode::SUCCESS);
+    }
+
+    let base = load_baseline(opts)?;
+    let report =
+        driver::lint_files(&opts.root, &files, base.as_ref()).map_err(|e| format!("lint: {e}"))?;
+
+    if opts.json {
+        print!(
+            "{}",
+            output::render_json(&report.findings, report.files_scanned, report.suppressed)
+        );
+    } else {
+        print!(
+            "{}",
+            output::render_human(
+                &report.findings,
+                report.files_scanned,
+                report.suppressed,
+                report.baselined,
+            )
+        );
+    }
+
+    if opts.deny && !report.findings.is_empty() {
+        Ok(ExitCode::from(2))
+    } else {
+        Ok(ExitCode::SUCCESS)
+    }
+}
+
+fn main() -> ExitCode {
+    let args: Vec<String> = std::env::args().skip(1).collect();
+    let opts = match parse_args(&args) {
+        Ok(opts) => opts,
+        Err(msg) => {
+            if msg.is_empty() {
+                println!("{USAGE}");
+                return ExitCode::SUCCESS;
+            }
+            eprintln!("fca-lint: {msg}\n\n{USAGE}");
+            return ExitCode::FAILURE;
+        }
+    };
+    match run(&opts) {
+        Ok(code) => code,
+        Err(msg) => {
+            eprintln!("fca-lint: {msg}");
+            ExitCode::FAILURE
+        }
+    }
+}

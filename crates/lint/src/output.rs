@@ -1,0 +1,102 @@
+//! Human-table and JSON rendering of findings.
+
+use crate::engine::Finding;
+
+/// Escape and quote a string for JSON output.
+pub fn json_string(s: &str) -> String {
+    let mut out = String::with_capacity(s.len() + 2);
+    out.push('"');
+    for c in s.chars() {
+        match c {
+            '"' => out.push_str("\\\""),
+            '\\' => out.push_str("\\\\"),
+            '\n' => out.push_str("\\n"),
+            '\r' => out.push_str("\\r"),
+            '\t' => out.push_str("\\t"),
+            c if (c as u32) < 0x20 => out.push_str(&format!("\\u{:04x}", c as u32)),
+            c => out.push(c),
+        }
+    }
+    out.push('"');
+    out
+}
+
+/// Render findings as a JSON document (stable field order, sorted input).
+pub fn render_json(findings: &[Finding], files_scanned: usize, suppressed: usize) -> String {
+    let rows: Vec<String> = findings
+        .iter()
+        .map(|f| {
+            format!(
+                "    {{\"rule\": {}, \"path\": {}, \"line\": {}, \"col\": {}, \
+                 \"message\": {}, \"snippet\": {}}}",
+                json_string(f.rule),
+                json_string(&f.path),
+                f.line,
+                f.col,
+                json_string(&f.message),
+                json_string(f.snippet.trim())
+            )
+        })
+        .collect();
+    format!(
+        "{{\n  \"version\": 1,\n  \"files_scanned\": {},\n  \"suppressed\": {},\n  \
+         \"findings\": [\n{}\n  ]\n}}\n",
+        files_scanned,
+        suppressed,
+        rows.join(",\n")
+    )
+}
+
+/// Render findings as an aligned human-readable table plus a summary line.
+pub fn render_human(
+    findings: &[Finding],
+    files_scanned: usize,
+    suppressed: usize,
+    baselined: usize,
+) -> String {
+    let mut out = String::new();
+    let loc_width = findings
+        .iter()
+        .map(|f| format!("{}:{}:{}", f.path, f.line, f.col).len())
+        .max()
+        .unwrap_or(0);
+    for f in findings {
+        let loc = format!("{}:{}:{}", f.path, f.line, f.col);
+        out.push_str(&format!("{:<4} {loc:<loc_width$}  {}\n", f.rule, f.message));
+        if !f.snippet.trim().is_empty() {
+            out.push_str(&format!(
+                "{:<4} {:<loc_width$}  > {}\n",
+                "",
+                "",
+                f.snippet.trim()
+            ));
+        }
+    }
+    let verdict = if findings.is_empty() { "clean" } else { "FAIL" };
+    out.push_str(&format!(
+        "fca-lint: {verdict} — {} finding(s), {} allowed, {} baselined, {} file(s) scanned\n",
+        findings.len(),
+        suppressed,
+        baselined,
+        files_scanned
+    ));
+    out
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    #[test]
+    fn json_string_escapes() {
+        assert_eq!(json_string("a\"b\\c\nd"), "\"a\\\"b\\\\c\\nd\"");
+        assert_eq!(json_string("\u{1}"), "\"\\u0001\"");
+    }
+
+    #[test]
+    fn human_summary_says_clean_when_empty() {
+        let s = render_human(&[], 10, 2, 0);
+        assert!(s.contains("clean"));
+        assert!(s.contains("10 file(s)"));
+    }
+}

@@ -1,0 +1,347 @@
+//! The rules and their path policies.
+//!
+//! Each rule encodes one of the contracts DESIGN.md §7 states in prose:
+//!
+//! | rule | contract | scope |
+//! |------|----------|-------|
+//! | `D1` | determinism: no wall-clock / ambient RNG reads outside the observability and bench crates; no iteration-order-dependent containers in aggregation or wire code | workspace minus `crates/trace`, `crates/bench`, `tests/`; hash-container check on `fca-core` algo/comm/sim only |
+//! | `P1` | panic-freedom: the round loop and the wire encode/decode/collect paths must treat failure as an outcome, never a panic | `crates/core/src/comm.rs` + `crates/core/src/algo/` |
+//! | `U1` | unsafe hygiene: every `unsafe` is preceded by a `// SAFETY:` comment (or a `# Safety` doc section) stating its bounds argument | whole workspace |
+//! | `W1` | workspace discipline: `forward`/`backward` bodies allocate through the `Workspace`, never ad hoc | `crates/nn/src/` |
+//!
+//! Test modules (`#[cfg(test)]`) are exempt from `D1`, `P1`, and `W1`;
+//! `U1` applies everywhere. The `LINT` pseudo-rule (directive hygiene) is
+//! implemented by the engine.
+
+use crate::engine::{match_brace, FileLint, Finding};
+
+/// Rule ids with one-line summaries (drives `--list-rules` and directive
+/// validation).
+pub const RULES: &[(&str, &str)] = &[
+    (
+        "D1",
+        "determinism: no Instant::now/SystemTime::now/thread_rng outside crates/{trace,bench}; no HashMap/HashSet in fca-core aggregation or wire modules",
+    ),
+    (
+        "P1",
+        "panic-freedom: no unwrap/expect/panic! in comm.rs or the algorithms' round paths (test modules exempt)",
+    ),
+    (
+        "U1",
+        "unsafe hygiene: every `unsafe` must be justified by a preceding // SAFETY: comment or # Safety doc section",
+    ),
+    (
+        "W1",
+        "workspace discipline: no Vec::new/vec!/.to_vec() inside fca-nn forward/backward bodies; allocate through the Workspace",
+    ),
+    ("LINT", "directive hygiene: well-formed, reasoned, effective allow directives"),
+];
+
+/// How many lines above an `unsafe` token a SAFETY justification may end.
+const SAFETY_REACH: u32 = 4;
+
+/// Run every rule against one file.
+pub fn check_file(f: &FileLint) -> Vec<Finding> {
+    let mut out = Vec::new();
+    d1_time(f, &mut out);
+    d1_hash(f, &mut out);
+    p1_panics(f, &mut out);
+    u1_unsafe(f, &mut out);
+    w1_workspace(f, &mut out);
+    out
+}
+
+fn in_d1_time_scope(path: &str) -> bool {
+    !(path.starts_with("crates/trace/")
+        || path.starts_with("crates/bench/")
+        || path.starts_with("tests/"))
+}
+
+fn in_d1_hash_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src/algo/")
+        || path == "crates/core/src/comm.rs"
+        || path == "crates/core/src/sim.rs"
+}
+
+fn in_p1_scope(path: &str) -> bool {
+    path == "crates/core/src/comm.rs" || path.starts_with("crates/core/src/algo/")
+}
+
+fn in_w1_scope(path: &str) -> bool {
+    path.starts_with("crates/nn/src/")
+}
+
+/// D1 (time/RNG half): seeded runs must not read wall clocks or ambient
+/// RNG state outside the crates whose whole job is timing.
+fn d1_time(f: &FileLint, out: &mut Vec<Finding>) {
+    if !in_d1_time_scope(&f.path) {
+        return;
+    }
+    for ci in 0..f.code.len() {
+        let tok = f.code_tok(ci);
+        if f.in_test_code(tok.line) {
+            continue;
+        }
+        let call = if f.code_matches(ci, &["Instant", ":", ":", "now"]) {
+            Some("Instant::now()")
+        } else if f.code_matches(ci, &["SystemTime", ":", ":", "now"]) {
+            Some("SystemTime::now()")
+        } else if f.code_matches(ci, &["thread_rng"]) {
+            Some("thread_rng()")
+        } else {
+            None
+        };
+        if let Some(call) = call {
+            out.push(f.finding(
+                "D1",
+                tok,
+                format!(
+                    "{call} outside crates/{{trace,bench}}: wall-clock/ambient-RNG reads \
+                     break run-for-run reproducibility"
+                ),
+            ));
+        }
+    }
+}
+
+/// D1 (container half): `HashMap`/`HashSet` iteration order is
+/// randomized per process, so any aggregation or wire code that iterates
+/// one can leak nondeterminism into results. Use `BTreeMap`/`BTreeSet`
+/// or sorted vectors.
+fn d1_hash(f: &FileLint, out: &mut Vec<Finding>) {
+    if !in_d1_hash_scope(&f.path) {
+        return;
+    }
+    for ci in 0..f.code.len() {
+        let tok = f.code_tok(ci);
+        if f.in_test_code(tok.line) {
+            continue;
+        }
+        if tok.is_ident("HashMap") || tok.is_ident("HashSet") {
+            out.push(f.finding(
+                "D1",
+                tok,
+                format!(
+                    "{} in an aggregation/wire module: iteration order is randomized and \
+                     can leak into results; use BTreeMap/BTreeSet or a sorted Vec",
+                    tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// P1: the round loop and wire paths treat failure as an outcome. A panic
+/// on a malformed-but-decodable message or a dead channel would turn one
+/// faulty peer into a crashed federation.
+fn p1_panics(f: &FileLint, out: &mut Vec<Finding>) {
+    if !in_p1_scope(&f.path) {
+        return;
+    }
+    for ci in 0..f.code.len() {
+        let tok = f.code_tok(ci);
+        if f.in_test_code(tok.line) {
+            continue;
+        }
+        let what = if f.code_matches(ci, &[".", "unwrap", "("]) {
+            Some((".unwrap()", 1))
+        } else if f.code_matches(ci, &[".", "expect", "("]) {
+            Some((".expect(…)", 1))
+        } else if f.code_matches(ci, &["panic", "!"]) {
+            Some(("panic!", 0))
+        } else {
+            None
+        };
+        if let Some((what, anchor_off)) = what {
+            let anchor = f.code_tok(ci + anchor_off);
+            out.push(f.finding(
+                "P1",
+                anchor,
+                format!(
+                    "{what} in a no-panic zone: client/peer failure must be an outcome \
+                     (skip or propagate a WireError), not a crash"
+                ),
+            ));
+        }
+    }
+}
+
+/// U1: every `unsafe` (block, fn, or impl) must carry its bounds argument
+/// in a `// SAFETY:` comment ending at most [`SAFETY_REACH`] lines above
+/// it (a `# Safety` rustdoc section also qualifies).
+fn u1_unsafe(f: &FileLint, out: &mut Vec<Finding>) {
+    let comments: Vec<(u32, bool)> = f
+        .tokens
+        .iter()
+        .filter(|t| t.is_comment())
+        .map(|t| {
+            let justifies = t.text.contains("SAFETY:") || t.text.contains("# Safety");
+            (t.end_line, justifies)
+        })
+        .collect();
+    for &ti in &f.code {
+        let tok = &f.tokens[ti];
+        if !tok.is_ident("unsafe") {
+            continue;
+        }
+        let justified = comments.iter().any(|&(end_line, justifies)| {
+            justifies && end_line <= tok.line && end_line + SAFETY_REACH >= tok.line
+        });
+        if !justified {
+            out.push(
+                f.finding(
+                    "U1",
+                    tok,
+                    "`unsafe` without a preceding // SAFETY: comment stating the bounds \
+                 argument it relies on"
+                        .to_string(),
+                ),
+            );
+        }
+    }
+}
+
+/// W1: PR 1 routed every per-batch allocation in `fca-nn` through the
+/// `Workspace`; ad hoc allocation inside `forward`/`backward` bodies
+/// reintroduces the per-batch allocator traffic it removed.
+fn w1_workspace(f: &FileLint, out: &mut Vec<Finding>) {
+    if !in_w1_scope(&f.path) {
+        return;
+    }
+    let mut ci = 0usize;
+    while ci + 1 < f.code.len() {
+        let is_hot_fn = f.code_tok(ci).is_ident("fn")
+            && (f.code_tok(ci + 1).is_ident("forward") || f.code_tok(ci + 1).is_ident("backward"));
+        if !is_hot_fn || f.in_test_code(f.code_tok(ci).line) {
+            ci += 1;
+            continue;
+        }
+        let fn_name = f.code_tok(ci + 1).text.clone();
+        // Find the body: first `{` before any `;` (a `;` first means a
+        // trait-method declaration with no body).
+        let mut j = ci + 2;
+        let mut body: Option<(usize, usize)> = None;
+        while j < f.code.len() {
+            let t = f.code_tok(j);
+            if t.is_punct(';') {
+                break;
+            }
+            if t.is_punct('{') {
+                body = Some((j, match_brace(&f.tokens, &f.code, j)));
+                break;
+            }
+            j += 1;
+        }
+        let Some((open, close)) = body else {
+            ci = j + 1;
+            continue;
+        };
+        for k in open..=close {
+            let tok = f.code_tok(k);
+            let what = if f.code_matches(k, &["Vec", ":", ":", "new"]) {
+                Some("Vec::new()")
+            } else if f.code_matches(k, &["vec", "!"]) {
+                Some("vec![…]")
+            } else if f.code_matches(k, &[".", "to_vec", "("]) {
+                Some(".to_vec()")
+            } else {
+                None
+            };
+            if let Some(what) = what {
+                out.push(f.finding(
+                    "W1",
+                    tok,
+                    format!(
+                        "{what} inside `fn {fn_name}`: per-batch allocation in a hot path; \
+                         draw the buffer from the Workspace instead"
+                    ),
+                ));
+            }
+        }
+        ci = close + 1;
+    }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+
+    fn run(path: &str, src: &str) -> Vec<Finding> {
+        FileLint::new(path, src).check().0
+    }
+
+    #[test]
+    fn d1_flags_instant_now_outside_trace_and_bench() {
+        let src = "fn f() { let t = std::time::Instant::now(); }\n";
+        assert_eq!(run("crates/core/src/sim.rs", src).len(), 1);
+        assert!(run("crates/trace/src/collector.rs", src).is_empty());
+        assert!(run("crates/bench/src/bin/probe.rs", src).is_empty());
+        assert!(run("tests/e2e.rs", src).is_empty());
+    }
+
+    #[test]
+    fn d1_flags_hash_containers_only_in_core_scopes() {
+        let src = "use std::collections::HashMap;\n";
+        assert_eq!(run("crates/core/src/algo/ktpfl.rs", src).len(), 1);
+        assert_eq!(run("crates/core/src/comm.rs", src).len(), 1);
+        assert!(run("crates/tensor/src/workspace.rs", src).is_empty());
+    }
+
+    #[test]
+    fn p1_flags_panics_but_not_lookalikes() {
+        let path = "crates/core/src/algo/fedavg.rs";
+        assert_eq!(run(path, "fn f() { x.unwrap(); }").len(), 1);
+        assert_eq!(run(path, "fn f() { x.expect(\"msg\"); }").len(), 1);
+        assert_eq!(run(path, "fn f() { panic!(\"boom\"); }").len(), 1);
+        assert!(run(path, "fn f() { x.unwrap_or(0); }").is_empty());
+        assert!(run(path, "fn f() { expect_count(2); }").is_empty());
+        assert!(run(path, "fn f() { let s = \"x.unwrap()\"; }").is_empty());
+    }
+
+    #[test]
+    fn p1_exempts_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t() { x.unwrap(); }\n}\n";
+        assert!(run("crates/core/src/algo/fedavg.rs", src).is_empty());
+    }
+
+    #[test]
+    fn u1_requires_safety_comment() {
+        let bad = "fn f(p: *mut f32) { unsafe { *p = 0.0; } }\n";
+        assert_eq!(run("crates/tensor/src/gemm.rs", bad).len(), 1);
+        let good = "fn f(p: *mut f32) {\n    // SAFETY: p is valid per caller contract\n    unsafe { *p = 0.0; }\n}\n";
+        assert!(run("crates/tensor/src/gemm.rs", good).is_empty());
+        let doc = "/// Does things.\n///\n/// # Safety\n///\n/// p must be valid.\nunsafe fn f(p: *mut f32) { *p = 0.0; }\n";
+        assert!(run("crates/tensor/src/gemm.rs", doc).is_empty());
+    }
+
+    #[test]
+    fn u1_ignores_unsafe_in_strings_and_comments() {
+        let src = "fn f() { let s = \"unsafe\"; let r = r#\"unsafe\"#; }\n// unsafe in prose\n";
+        assert!(run("crates/tensor/src/gemm.rs", src).is_empty());
+    }
+
+    #[test]
+    fn w1_flags_allocation_only_in_hot_bodies() {
+        let hot = "impl M { fn forward(&mut self) { let v = vec![0.0; 4]; } }\n";
+        assert_eq!(run("crates/nn/src/conv.rs", hot).len(), 1);
+        let hot2 = "impl M { fn backward(&mut self) { let v: Vec<f32> = Vec::new(); } }\n";
+        assert_eq!(run("crates/nn/src/conv.rs", hot2).len(), 1);
+        let hot3 = "impl M { fn backward(&mut self, x: &[f32]) { let v = x.to_vec(); } }\n";
+        assert_eq!(run("crates/nn/src/conv.rs", hot3).len(), 1);
+        let cold = "impl M { fn params(&mut self) { let v = vec![0.0; 4]; } }\n";
+        assert!(run("crates/nn/src/conv.rs", cold).is_empty());
+        let decl = "trait M { fn forward(&mut self); }\nfn other() { let v = vec![1]; }\n";
+        assert!(run("crates/nn/src/module.rs", decl).is_empty());
+        let elsewhere = "impl M { fn forward(&mut self) { let v = vec![0.0; 4]; } }\n";
+        assert!(run("crates/tensor/src/ops.rs", elsewhere).is_empty());
+    }
+
+    #[test]
+    fn suppression_directive_silences_a_finding() {
+        let src = "fn f() {\n    // fca-lint: allow(P1, reason = \"invariant: replies non-empty\")\n    x.unwrap();\n}\n";
+        let f = FileLint::new("crates/core/src/algo/fedavg.rs", src);
+        let (findings, suppressed) = f.check();
+        assert!(findings.is_empty(), "unexpected: {findings:?}");
+        assert_eq!(suppressed, 1);
+    }
+}

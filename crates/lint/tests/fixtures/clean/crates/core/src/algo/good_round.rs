@@ -1,0 +1,29 @@
+//! Fixture: a fully clean algorithm file — panic-free round logic, a
+//! reasoned suppression, and lexer traps (strings/comments that merely
+//! mention forbidden constructs) that must produce zero findings.
+
+use std::collections::BTreeMap;
+
+pub fn round(replies: Vec<(usize, u32)>) -> BTreeMap<usize, u32> {
+    replies.into_iter().collect()
+}
+
+pub fn sanctioned(v: Option<u32>) -> u32 {
+    // fca-lint: allow(P1, reason = "invariant established by the constructor")
+    v.expect("set by constructor")
+}
+
+pub fn lexer_traps() -> usize {
+    let a = "calling .unwrap() in a string is fine";
+    let b = r#"raw string with .unwrap() and panic!("nope")"#;
+    let c = "unsafe { } in a string is fine too";
+    /* block comment mentioning x.unwrap() and Instant::now()
+       /* nested block comment with panic!("still a comment") */
+       still inside the outer comment */
+    // line comment mentioning .expect("nothing") and HashMap
+    a.len() + b.len() + c.len()
+}
+
+pub fn trailing_suppression(v: Option<u32>) -> u32 {
+    v.expect("validated upstream") // fca-lint: allow(P1, reason = "bounds checked by caller")
+}

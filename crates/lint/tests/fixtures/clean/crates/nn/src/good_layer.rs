@@ -1,0 +1,21 @@
+//! Fixture: workspace-disciplined layer — no fresh allocations inside the
+//! hot bodies; buffers arrive from outside.
+
+pub struct Layer;
+
+impl Layer {
+    pub fn forward(&self, x: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(x);
+    }
+
+    pub fn backward(&self, g: &[f32], out: &mut Vec<f32>) {
+        out.clear();
+        out.extend_from_slice(g);
+    }
+
+    pub fn scratch_builder(&self) -> Vec<f32> {
+        // Allocating outside forward/backward is allowed.
+        vec![0.0f32; 16]
+    }
+}

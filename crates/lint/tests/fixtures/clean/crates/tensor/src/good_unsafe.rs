@@ -1,0 +1,15 @@
+//! Fixture: documented unsafe — every `unsafe` token carries a nearby
+//! `// SAFETY:` argument.
+
+pub fn first(xs: &[f32]) -> f32 {
+    // SAFETY: the caller-visible contract below guarantees xs is
+    // non-empty, so the pointer read stays in bounds.
+    unsafe { *xs.as_ptr() }
+}
+
+/// # Safety
+///
+/// `p` must be valid for reads.
+pub unsafe fn read_raw(p: *const f32) -> f32 {
+    *p
+}

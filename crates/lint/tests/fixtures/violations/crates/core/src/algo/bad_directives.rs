@@ -1,0 +1,18 @@
+//! Fixture: directive hygiene — a reason-less allow, an unknown rule, and
+//! an unused (suppresses-nothing) directive all become LINT findings. The
+//! underlying violations still fire when their directive is rejected.
+
+pub fn missing_reason(v: Option<u32>) -> u32 {
+    // fca-lint: allow(P1)
+    v.unwrap()
+}
+
+pub fn unknown_rule(v: Option<u32>) -> u32 {
+    // fca-lint: allow(Z9, reason = "no such rule")
+    v.unwrap()
+}
+
+pub fn unused_directive(v: u32) -> u32 {
+    // fca-lint: allow(P1, reason = "nothing here actually panics")
+    v + 1
+}

@@ -1,0 +1,25 @@
+//! Fixture: P1 violations in an algorithm round path. Every flagged line
+//! is a deliberate violation; this tree is excluded from workspace scans.
+
+pub fn round(replies: Vec<Option<u32>>) -> u32 {
+    let first = replies.first().unwrap();
+    let value = first.expect("reply present");
+    if value == 0 {
+        panic!("zero reply");
+    }
+    value
+}
+
+#[cfg(test)]
+mod tests {
+    #[test]
+    fn exempt_in_tests() {
+        let v: Option<u32> = Some(3);
+        assert_eq!(v.unwrap(), 3);
+        let w: Option<u32> = Some(4);
+        w.expect("fine in tests");
+        if false {
+            panic!("also fine in tests");
+        }
+    }
+}

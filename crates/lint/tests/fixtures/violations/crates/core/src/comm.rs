@@ -1,0 +1,18 @@
+//! Fixture: D1 violations in the wire module — wall-clock reads and a
+//! hash container — plus a P1 expect on the send path.
+
+use std::collections::HashMap;
+use std::time::Instant;
+
+pub fn collect(expected: usize) -> HashMap<usize, Vec<u8>> {
+    let _deadline = Instant::now();
+    let mut out = HashMap::new();
+    for k in 0..expected {
+        out.insert(k, Vec::new());
+    }
+    out
+}
+
+pub fn send(payload: Option<Vec<u8>>) -> usize {
+    payload.expect("channel closed").len()
+}

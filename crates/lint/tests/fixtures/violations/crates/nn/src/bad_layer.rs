@@ -1,0 +1,24 @@
+//! Fixture: W1 violations — fresh allocations inside `forward`/`backward`
+//! bodies, which must come from the threaded workspace instead.
+
+pub struct Layer;
+
+impl Layer {
+    pub fn forward(&self, x: &[f32]) -> Vec<f32> {
+        let mut out = Vec::new();
+        out.extend_from_slice(x);
+        let copy = x.to_vec();
+        out.extend(copy);
+        out
+    }
+
+    pub fn backward(&self, g: &[f32]) -> Vec<f32> {
+        let scratch = vec![0.0f32; g.len()];
+        scratch
+    }
+
+    pub fn not_hot(&self) -> Vec<f32> {
+        // Allocation outside forward/backward is fine.
+        Vec::new()
+    }
+}

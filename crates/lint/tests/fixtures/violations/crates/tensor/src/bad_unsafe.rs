@@ -1,0 +1,5 @@
+//! Fixture: U1 violation — an undocumented `unsafe` block.
+
+pub fn first(xs: &[f32]) -> f32 {
+    unsafe { *xs.as_ptr() }
+}

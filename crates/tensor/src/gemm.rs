@@ -176,6 +176,9 @@ fn axpy_row(acc: &mut [f32; NR], a: f32, b: &[f32; NR]) {
 /// `c` must be valid for reads/writes of `mr` rows × `nr` columns at row
 /// stride `ldc`, and no other thread may access that region concurrently.
 #[inline(always)]
+// SAFETY: given the contract above, every store below targets
+// `c.add(i * ldc)[..len]` with `i < mr` and `len <= nr`, which stays
+// inside the caller's exclusive `mr × nr` region at stride `ldc`.
 unsafe fn microkernel(pa: &[f32], pb: &[f32], c: *mut f32, ldc: usize, mr: usize, nr: usize) {
     let mut r0 = [0.0f32; NR];
     let mut r1 = [0.0f32; NR];
@@ -228,6 +231,10 @@ unsafe fn microkernel(pa: &[f32], pb: &[f32], c: *mut f32, ldc: usize, mr: usize
 /// columns `[j0, j1)` concurrently. `i0`/`j0` must be multiples of
 /// MR/NR respectively (they are multiples of MC/NC by construction).
 #[allow(clippy::too_many_arguments)]
+// SAFETY: the only unsafe op below is the `microkernel` call at
+// `c.add(ir * n + jr)` with `ir < i1 <= m`, `jr < j1 <= n`, and `mr`/`nr`
+// clipped to the tile edge — exactly the `mr × nr` region at stride `n`
+// that microkernel's contract requires, inside this tile's exclusive area.
 unsafe fn compute_tile(
     pa: &[f32],
     pb: &[f32],
@@ -266,6 +273,9 @@ unsafe fn compute_tile(
 /// row×column region of C (see [`compute_tile`]).
 #[derive(Clone, Copy)]
 struct TilePtr(*mut f32);
+// SAFETY: Send/Sync are sound because the pointer is only dereferenced
+// inside `compute_tile`, and the macro-tile grid hands every task a
+// disjoint row×column region of C — concurrent tasks never alias.
 unsafe impl Send for TilePtr {}
 unsafe impl Sync for TilePtr {}
 

@@ -29,6 +29,11 @@ pub enum WireError {
         /// Tensor count the header declared.
         got: usize,
     },
+    /// The peer's channel is closed: the process on the other side is
+    /// gone (crashed client, shut-down server). Transport-level rather
+    /// than decode-level, but surfaced through the same error type so
+    /// send paths stay panic-free.
+    ChannelClosed,
 }
 
 impl std::fmt::Display for WireError {
@@ -43,6 +48,7 @@ impl std::fmt::Display for WireError {
                     "wire message declares {got} tensors, tag requires {expected}"
                 )
             }
+            WireError::ChannelClosed => write!(f, "peer channel closed"),
         }
     }
 }

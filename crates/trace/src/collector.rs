@@ -57,6 +57,7 @@ static SINK: Mutex<Option<Sink>> = Mutex::new(None);
 /// duration, which is what keeps traced runs bit-identical to untraced
 /// ones (see DESIGN.md §7.4).
 #[inline]
+#[allow(clippy::disallowed_methods)] // the trace clock is the sanctioned timing source
 pub fn clock() -> Option<Instant> {
     if ACTIVE.load(Ordering::Relaxed) {
         Some(Instant::now())
@@ -217,6 +218,7 @@ impl Drop for TraceGuard {
 /// Errors with `AlreadyExists` if a sink is already installed — the
 /// journal is a process-wide singleton, so tests that trace must serialize
 /// themselves (the repo keeps all traced test logic in one `#[test]`).
+#[allow(clippy::disallowed_methods)] // stamps the run's start for the run_end duration
 pub fn install_writer(writer: Box<dyn Write + Send>, label: &str) -> io::Result<TraceGuard> {
     let mut guard = SINK.lock().unwrap_or_else(|p| p.into_inner());
     if guard.is_some() {

@@ -51,9 +51,9 @@ fn main() {
 
     // Round-trip them through a real network and check the accounting.
     let net = Network::new(2);
-    net.send_to_client(0, &msg);
-    net.send_to_client(1, &protos);
-    net.send_to_server(0, &soft);
+    net.send_to_client(0, &msg).expect("send");
+    net.send_to_client(1, &protos).expect("send");
+    net.send_to_server(0, &soft).expect("send");
     let down = net.stats().downlink_bytes();
     let up = net.stats().uplink_bytes();
     println!("\nnetwork counters after 3 sends: down {down} B, up {up} B");

@@ -10,6 +10,9 @@ cargo fmt --all -- --check
 echo "=== cargo clippy (warnings are errors) ==="
 cargo clippy --workspace --all-targets -- -D warnings
 
+echo "=== fca-lint: determinism / panic-freedom / unsafe-hygiene contracts ==="
+cargo run --release -p fca-lint -- --deny
+
 echo "=== tier-1: build + test ==="
 cargo build --release
 cargo test -q
