@@ -13,9 +13,7 @@ use fca_tensor::Tensor;
 use fedclassavg::algo::{Algorithm, FedAvg, FedClassAvg, FedProto, KtPfl};
 use fedclassavg::comm::Network;
 use fedclassavg::config::HyperParams;
-use fedclassavg::sim::test_support::{
-    tiny_fleet, tiny_fleet_homogeneous, tiny_public_data,
-};
+use fedclassavg::sim::test_support::{tiny_fleet, tiny_fleet_homogeneous, tiny_public_data};
 use std::time::Duration;
 
 fn bench_rounds(c: &mut Criterion) {
@@ -24,48 +22,48 @@ fn bench_rounds(c: &mut Criterion) {
     let hp = HyperParams::micro_default();
 
     g.bench_function("fedclassavg_4clients", |bch| {
-        let (mut clients, _) = tiny_fleet(4, 1001);
+        let (mut fleet, _) = tiny_fleet(4, 1001);
         let mut algo = FedClassAvg::new(8, 3, 1);
         let net = Network::new(4);
         let mut round = 0;
         bch.iter(|| {
             round += 1;
-            algo.round(round, &mut clients, &[0, 1, 2, 3], &net, &hp);
+            algo.round(round, &mut fleet, &[0, 1, 2, 3], &net, &hp);
         })
     });
 
     g.bench_function("fedavg_4clients", |bch| {
-        let (mut clients, _) = tiny_fleet_homogeneous(4, 1002);
-        let init = clients[0].model.full_state();
+        let (mut fleet, _) = tiny_fleet_homogeneous(4, 1002);
+        let init = fleet.client_mut(0).model.full_state();
         let mut algo = FedAvg::new(init);
         let net = Network::new(4);
         let mut round = 0;
         bch.iter(|| {
             round += 1;
-            algo.round(round, &mut clients, &[0, 1, 2, 3], &net, &hp);
+            algo.round(round, &mut fleet, &[0, 1, 2, 3], &net, &hp);
         })
     });
 
     g.bench_function("fedproto_4clients", |bch| {
-        let (mut clients, _) = tiny_fleet(4, 1003);
+        let (mut fleet, _) = tiny_fleet(4, 1003);
         let mut algo = FedProto::new(8, 3, 1.0);
         let net = Network::new(4);
         let mut round = 0;
         bch.iter(|| {
             round += 1;
-            algo.round(round, &mut clients, &[0, 1, 2, 3], &net, &hp);
+            algo.round(round, &mut fleet, &[0, 1, 2, 3], &net, &hp);
         })
     });
 
     g.bench_function("ktpfl_4clients", |bch| {
-        let (mut clients, _) = tiny_fleet(4, 1004);
+        let (mut fleet, _) = tiny_fleet(4, 1004);
         let public = tiny_public_data(16, 1005);
         let mut algo = KtPfl::new(public, 4).with_local_epochs(1);
         let net = Network::new(4);
         let mut round = 0;
         bch.iter(|| {
             round += 1;
-            algo.round(round, &mut clients, &[0, 1, 2, 3], &net, &hp);
+            algo.round(round, &mut fleet, &[0, 1, 2, 3], &net, &hp);
         })
     });
     g.finish();
@@ -86,7 +84,10 @@ fn bench_partition(c: &mut Criterion) {
         let mut seed = 0u64;
         bch.iter(|| {
             seed += 1;
-            Partitioner::Skewed { classes_per_client: 2 }.split(&d.train, &d.test, 20, seed)
+            Partitioner::Skewed {
+                classes_per_client: 2,
+            }
+            .split(&d.train, &d.test, 20, seed)
         })
     });
     g.finish();
@@ -98,7 +99,11 @@ fn bench_analysis(c: &mut Criterion) {
     let mut rng = seeded_rng(1007);
     let feats = Tensor::randn([80, 16], 1.0, &mut rng);
     g.bench_function("tsne_80x16_100iters", |bch| {
-        let cfg = TsneConfig { iterations: 100, seed: 1, ..Default::default() };
+        let cfg = TsneConfig {
+            iterations: 100,
+            seed: 1,
+            ..Default::default()
+        };
         bch.iter(|| tsne(&feats, &cfg))
     });
 

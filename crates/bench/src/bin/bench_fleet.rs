@@ -1,0 +1,140 @@
+//! Fleet virtualization scaling snapshot.
+//!
+//! Runs the same 2-round FedClassAvg federation over fleets of 1k, 10k,
+//! and 100k clients, holding the *work per round* constant (16 sampled
+//! clients, residency cap 8), and writes `BENCH_fleet.json` into the
+//! current directory. The claim the numbers pin: with paging, round cost
+//! is a function of the sample and the residency cap — fleet size only
+//! shows up in construction (meta records) and in the flat snapshot
+//! store, so 100k clients fit on one box. Run via
+//! `scripts/bench_fleet.sh` or directly:
+//!
+//! ```text
+//! cargo run --release -p fca-bench --bin bench_fleet
+//! ```
+
+// Bench binaries time wall-clock by design (fca-lint D1 exempts crates/bench).
+#![allow(clippy::disallowed_methods)]
+
+use fca_data::partition::Partitioner;
+use fca_data::synth::tiny_dataset;
+use fca_models::ModelArch;
+use fedclassavg::algo::FedClassAvg;
+use fedclassavg::comm::FaultPlan;
+use fedclassavg::config::{FedConfig, HyperParams};
+use fedclassavg::sim::{build_fleet_paged, run_federation};
+use serde::Serialize;
+use std::time::Instant;
+
+const ROUNDS: usize = 2;
+const CLIENTS_PER_ROUND: usize = 16;
+const MAX_RESIDENT: usize = 8;
+
+/// One fleet size's measurements.
+#[derive(Serialize)]
+struct Entry {
+    num_clients: usize,
+    clients_per_round: usize,
+    rounds: usize,
+    max_resident: usize,
+    /// Dataset generation + partitioning + fleet construction, ms.
+    build_ms: f64,
+    /// The federation run end to end, ms.
+    run_ms: f64,
+    /// `run_ms / rounds` — the number that must stay flat across sizes.
+    ms_per_round: f64,
+    page_ins: u64,
+    page_outs: u64,
+    page_bytes: u64,
+    /// Workspaces the pool ever created (≤ high-water).
+    pool_created: u64,
+    /// Peak simultaneously materialized clients — the memory bound.
+    pool_high_water: u64,
+}
+
+fn measure(num_clients: usize) -> Entry {
+    let sample_rate = CLIENTS_PER_ROUND as f32 / num_clients as f32;
+    let cfg = FedConfig {
+        num_clients,
+        sample_rate,
+        rounds: ROUNDS,
+        feature_dim: 8,
+        eval_every: ROUNDS,
+        seed: 1000,
+        hp: HyperParams::micro_default(),
+        faults: FaultPlan::none(),
+        eval_sample: CLIENTS_PER_ROUND,
+    };
+    assert_eq!(cfg.clients_per_round(), CLIENTS_PER_ROUND);
+
+    let t0 = Instant::now();
+    let data = tiny_dataset(3, num_clients, num_clients / 10, cfg.seed);
+    let mut fleet = build_fleet_paged(
+        &data,
+        Partitioner::Dirichlet { alpha: 0.5 },
+        &cfg,
+        MAX_RESIDENT,
+        &ModelArch::heterogeneous_rotation,
+    );
+    let build_ms = t0.elapsed().as_secs_f64() * 1e3;
+
+    let t1 = Instant::now();
+    let mut algo = FedClassAvg::new(cfg.feature_dim, data.train.num_classes, cfg.seed);
+    let result = run_federation(&mut fleet, &mut algo, &cfg);
+    let run_ms = t1.elapsed().as_secs_f64() * 1e3;
+    assert_eq!(result.rounds, ROUNDS);
+
+    let paging = fleet.paging_stats();
+    let pool = fleet.pool_stats();
+    Entry {
+        num_clients,
+        clients_per_round: CLIENTS_PER_ROUND,
+        rounds: ROUNDS,
+        max_resident: MAX_RESIDENT,
+        build_ms,
+        run_ms,
+        ms_per_round: run_ms / ROUNDS as f64,
+        page_ins: paging.page_ins,
+        page_outs: paging.page_outs,
+        page_bytes: paging.page_bytes,
+        pool_created: pool.created,
+        pool_high_water: pool.high_water,
+    }
+}
+
+fn main() {
+    let mut entries = Vec::new();
+    println!(
+        "{:>12} {:>10} {:>10} {:>12} {:>9} {:>10} {:>12} {:>10}",
+        "clients",
+        "build ms",
+        "run ms",
+        "ms/round",
+        "page ins",
+        "page outs",
+        "page bytes",
+        "highwater"
+    );
+    for n in [1_000usize, 10_000, 100_000] {
+        let e = measure(n);
+        println!(
+            "{:>12} {:>10.1} {:>10.1} {:>12.1} {:>9} {:>10} {:>12} {:>10}",
+            e.num_clients,
+            e.build_ms,
+            e.run_ms,
+            e.ms_per_round,
+            e.page_ins,
+            e.page_outs,
+            e.page_bytes,
+            e.pool_high_water
+        );
+        assert!(
+            e.pool_high_water as usize <= MAX_RESIDENT,
+            "residency cap violated at {n} clients"
+        );
+        entries.push(e);
+    }
+    let json = serde_json::to_string_pretty(&entries).expect("serializable");
+    std::fs::write("BENCH_fleet.json", json + "\n").expect("write BENCH_fleet.json");
+    println!("wrote BENCH_fleet.json ({} entries)", entries.len());
+}

@@ -14,7 +14,7 @@ use fca_bench::report::write_json;
 use fca_data::partition::Partitioner;
 use fca_models::ModelArch;
 use fedclassavg::algo::{Algorithm, FedClassAvg, FedMd, KtPfl};
-use fedclassavg::sim::{build_clients, run_federation};
+use fedclassavg::sim::{build_fleet, run_federation};
 use serde::Serialize;
 
 #[derive(Serialize)]
@@ -38,8 +38,8 @@ fn main() {
         let epochs_per_round = algo.epochs_per_round(&d.hyperparams()).max(1);
         let rounds = (ctx.epoch_budget() / epochs_per_round).max(1);
         let cfg = ctx.fed_config(d, ctx.num_clients(), 1.0, rounds);
-        let mut clients = build_clients(&data, dist, &cfg, &ModelArch::heterogeneous_rotation);
-        let r = run_federation(&mut clients, algo.as_mut(), &cfg);
+        let mut fleet = build_fleet(&data, dist, &cfg, &ModelArch::heterogeneous_rotation);
+        let r = run_federation(&mut fleet, algo.as_mut(), &cfg);
         let per = r.bytes_per_client_round(ctx.num_clients());
         println!(
             "{name:<24} acc {:.4} ± {:.4}   {:>8.0} B/client-round",
@@ -53,7 +53,10 @@ fn main() {
         });
     };
 
-    run("FedClassAvg (f32)", Box::new(FedClassAvg::new(feat, classes, ctx.seed)));
+    run(
+        "FedClassAvg (f32)",
+        Box::new(FedClassAvg::new(feat, classes, ctx.seed)),
+    );
     run(
         "FedClassAvg (f16)",
         Box::new(FedClassAvg::new(feat, classes, ctx.seed).with_half_precision()),
@@ -65,9 +68,7 @@ fn main() {
     );
     run(
         "KT-pFL",
-        Box::new(
-            KtPfl::new(public, ctx.num_clients()).with_local_epochs(ctx.ktpfl_local_epochs()),
-        ),
+        Box::new(KtPfl::new(public, ctx.num_clients()).with_local_epochs(ctx.ktpfl_local_epochs())),
     );
 
     // The extension's claims, checked.
@@ -83,7 +84,11 @@ fn main() {
     println!(
         "f16 accuracy impact: {:+.4} (quantization is {})",
         f16_run.final_mean - f32_run.final_mean,
-        if (f16_run.final_mean - f32_run.final_mean).abs() < 0.03 { "free" } else { "NOT free" }
+        if (f16_run.final_mean - f32_run.final_mean).abs() < 0.03 {
+            "free"
+        } else {
+            "NOT free"
+        }
     );
 
     match write_json("ext_quantized_comm", &records) {

@@ -8,7 +8,9 @@
 //! the baseline while the nearest-neighbour **client** agreement falls
 //! (clients' clusters split up to mix by label).
 
-use fca_bench::experiments::{run_heterogeneous_keep_clients, DatasetKind, ExperimentContext, Method};
+use fca_bench::experiments::{
+    run_heterogeneous_keep_fleet, DatasetKind, ExperimentContext, Method,
+};
 use fca_bench::report::write_json;
 use fca_data::partition::Partitioner;
 use fca_metrics::eval::extract_fleet_features;
@@ -35,8 +37,8 @@ fn main() {
     let mut records = Vec::new();
     for m in [Method::Baseline, Method::FedClassAvg] {
         eprintln!("[fig8] training {}…", m.name());
-        let (_, mut clients) = run_heterogeneous_keep_clients(&ctx, d, dist, m);
-        let ff = extract_fleet_features(&mut clients, per_client);
+        let (_, mut fleet) = run_heterogeneous_keep_fleet(&ctx, d, dist, m);
+        let ff = extract_fleet_features(&mut fleet, per_client);
         eprintln!("[fig8] embedding {} feature rows…", ff.labels.len());
         let cfg = TsneConfig {
             perplexity: 15.0,
@@ -69,13 +71,21 @@ fn main() {
         let ours = &records[1];
         println!(
             "label clustering improves with FedClassAvg: {} ({:.3} → {:.3})",
-            if ours.label_agreement >= base.label_agreement { "HOLDS" } else { "VIOLATED" },
+            if ours.label_agreement >= base.label_agreement {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            },
             base.label_agreement,
             ours.label_agreement
         );
         println!(
             "client clusters break up with FedClassAvg:  {} ({:.3} → {:.3})",
-            if ours.client_agreement <= base.client_agreement { "HOLDS" } else { "VIOLATED" },
+            if ours.client_agreement <= base.client_agreement {
+                "HOLDS"
+            } else {
+                "VIOLATED"
+            },
             base.client_agreement,
             ours.client_agreement
         );

@@ -8,7 +8,7 @@
 //! agreement, contrasted with the local-only baseline.
 
 use fca_bench::experiments::{
-    run_heterogeneous_keep_clients, DatasetKind, ExperimentContext, Method,
+    run_heterogeneous_keep_fleet, DatasetKind, ExperimentContext, Method,
 };
 use fca_bench::report::write_json;
 use fca_data::partition::Partitioner;
@@ -34,7 +34,7 @@ fn main() {
     for d in DatasetKind::ALL {
         for m in [Method::Baseline, Method::FedClassAvg] {
             eprintln!("[fig9] training {} on {}…", m.name(), d.name());
-            let (_, mut clients) = run_heterogeneous_keep_clients(&ctx, d, dist, m);
+            let (_, mut fleet) = run_heterogeneous_keep_fleet(&ctx, d, dist, m);
 
             // Find the label with the most clients answering correctly on a
             // shared probe image (the paper samples such labels).
@@ -45,7 +45,7 @@ fn main() {
                 let (x, y) = probe_data.gather_batch(&[i]);
                 let label = y[0];
                 let mut correct: Vec<usize> = Vec::new();
-                for c in clients.iter_mut() {
+                for c in fleet.clients_mut() {
                     let logits = c.model.predict(&x, &mut ws);
                     let hit = logits.argmax_rows()[0] == label;
                     ws.recycle(logits);
@@ -67,7 +67,7 @@ fn main() {
             // Conductance ranks at each correct client's classifier.
             use fca_nn::Module as _;
             let mut ranks: Vec<Vec<usize>> = Vec::new();
-            for c in clients.iter_mut() {
+            for c in fleet.clients_mut() {
                 if !correct.contains(&c.id) {
                     continue;
                 }

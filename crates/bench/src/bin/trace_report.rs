@@ -11,10 +11,10 @@
 //! non-zero on any violation. `scripts/ci.sh` runs it against a traced
 //! quickstart as the observability smoke test.
 //!
-//! The report renders four tables (see DESIGN.md §7.4 for field
+//! The report renders five tables (see DESIGN.md §7.4 for field
 //! semantics): per-round phase timings, per-op totals with achieved
-//! GFLOP/s, workspace counters per evaluation point, and per-round wire
-//! traffic next to the fault counters.
+//! GFLOP/s, workspace counters per evaluation point, pool occupancy with
+//! paging traffic, and per-round wire traffic next to the fault counters.
 
 use fca_bench::report::results_dir;
 use fca_trace::{Event, OpId, PhaseId, SCHEMA_VERSION};
@@ -178,6 +178,36 @@ fn render(events: &[Event]) {
             } = ev
             {
                 println!("{round:>6} {clients:>8} {allocations:>12} {reuses:>12} {peak_bytes:>14}");
+            }
+        }
+    }
+
+    // Workspace-pool occupancy and paging traffic at each evaluation point
+    // (all zeros on fully resident fleets).
+    let pool: Vec<_> = events
+        .iter()
+        .filter(|e| matches!(e, Event::Pool { .. }))
+        .collect();
+    if !pool.is_empty() {
+        println!("\n== workspace pool / paging ==");
+        println!(
+            "{:>6} {:>9} {:>10} {:>10} {:>10} {:>10} {:>14}",
+            "round", "resident", "high", "checkouts", "page ins", "page outs", "page bytes"
+        );
+        for ev in pool {
+            if let Event::Pool {
+                round,
+                resident,
+                high_water,
+                checkouts,
+                page_ins,
+                page_outs,
+                page_bytes,
+            } = ev
+            {
+                println!(
+                    "{round:>6} {resident:>9} {high_water:>10} {checkouts:>10} {page_ins:>10} {page_outs:>10} {page_bytes:>14}"
+                );
             }
         }
     }

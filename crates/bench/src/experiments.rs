@@ -12,10 +12,10 @@ use fca_tensor::rng::derive_seed;
 use fedclassavg::algo::{
     Algorithm, FedAvg, FedClassAvg, FedProto, FedProx, KtPfl, KtPflWeight, LocalOnly,
 };
-use fedclassavg::client::Client;
 use fedclassavg::comm::FaultPlan;
 use fedclassavg::config::{FedConfig, HyperParams};
-use fedclassavg::sim::{build_clients, run_federation, RunResult};
+use fedclassavg::fleet::Fleet;
+use fedclassavg::sim::{build_fleet, run_federation, RunResult};
 
 /// The three benchmark datasets (synthetic stand-ins; DESIGN.md §3).
 #[derive(Clone, Copy, Debug, PartialEq, Eq)]
@@ -240,6 +240,7 @@ impl ExperimentContext {
             seed: self.seed,
             hp: d.hyperparams(),
             faults: FaultPlan::none(),
+            eval_sample: 0,
         }
     }
 }
@@ -326,25 +327,25 @@ pub fn run_heterogeneous(
     dist: Partitioner,
     method: Method,
 ) -> RunResult {
-    run_heterogeneous_keep_clients(ctx, d, dist, method).0
+    run_heterogeneous_keep_fleet(ctx, d, dist, method).0
 }
 
 /// [`run_heterogeneous`], also returning the trained fleet — the Figure 8
 /// (t-SNE) and Figure 9 (conductance) analyses need the client models.
-pub fn run_heterogeneous_keep_clients(
+pub fn run_heterogeneous_keep_fleet(
     ctx: &ExperimentContext,
     d: DatasetKind,
     dist: Partitioner,
     method: Method,
-) -> (RunResult, Vec<Client>) {
+) -> (RunResult, Fleet) {
     let data = d.generate(ctx);
     let (mut algo, arch_of) = hetero_algorithm(method, ctx, d, &data);
     let epochs_per_round = algo.epochs_per_round(&d.hyperparams()).max(1);
     let rounds = (ctx.epoch_budget() / epochs_per_round).max(1);
     let cfg = ctx.fed_config(d, ctx.num_clients(), 1.0, rounds);
-    let mut clients = build_clients(&data, dist, &cfg, arch_of.as_ref());
-    let result = run_federation(&mut clients, algo.as_mut(), &cfg);
-    (result, clients)
+    let mut fleet = build_fleet(&data, dist, &cfg, arch_of.as_ref());
+    let result = run_federation(&mut fleet, algo.as_mut(), &cfg);
+    (result, fleet)
 }
 
 /// Run one homogeneous experiment (Table 3, Figures 6 & 7).
@@ -401,10 +402,10 @@ pub fn run_homogeneous(
     let epochs_per_round = algo.epochs_per_round(&d.hyperparams()).max(1);
     let rounds = (ctx.epoch_budget() / epochs_per_round).max(1);
     let cfg = ctx.fed_config(d, num_clients, sample_rate, rounds);
-    let mut clients = build_clients(&data, Partitioner::Dirichlet { alpha: 0.5 }, &cfg, &|_| {
+    let mut fleet = build_fleet(&data, Partitioner::Dirichlet { alpha: 0.5 }, &cfg, &|_| {
         arch
     });
-    run_federation(&mut clients, algo.as_mut(), &cfg)
+    run_federation(&mut fleet, algo.as_mut(), &cfg)
 }
 
 #[cfg(test)]

@@ -1,10 +1,10 @@
 //! FedAvg (McMahan et al. 2017) and FedProx (Li et al. 2020) — the
 //! homogeneous full-weight-sharing baselines of Table 3.
 
-use super::{for_sampled_parallel, full_model_states, normalized_weights, Algorithm};
-use crate::client::Client;
+use super::{full_model_states, normalized_weights, Algorithm};
 use crate::comm::{Network, WireMessage};
 use crate::config::HyperParams;
+use crate::fleet::Fleet;
 use fca_tensor::Tensor;
 use fca_trace::PhaseId;
 
@@ -32,13 +32,13 @@ impl FedAvg {
     /// Wrong-variant replies count as corrupt and are skipped; weights
     /// renormalize over the survivors. Zero usable replies leave the
     /// previous global standing.
-    fn aggregate(&mut self, clients: &[Client], replies: &[(usize, WireMessage)]) {
+    fn aggregate(&mut self, fleet: &Fleet, replies: &[(usize, WireMessage)]) {
         let states = full_model_states(replies);
         let Some(((_, first), rest)) = states.split_first() else {
             return;
         };
         let ids: Vec<usize> = states.iter().map(|(k, _)| *k).collect();
-        let weights = normalized_weights(clients, &ids);
+        let weights = normalized_weights(fleet, &ids);
         let mut acc: Vec<Tensor> = first.iter().map(|t| t.scaled(weights[0])).collect();
         for ((_, state), &w) in rest.iter().zip(&weights[1..]) {
             for (ai, ti) in acc.iter_mut().zip(state.iter()) {
@@ -57,7 +57,7 @@ impl Algorithm for FedAvg {
     fn round(
         &mut self,
         _round: usize,
-        clients: &mut [Client],
+        fleet: &mut Fleet,
         sampled: &[usize],
         net: &Network,
         hp: &HyperParams,
@@ -70,7 +70,7 @@ impl Algorithm for FedAvg {
         }
         fca_trace::phase(PhaseId::Broadcast, span);
         let span = fca_trace::clock();
-        for_sampled_parallel(clients, sampled, |c| {
+        fleet.for_sampled_parallel(sampled, |c| {
             let Some(WireMessage::FullModel(state)) = net.client_recv(c.id) else {
                 return; // offline this round
             };
@@ -86,7 +86,7 @@ impl Algorithm for FedAvg {
             return; // zero survivors: the previous global stands
         }
         let span = fca_trace::clock();
-        self.aggregate(clients, &collected.replies);
+        self.aggregate(fleet, &collected.replies);
         fca_trace::phase(PhaseId::Aggregate, span);
     }
 }
@@ -122,7 +122,7 @@ impl Algorithm for FedProx {
     fn round(
         &mut self,
         _round: usize,
-        clients: &mut [Client],
+        fleet: &mut Fleet,
         sampled: &[usize],
         net: &Network,
         hp: &HyperParams,
@@ -135,7 +135,7 @@ impl Algorithm for FedProx {
         fca_trace::phase(PhaseId::Broadcast, span);
         let mu = self.mu;
         let span = fca_trace::clock();
-        for_sampled_parallel(clients, sampled, |c| {
+        fleet.for_sampled_parallel(sampled, |c| {
             let Some(WireMessage::FullModel(state)) = net.client_recv(c.id) else {
                 return; // offline this round
             };
@@ -159,7 +159,7 @@ impl Algorithm for FedProx {
             return; // zero survivors: the previous global stands
         }
         let span = fca_trace::clock();
-        self.inner.aggregate(clients, &collected.replies);
+        self.inner.aggregate(fleet, &collected.replies);
         fca_trace::phase(PhaseId::Aggregate, span);
     }
 }
@@ -172,10 +172,10 @@ mod tests {
     #[test]
     fn fedavg_synchronizes_clients() {
         let hp = HyperParams::micro_default().with_lr(0.0);
-        let (mut clients, net) = tiny_fleet_homogeneous_hp(3, 721, hp);
-        let init = clients[0].model.full_state();
+        let (mut fleet, net) = tiny_fleet_homogeneous_hp(3, 721, hp);
+        let init = fleet.client_mut(0).model.full_state();
         let mut algo = FedAvg::new(init.clone());
-        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1, 2], &net, &hp);
         // lr = 0: every client returned the broadcast, so the new global
         // equals the old one.
         for (a, b) in algo.global_state().iter().zip(&init) {
@@ -187,11 +187,11 @@ mod tests {
 
     #[test]
     fn fedavg_moves_global_when_training() {
-        let (mut clients, net) = tiny_fleet_homogeneous(2, 722);
+        let (mut fleet, net) = tiny_fleet_homogeneous(2, 722);
         let hp = HyperParams::micro_default();
-        let init = clients[0].model.full_state();
+        let init = fleet.client_mut(0).model.full_state();
         let mut algo = FedAvg::new(init.clone());
-        algo.round(0, &mut clients, &[0, 1], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1], &net, &hp);
         let moved = algo
             .global_state()
             .iter()
@@ -208,10 +208,10 @@ mod tests {
         let drift = |mu: f32, seed: u64| -> f32 {
             let mut hp = hp;
             hp.batch_size = 8;
-            let (mut clients, net) = tiny_fleet_homogeneous_hp(2, seed, hp);
-            let init = clients[0].model.full_state();
+            let (mut fleet, net) = tiny_fleet_homogeneous_hp(2, seed, hp);
+            let init = fleet.client_mut(0).model.full_state();
             let mut algo = FedProx::new(init.clone(), mu);
-            algo.round(0, &mut clients, &[0, 1], &net, &hp);
+            algo.round(0, &mut fleet, &[0, 1], &net, &hp);
             algo.global_state()
                 .iter()
                 .zip(&init)
@@ -232,12 +232,12 @@ mod tests {
     fn fedavg_survives_total_dropout() {
         use crate::comm::{FaultPlan, Network};
         let hp = HyperParams::micro_default();
-        let (mut clients, _) = tiny_fleet_homogeneous_hp(2, 725, hp);
-        let init = clients[0].model.full_state();
+        let (mut fleet, _) = tiny_fleet_homogeneous_hp(2, 725, hp);
+        let init = fleet.client_mut(0).model.full_state();
         let mut algo = FedAvg::new(init.clone());
         let mut net = Network::new(2).with_fault_plan(FaultPlan::with_dropout(3, 1.0));
         net.begin_round(1, &[0, 1]);
-        algo.round(1, &mut clients, &[0, 1], &net, &hp);
+        algo.round(1, &mut fleet, &[0, 1], &net, &hp);
         for (a, b) in algo.global_state().iter().zip(&init) {
             assert_eq!(a, b, "global moved despite zero survivors");
         }
@@ -246,11 +246,11 @@ mod tests {
 
     #[test]
     fn full_model_traffic_dwarfs_classifier_traffic() {
-        let (mut clients, net) = tiny_fleet_homogeneous(2, 724);
+        let (mut fleet, net) = tiny_fleet_homogeneous(2, 724);
         let hp = HyperParams::micro_default();
-        let init = clients[0].model.full_state();
+        let init = fleet.client_mut(0).model.full_state();
         let mut algo = FedAvg::new(init);
-        algo.round(0, &mut clients, &[0, 1], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1], &net, &hp);
         let full_traffic = net.stats().total_bytes();
         // The classifier for this fleet is 8×3+3 floats ≈ 0.1 KB; the
         // CnnFedAvg model is tens of thousands of floats.

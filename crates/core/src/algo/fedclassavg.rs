@@ -12,10 +12,11 @@
 //! * `share_full_weights` reproduces the homogeneous "+weight" rows of
 //!   Table 3 (all weights averaged, proximal still classifier-only).
 
-use super::{for_sampled_parallel, full_model_states, normalized_weights, Algorithm};
-use crate::client::{Client, LocalObjective};
+use super::{full_model_states, normalized_weights, Algorithm};
+use crate::client::LocalObjective;
 use crate::comm::{Network, WireMessage};
 use crate::config::HyperParams;
+use crate::fleet::Fleet;
 use fca_models::classifier::ClassifierWeights;
 use fca_tensor::rng::derived_rng;
 use fca_tensor::Tensor;
@@ -134,7 +135,7 @@ impl Algorithm for FedClassAvg {
     fn round(
         &mut self,
         _round: usize,
-        clients: &mut [Client],
+        fleet: &mut Fleet,
         sampled: &[usize],
         net: &Network,
         hp: &HyperParams,
@@ -167,7 +168,7 @@ impl Algorithm for FedClassAvg {
         // sit the round out.
         let share_full = self.share_full_weights;
         let span = fca_trace::clock();
-        for_sampled_parallel(clients, sampled, |c| {
+        fleet.for_sampled_parallel(sampled, |c| {
             let Some(msg) = net.client_recv(c.id) else {
                 return;
             };
@@ -226,7 +227,7 @@ impl Algorithm for FedClassAvg {
             let states = full_model_states(&replies);
             if let Some(((_, first), rest)) = states.split_first() {
                 let ids: Vec<usize> = states.iter().map(|(k, _)| *k).collect();
-                let weights = normalized_weights(clients, &ids);
+                let weights = normalized_weights(fleet, &ids);
                 let mut acc: Vec<Tensor> = first.iter().map(|t| t.scaled(weights[0])).collect();
                 for ((_, state), &w) in rest.iter().zip(&weights[1..]) {
                     for (ai, ti) in acc.iter_mut().zip(state.iter()) {
@@ -250,7 +251,7 @@ impl Algorithm for FedClassAvg {
                 .collect();
             if !classifiers.is_empty() {
                 let ids: Vec<usize> = classifiers.iter().map(|(k, _)| *k).collect();
-                let weights = normalized_weights(clients, &ids);
+                let weights = normalized_weights(fleet, &ids);
                 let mut acc = ClassifierWeights::zeros(
                     self.global.weight.dims()[1],
                     self.global.weight.dims()[0],
@@ -272,21 +273,21 @@ mod tests {
 
     #[test]
     fn round_updates_global_classifier() {
-        let (mut clients, net) = tiny_fleet(3, 711);
+        let (mut fleet, net) = tiny_fleet(3, 711);
         let hp = HyperParams::micro_default();
         let mut algo = FedClassAvg::new(8, 3, 1);
         let before = algo.global_classifier().weight.clone();
-        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1, 2], &net, &hp);
         assert_ne!(algo.global_classifier().weight, before);
     }
 
     #[test]
     fn clients_start_round_from_global() {
         let hp = HyperParams::micro_default().with_lr(0.0); // freeze training
-        let (mut clients, net) = tiny_fleet_hp(2, 712, hp);
+        let (mut fleet, net) = tiny_fleet_hp(2, 712, hp);
         let mut algo = FedClassAvg::new(8, 3, 2);
         let global = algo.global_classifier().clone();
-        algo.round(0, &mut clients, &[0, 1], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1], &net, &hp);
         // With lr = 0 clients return exactly the broadcast classifier, and
         // the weighted average of identical classifiers is itself.
         let after = algo.global_classifier();
@@ -298,15 +299,15 @@ mod tests {
     #[test]
     fn aggregation_is_weighted_average() {
         let hp = HyperParams::micro_default().with_lr(0.0);
-        let (mut clients, net) = tiny_fleet_hp(2, 713, hp);
-        clients[0].weight = 3.0;
-        clients[1].weight = 1.0;
+        let (mut fleet, net) = tiny_fleet_hp(2, 713, hp);
+        fleet.set_weight(0, 3.0);
+        fleet.set_weight(1, 1.0);
         let mut algo = FedClassAvg::new(8, 3, 3);
-        algo.round(0, &mut clients, &[0, 1], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1], &net, &hp);
         // lr = 0: both clients return the broadcast classifier; any weights
         // must still produce that classifier (sanity of normalization).
         let g = algo.global_classifier().clone();
-        algo.round(1, &mut clients, &[0, 1], &net, &hp);
+        algo.round(1, &mut fleet, &[0, 1], &net, &hp);
         for (a, b) in algo
             .global_classifier()
             .weight
@@ -320,10 +321,10 @@ mod tests {
 
     #[test]
     fn classifier_only_traffic_is_small() {
-        let (mut clients, net) = tiny_fleet(4, 714);
+        let (mut fleet, net) = tiny_fleet(4, 714);
         let hp = HyperParams::micro_default();
         let mut algo = FedClassAvg::new(8, 3, 4);
-        algo.round(0, &mut clients, &[0, 1, 2, 3], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1, 2, 3], &net, &hp);
         // Classifier = 8·3 + 3 floats; per client down+up ≈ 2 × ~140 B.
         let per_client = net.stats().total_bytes() / 4;
         assert!(
@@ -334,11 +335,11 @@ mod tests {
 
     #[test]
     fn full_weight_variant_averages_whole_model() {
-        let (mut clients, net) = tiny_fleet_homogeneous(2, 715);
+        let (mut fleet, net) = tiny_fleet_homogeneous(2, 715);
         let hp = HyperParams::micro_default();
-        let init = clients[0].model.full_state();
+        let init = fleet.client_mut(0).model.full_state();
         let mut algo = FedClassAvg::with_full_weight_sharing(8, 3, 5, init);
-        algo.round(0, &mut clients, &[0, 1], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1], &net, &hp);
         // Traffic must be much larger than classifier-only.
         let per_client = net.stats().total_bytes() / 2;
         assert!(
@@ -353,13 +354,13 @@ mod tests {
     #[test]
     fn half_precision_round_halves_traffic() {
         let run = |half: bool| {
-            let (mut clients, net) = tiny_fleet(3, 716);
+            let (mut fleet, net) = tiny_fleet(3, 716);
             let hp = HyperParams::micro_default();
             let mut algo = FedClassAvg::new(8, 3, 9);
             if half {
                 algo = algo.with_half_precision();
             }
-            algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+            algo.round(0, &mut fleet, &[0, 1, 2], &net, &hp);
             (net.stats().total_bytes(), algo.global_classifier().clone())
         };
         let (full_bytes, full_global) = run(false);
@@ -381,7 +382,7 @@ mod tests {
     fn survivor_weights_renormalize_to_one_under_dropout() {
         use crate::comm::{Fate, FaultPlan};
         let hp = HyperParams::micro_default().with_lr(0.0); // freeze training
-        let (mut clients, _) = tiny_fleet_hp(3, 717, hp);
+        let (mut fleet, _) = tiny_fleet_hp(3, 717, hp);
         // Find a round where exactly one of the three clients drops.
         let plan = FaultPlan::with_dropout(21, 0.5);
         let round = (1..)
@@ -391,7 +392,7 @@ mod tests {
         net.begin_round(round, &[0, 1, 2]);
         let mut algo = FedClassAvg::new(8, 3, 2);
         let global = algo.global_classifier().clone();
-        algo.round(round, &mut clients, &[0, 1, 2], &net, &hp);
+        algo.round(round, &mut fleet, &[0, 1, 2], &net, &hp);
         // lr = 0: every survivor returns the broadcast classifier. The
         // aggregate equals the broadcast iff survivor weights were
         // renormalized to sum to 1; un-renormalized weights would shrink
@@ -413,12 +414,12 @@ mod tests {
     fn zero_survivors_skip_round_keeping_global() {
         use crate::comm::FaultPlan;
         let hp = HyperParams::micro_default();
-        let (mut clients, _) = tiny_fleet_hp(2, 718, hp);
+        let (mut fleet, _) = tiny_fleet_hp(2, 718, hp);
         let mut net = Network::new(2).with_fault_plan(FaultPlan::with_dropout(5, 1.0));
         net.begin_round(1, &[0, 1]);
         let mut algo = FedClassAvg::new(8, 3, 6);
         let global = algo.global_classifier().clone();
-        algo.round(1, &mut clients, &[0, 1], &net, &hp);
+        algo.round(1, &mut fleet, &[0, 1], &net, &hp);
         assert_eq!(
             algo.global_classifier().weight,
             global.weight,

@@ -8,10 +8,10 @@
 //! how much of KT-pFL's behaviour comes from the *personalized* transfer
 //! coefficients versus plain consensus distillation.
 
-use super::{for_sampled_parallel, Algorithm};
-use crate::client::Client;
+use super::Algorithm;
 use crate::comm::{Network, WireMessage};
 use crate::config::HyperParams;
+use crate::fleet::Fleet;
 use fca_tensor::ops::softmax_rows;
 use fca_tensor::Tensor;
 use fca_trace::PhaseId;
@@ -56,7 +56,7 @@ impl Algorithm for FedMd {
     fn round(
         &mut self,
         _round: usize,
-        clients: &mut [Client],
+        fleet: &mut Fleet,
         sampled: &[usize],
         net: &Network,
         hp: &HyperParams,
@@ -72,7 +72,7 @@ impl Algorithm for FedMd {
         let temp = self.temperature;
         let local_epochs = self.local_epochs;
         let span = fca_trace::clock();
-        for_sampled_parallel(clients, sampled, |c| {
+        fleet.for_sampled_parallel(sampled, |c| {
             let Some(WireMessage::PublicData(public)) = net.client_recv(c.id) else {
                 return; // offline this round
             };
@@ -120,7 +120,7 @@ impl Algorithm for FedMd {
         let (steps, batch) = (self.distill_steps, self.distill_batch);
         let public = self.public.clone();
         let span = fca_trace::clock();
-        for_sampled_parallel(clients, sampled, |c| {
+        fleet.for_sampled_parallel(sampled, |c| {
             let Some(WireMessage::SoftTargets(t)) = net.client_recv(c.id) else {
                 return;
             };
@@ -137,25 +137,25 @@ mod tests {
 
     #[test]
     fn round_runs_and_exchanges_predictions() {
-        let (mut clients, net) = tiny_fleet(3, 751);
+        let (mut fleet, net) = tiny_fleet(3, 751);
         let public = tiny_public_data(12, 752);
         let hp = HyperParams::micro_default();
         let mut algo = FedMd::new(public).with_local_epochs(1);
-        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1, 2], &net, &hp);
         assert!(net.stats().uplink_bytes() > 0);
         assert!(net.stats().downlink_bytes() > net.stats().uplink_bytes());
     }
 
     #[test]
     fn consensus_pulls_predictions_together() {
-        let (mut clients, net) = tiny_fleet(3, 753);
+        let (mut fleet, net) = tiny_fleet(3, 753);
         let public = tiny_public_data(16, 754);
         let hp = HyperParams::micro_default();
 
         // Pairwise disagreement of public-set predictions before/after.
-        let disagreement = |clients: &mut [Client]| -> f32 {
-            let preds: Vec<Vec<usize>> = clients
-                .iter_mut()
+        let disagreement = |fleet: &mut Fleet| -> f32 {
+            let preds: Vec<Vec<usize>> = fleet
+                .clients_mut()
                 .map(|c| c.logits_on(&public).argmax_rows())
                 .collect();
             let mut diff = 0usize;
@@ -173,12 +173,12 @@ mod tests {
             diff as f32 / total.max(1) as f32
         };
 
-        let before = disagreement(&mut clients);
+        let before = disagreement(&mut fleet);
         let mut algo = FedMd::new(public.clone()).with_local_epochs(1);
         for r in 0..4 {
-            algo.round(r, &mut clients, &[0, 1, 2], &net, &hp);
+            algo.round(r, &mut fleet, &[0, 1, 2], &net, &hp);
         }
-        let after = disagreement(&mut clients);
+        let after = disagreement(&mut fleet);
         assert!(
             after <= before + 0.05,
             "consensus distillation increased disagreement: {before} → {after}"

@@ -2,10 +2,10 @@
 //! prototypes instead of weights; local training adds a regularizer
 //! pulling features toward the global prototypes.
 
-use super::{for_sampled_parallel, Algorithm};
-use crate::client::Client;
+use super::Algorithm;
 use crate::comm::{Network, WireMessage};
 use crate::config::HyperParams;
+use crate::fleet::Fleet;
 use fca_tensor::Tensor;
 use fca_trace::PhaseId;
 
@@ -43,7 +43,7 @@ impl Algorithm for FedProto {
     fn round(
         &mut self,
         _round: usize,
-        clients: &mut [Client],
+        fleet: &mut Fleet,
         sampled: &[usize],
         net: &Network,
         hp: &HyperParams,
@@ -57,7 +57,7 @@ impl Algorithm for FedProto {
         fca_trace::phase(PhaseId::Broadcast, span);
         let lambda = self.lambda;
         let span = fca_trace::clock();
-        for_sampled_parallel(clients, sampled, |c| {
+        fleet.for_sampled_parallel(sampled, |c| {
             let Some(WireMessage::Prototypes(protos)) = net.client_recv(c.id) else {
                 return; // offline this round
             };
@@ -93,7 +93,7 @@ impl Algorithm for FedProto {
             if protos.len() != self.num_classes {
                 continue;
             }
-            let w = clients[*k].weight;
+            let w = fleet.weight(*k);
             for (c, p) in protos.iter().enumerate() {
                 if let Some(p) = p {
                     if p.numel() != self.feature_dim {
@@ -122,11 +122,11 @@ mod tests {
 
     #[test]
     fn prototypes_populate_after_one_round() {
-        let (mut clients, net) = tiny_fleet(3, 731);
+        let (mut fleet, net) = tiny_fleet(3, 731);
         let hp = HyperParams::micro_default();
         let mut algo = FedProto::new(8, 3, 1.0);
         assert!(algo.prototypes().iter().all(|p| p.is_none()));
-        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1, 2], &net, &hp);
         // The tiny fleet's shards jointly cover all 3 classes.
         assert!(
             algo.prototypes().iter().filter(|p| p.is_some()).count() >= 2,
@@ -136,10 +136,10 @@ mod tests {
 
     #[test]
     fn prototype_traffic_scales_with_classes_not_model() {
-        let (mut clients, net) = tiny_fleet(2, 732);
+        let (mut fleet, net) = tiny_fleet(2, 732);
         let hp = HyperParams::micro_default();
         let mut algo = FedProto::new(8, 3, 1.0);
-        algo.round(0, &mut clients, &[0, 1], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1], &net, &hp);
         // ≤ 3 prototypes × 8 floats each way per client, plus headers.
         let per_client = net.stats().total_bytes() / 2;
         assert!(per_client < 2048, "per-client traffic {per_client} B");
@@ -147,20 +147,20 @@ mod tests {
 
     #[test]
     fn unseen_class_keeps_previous_prototype() {
-        let (mut clients, net) = tiny_fleet(2, 733);
+        let (mut fleet, net) = tiny_fleet(2, 733);
         let hp = HyperParams::micro_default();
         let mut algo = FedProto::new(8, 3, 1.0);
         // Seed class 2 with a sentinel prototype, then restrict every
         // client to classes {0, 1} so nobody reports class 2.
         let sentinel = Tensor::full([8], 9.0);
         algo.global_protos[2] = Some(sentinel.clone());
-        for c in clients.iter_mut() {
+        for c in fleet.clients_mut() {
             let keep: Vec<usize> = (0..c.train_data.len())
                 .filter(|&i| c.train_data.labels[i] < 2)
                 .collect();
             c.train_data = c.train_data.subset(&keep);
         }
-        algo.round(0, &mut clients, &[0, 1], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1], &net, &hp);
         assert_eq!(algo.prototypes()[2], Some(sentinel));
     }
 }

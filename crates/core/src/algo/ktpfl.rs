@@ -9,10 +9,10 @@
 //! maintains a personalized global *model* per client, linearly combined
 //! through `c`, and ships weights instead of soft predictions.
 
-use super::{for_sampled_parallel, Algorithm};
-use crate::client::Client;
+use super::Algorithm;
 use crate::comm::{Network, WireMessage};
 use crate::config::HyperParams;
+use crate::fleet::Fleet;
 use fca_tensor::ops::softmax_rows;
 use fca_tensor::Tensor;
 use fca_trace::PhaseId;
@@ -152,7 +152,7 @@ impl Algorithm for KtPfl {
     fn round(
         &mut self,
         _round: usize,
-        clients: &mut [Client],
+        fleet: &mut Fleet,
         sampled: &[usize],
         net: &Network,
         hp: &HyperParams,
@@ -169,7 +169,7 @@ impl Algorithm for KtPfl {
         let temp = self.temperature;
         let local_epochs = self.local_epochs;
         let span = fca_trace::clock();
-        for_sampled_parallel(clients, sampled, |c| {
+        fleet.for_sampled_parallel(sampled, |c| {
             let Some(WireMessage::PublicData(public)) = net.client_recv(c.id) else {
                 return; // offline this round
             };
@@ -211,7 +211,7 @@ impl Algorithm for KtPfl {
         let (steps, batch) = (self.distill_steps, self.distill_batch);
         let public = self.public.clone();
         let span = fca_trace::clock();
-        for_sampled_parallel(clients, sampled, |c| {
+        fleet.for_sampled_parallel(sampled, |c| {
             let Some(WireMessage::SoftTargets(t)) = net.client_recv(c.id) else {
                 return;
             };
@@ -325,7 +325,7 @@ impl Algorithm for KtPflWeight {
     fn round(
         &mut self,
         _round: usize,
-        clients: &mut [Client],
+        fleet: &mut Fleet,
         sampled: &[usize],
         net: &Network,
         hp: &HyperParams,
@@ -343,7 +343,7 @@ impl Algorithm for KtPflWeight {
         fca_trace::phase(PhaseId::Broadcast, span);
         let local_epochs = self.local_epochs;
         let span = fca_trace::clock();
-        for_sampled_parallel(clients, sampled, |c| {
+        fleet.for_sampled_parallel(sampled, |c| {
             if !net.client_online(c.id) {
                 return; // offline this round
             }
@@ -391,31 +391,31 @@ mod tests {
 
     #[test]
     fn round_runs_and_counts_public_broadcast() {
-        let (mut clients, net) = tiny_fleet(3, 742);
+        let (mut fleet, net) = tiny_fleet(3, 742);
         let public = tiny_public_data(12, 743);
         let public_bytes = WireMessage::PublicData(public.clone()).encoded_len() as u64;
         let hp = HyperParams::micro_default();
         let mut algo = KtPfl::new(public, 3).with_local_epochs(1);
-        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1, 2], &net, &hp);
         // Downlink ≥ 3 public broadcasts (plus small soft targets).
         assert!(net.stats().downlink_bytes() >= 3 * public_bytes);
     }
 
     #[test]
     fn coefficient_update_shifts_theta() {
-        let (mut clients, net) = tiny_fleet(3, 744);
+        let (mut fleet, net) = tiny_fleet(3, 744);
         let public = tiny_public_data(12, 745);
         let hp = HyperParams::micro_default();
         let mut algo = KtPfl::new(public, 3).with_local_epochs(1);
         let theta0 = algo.theta.clone();
-        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1, 2], &net, &hp);
         assert_ne!(algo.theta, theta0, "coefficient matrix never updated");
     }
 
     #[test]
     fn round_tolerates_dropped_clients() {
         use crate::comm::{Fate, FaultPlan, Network};
-        let (mut clients, _) = tiny_fleet(3, 748);
+        let (mut fleet, _) = tiny_fleet(3, 748);
         let public = tiny_public_data(12, 749);
         let hp = HyperParams::micro_default();
         let mut algo = KtPfl::new(public, 3).with_local_epochs(1);
@@ -429,7 +429,7 @@ mod tests {
         let mut net = Network::new(3).with_fault_plan(plan);
         net.begin_round(round, &[0, 1, 2]);
         let theta0 = algo.theta.clone();
-        algo.round(round, &mut clients, &[0, 1, 2], &net, &hp);
+        algo.round(round, &mut fleet, &[0, 1, 2], &net, &hp);
         // The dropped client's coefficient row is untouched; survivors'
         // rows moved.
         for col in 0..3 {
@@ -445,16 +445,16 @@ mod tests {
 
     #[test]
     fn weight_variant_first_round_uses_own_weights() {
-        let (mut clients, net) = tiny_fleet_homogeneous(2, 746);
+        let (mut fleet, net) = tiny_fleet_homogeneous(2, 746);
         let hp = HyperParams::micro_default();
         let mut algo = KtPflWeight::new(2);
-        algo.round(0, &mut clients, &[0, 1], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1], &net, &hp);
         // No broadcast on round 0 (nothing known), but uploads happen.
         assert!(algo.states.iter().all(|s| s.is_some()));
         assert!(net.stats().uplink_bytes() > 0);
         let up_after_r0 = net.stats().downlink_bytes();
         assert_eq!(up_after_r0, 0, "round 0 should not broadcast");
-        algo.round(1, &mut clients, &[0, 1], &net, &hp);
+        algo.round(1, &mut fleet, &[0, 1], &net, &hp);
         assert!(
             net.stats().downlink_bytes() > 0,
             "round 1 must broadcast mixtures"
@@ -463,10 +463,10 @@ mod tests {
 
     #[test]
     fn weight_variant_coefficients_row_stochastic_after_refresh() {
-        let (mut clients, net) = tiny_fleet_homogeneous(3, 747);
+        let (mut fleet, net) = tiny_fleet_homogeneous(3, 747);
         let hp = HyperParams::micro_default();
         let mut algo = KtPflWeight::new(3);
-        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1, 2], &net, &hp);
         let c = softmax_rows(&algo.theta);
         for r in 0..3 {
             let s: f32 = c.row(r).iter().sum();

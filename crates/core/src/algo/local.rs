@@ -1,9 +1,9 @@
 //! The paper's baseline: purely local training, no communication.
 
-use super::{for_sampled_parallel, Algorithm};
-use crate::client::Client;
+use super::Algorithm;
 use crate::comm::Network;
 use crate::config::HyperParams;
+use crate::fleet::Fleet;
 use fca_trace::PhaseId;
 
 /// Local-only training — the "Baseline (local training)" rows of Tables
@@ -27,13 +27,13 @@ impl Algorithm for LocalOnly {
     fn round(
         &mut self,
         _round: usize,
-        clients: &mut [Client],
+        fleet: &mut Fleet,
         sampled: &[usize],
         _net: &Network,
         hp: &HyperParams,
     ) {
         let span = fca_trace::clock();
-        for_sampled_parallel(clients, sampled, |c| {
+        fleet.for_sampled_parallel(sampled, |c| {
             c.local_update_supervised(hp.local_epochs, hp);
         });
         fca_trace::phase(PhaseId::LocalTrain, span);
@@ -47,25 +47,25 @@ mod tests {
 
     #[test]
     fn local_only_sends_no_bytes() {
-        let (mut clients, net) = tiny_fleet(3, 701);
+        let (mut fleet, net) = tiny_fleet(3, 701);
         let hp = HyperParams::micro_default();
         let mut algo = LocalOnly::new();
-        algo.round(0, &mut clients, &[0, 1, 2], &net, &hp);
+        algo.round(0, &mut fleet, &[0, 1, 2], &net, &hp);
         assert_eq!(net.stats().total_bytes(), 0);
     }
 
     #[test]
     fn only_sampled_clients_train() {
-        let (mut clients, net) = tiny_fleet(2, 702);
+        let (mut fleet, net) = tiny_fleet(2, 702);
         let hp = HyperParams::micro_default().with_lr(0.05);
-        let before: Vec<f32> = clients
-            .iter_mut()
+        let before: Vec<f32> = fleet
+            .clients_mut()
             .map(|c| c.model.params_mut()[0].value.sum())
             .collect();
         let mut algo = LocalOnly::new();
-        algo.round(0, &mut clients, &[0], &net, &hp);
-        let after: Vec<f32> = clients
-            .iter_mut()
+        algo.round(0, &mut fleet, &[0], &net, &hp);
+        let after: Vec<f32> = fleet
+            .clients_mut()
             .map(|c| c.model.params_mut()[0].value.sum())
             .collect();
         assert_ne!(before[0], after[0], "sampled client 0 did not train");

@@ -18,9 +18,9 @@ pub use fedproto::FedProto;
 pub use ktpfl::{KtPfl, KtPflWeight};
 pub use local::LocalOnly;
 
-use crate::client::Client;
 use crate::comm::{Network, WireMessage};
 use crate::config::HyperParams;
+use crate::fleet::Fleet;
 use fca_tensor::Tensor;
 
 /// A federated-learning algorithm: server state + one synchronous round.
@@ -48,7 +48,7 @@ pub trait Algorithm: Send {
     fn round(
         &mut self,
         round: usize,
-        clients: &mut [Client],
+        fleet: &mut Fleet,
         sampled: &[usize],
         net: &Network,
         hp: &HyperParams,
@@ -74,36 +74,11 @@ pub(crate) fn full_model_states(replies: &[(usize, WireMessage)]) -> Vec<(usize,
 
 /// Normalized aggregation weights `|D_k| / Σ|D_j|` over a set of client
 /// ids — callers pass the round's *survivors*, so after faults the
-/// weights renormalize to sum to 1 over whoever actually replied.
-pub(crate) fn normalized_weights(clients: &[Client], sampled: &[usize]) -> Vec<f32> {
-    let total: f32 = sampled.iter().map(|&k| clients[k].weight).sum();
+/// weights renormalize to sum to 1 over whoever actually replied. Reads
+/// only the fleet's always-resident meta records, so it never hydrates a
+/// paged-out client.
+pub(crate) fn normalized_weights(fleet: &Fleet, sampled: &[usize]) -> Vec<f32> {
+    let total: f32 = sampled.iter().map(|&k| fleet.weight(k)).sum();
     assert!(total > 0.0, "sampled clients have zero total weight");
-    sampled.iter().map(|&k| clients[k].weight / total).collect()
-}
-
-/// Run `f` on every sampled client in parallel (rayon), leaving the rest
-/// untouched. `f` must communicate results through the network.
-///
-/// `sampled` must be sorted and distinct ([`crate::sim::sample_clients`]
-/// guarantees this); the walk below carves disjoint `&mut` references out
-/// of the slice so rayon only ever sees the sampled clients — no scan over
-/// the full fleet, no hash set.
-pub(crate) fn for_sampled_parallel<F>(clients: &mut [Client], sampled: &[usize], f: F)
-where
-    F: Fn(&mut Client) + Sync,
-{
-    use rayon::prelude::*;
-    let mut picked: Vec<&mut Client> = Vec::with_capacity(sampled.len());
-    let mut rest = clients;
-    let mut offset = 0usize;
-    for &k in sampled {
-        assert!(k >= offset, "sampled indices must be sorted and distinct");
-        let tail = rest.split_at_mut(k - offset).1;
-        // fca-lint: allow(P1, reason = "guards a caller contract (sample_clients yields sorted, distinct, in-range ids), not wire input; violating it is a simulator bug worth crashing on")
-        let (c, tail) = tail.split_first_mut().expect("sampled index out of range");
-        picked.push(c);
-        rest = tail;
-        offset = k + 1;
-    }
-    picked.into_par_iter().for_each(|c| f(c));
+    sampled.iter().map(|&k| fleet.weight(k) / total).collect()
 }

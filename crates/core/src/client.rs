@@ -2,16 +2,17 @@
 //! the local-update primitives the algorithms compose.
 
 use crate::config::{HyperParams, OptKind};
+use bytes::{Buf, BufMut, Bytes, BytesMut};
 use fca_data::augment::AugmentConfig;
 use fca_data::Dataset;
 use fca_models::classifier::ClassifierWeights;
 use fca_models::ClientModel;
 use fca_nn::loss::{accuracy, cross_entropy, prototype_loss, supervised_contrastive};
-use fca_nn::optim::{Adam, Optimizer, Sgd};
+use fca_nn::optim::{Adam, OptState, Optimizer, Sgd};
 use fca_nn::Module as _;
-use fca_tensor::rng::derived_rng;
+use fca_tensor::rng::{derive_seed, SnapRng};
+use fca_tensor::serialize::{decode_tensor, encode_tensor};
 use fca_tensor::{Tensor, Workspace, WorkspaceStats};
-use rand::rngs::StdRng;
 
 /// Diagnostics from one local update.
 #[derive(Clone, Copy, Debug, Default)]
@@ -36,6 +37,9 @@ pub struct LocalObjective {
     pub rho: f32,
 }
 
+/// Layout version of [`Client::snapshot_blob`]; bump on any change.
+const SNAPSHOT_VERSION: u8 = 1;
+
 /// One federated client.
 pub struct Client {
     /// Client id (stable across rounds).
@@ -51,7 +55,7 @@ pub struct Client {
     /// Aggregation weight `|D_k| / |D|`.
     pub weight: f32,
     optimizer: Box<dyn Optimizer>,
-    rng: StdRng,
+    rng: SnapRng,
     /// Scratch shared by every forward/backward this client runs. Batch
     /// shapes repeat across epochs, so the pool converges after the first
     /// epoch and steady-state training allocates nothing.
@@ -92,12 +96,113 @@ impl Client {
             augment,
             weight,
             optimizer,
-            rng: derived_rng(seed, 0xC0FFEE + id as u64),
+            rng: SnapRng::seed_from(derive_seed(seed, 0xC0FFEE + id as u64)),
             workspace: Workspace::new(),
             batch_idx: Vec::new(),
             batch_images: Vec::new(),
             batch_labels: Vec::new(),
         }
+    }
+
+    /// Serialize every mutable piece of this client's training state into
+    /// a compact blob: optimizer trajectory (learning rate, step count,
+    /// momentum/moment tensors), the client's private RNG position, the
+    /// model's layer-owned RNG positions (dropout), and the full model
+    /// state (params + buffers). Rebuilding a pristine twin from the same
+    /// seeds and calling [`Client::restore_snapshot`] with this blob
+    /// yields a client whose future trajectory is bit-identical to one
+    /// that was never serialized — the paging determinism contract
+    /// (DESIGN.md §7.6).
+    ///
+    /// The blob deliberately excludes the data shards, augmentation
+    /// config, and workspace: shards are immutable and derivable from the
+    /// fleet's partition, and workspace contents never influence numerics
+    /// (every slot is fully overwritten before use).
+    pub fn snapshot_blob(&mut self) -> Vec<u8> {
+        let mut buf = BytesMut::new();
+        buf.put_u8(SNAPSHOT_VERSION);
+        let opt = self.optimizer.state();
+        buf.put_f32_le(opt.lr);
+        buf.put_u64_le(opt.step);
+        buf.put_u32_le(opt.slots.len() as u32);
+        for t in &opt.slots {
+            encode_tensor(t, &mut buf);
+        }
+        for word in self.rng.state() {
+            buf.put_u64_le(word);
+        }
+        let model_rngs: Vec<[u64; 4]> = self
+            .model
+            .rng_slots()
+            .into_iter()
+            .map(|r| r.state())
+            .collect();
+        buf.put_u32_le(model_rngs.len() as u32);
+        for s in model_rngs {
+            for word in s {
+                buf.put_u64_le(word);
+            }
+        }
+        let state = self.model.full_state();
+        buf.put_u32_le(state.len() as u32);
+        for t in &state {
+            encode_tensor(t, &mut buf);
+        }
+        buf.to_vec()
+    }
+
+    /// Restore a [`Client::snapshot_blob`] onto a pristine twin built from
+    /// the same seeds and architecture. Panics on a corrupt or
+    /// structurally mismatched blob — snapshots never cross a trust
+    /// boundary, so corruption here is a program bug, not a peer fault.
+    pub fn restore_snapshot(&mut self, blob: &[u8]) {
+        let mut buf = Bytes::copy_from_slice(blob);
+        assert!(buf.remaining() > 13, "snapshot blob truncated");
+        let version = buf.get_u8();
+        assert_eq!(version, SNAPSHOT_VERSION, "unknown snapshot version");
+        let lr = buf.get_f32_le();
+        let step = buf.get_u64_le();
+        let n_slots = buf.get_u32_le() as usize;
+        let mut slots = Vec::with_capacity(n_slots);
+        for _ in 0..n_slots {
+            slots.push(decode_tensor(&mut buf).expect("corrupt optimizer slot in snapshot"));
+        }
+        self.optimizer.load_state(OptState { lr, step, slots });
+        let mut words = [0u64; 4];
+        for w in &mut words {
+            *w = buf.get_u64_le();
+        }
+        self.rng = SnapRng::from_state(words);
+        let n_rngs = buf.get_u32_le() as usize;
+        let mut positions = Vec::with_capacity(n_rngs);
+        for _ in 0..n_rngs {
+            let mut s = [0u64; 4];
+            for w in &mut s {
+                *w = buf.get_u64_le();
+            }
+            positions.push(s);
+        }
+        let mut rng_slots = self.model.rng_slots();
+        assert_eq!(
+            rng_slots.len(),
+            n_rngs,
+            "snapshot was taken from a different architecture (rng slot count)"
+        );
+        for (slot, s) in rng_slots.iter_mut().zip(positions) {
+            **slot = SnapRng::from_state(s);
+        }
+        let n_state = buf.get_u32_le() as usize;
+        let mut state = Vec::with_capacity(n_state);
+        for _ in 0..n_state {
+            state.push(decode_tensor(&mut buf).expect("corrupt model tensor in snapshot"));
+        }
+        self.model.load_full_state(&state);
+        assert!(!buf.has_remaining(), "trailing bytes in snapshot blob");
+    }
+
+    /// Swap this client's scratch workspace (pool checkout on hydrate).
+    pub(crate) fn swap_workspace(&mut self, ws: Workspace) -> Workspace {
+        std::mem::replace(&mut self.workspace, ws)
     }
 
     /// Adjust the local optimizer's learning rate (LR schedules are
@@ -647,6 +752,104 @@ mod tests {
             stats.allocations, 0,
             "steady-state contrastive epoch allocated: {stats:?}"
         );
+    }
+
+    /// Client with a dropout-bearing backbone (MicroAlexNet) so snapshot
+    /// tests exercise model-owned RNG positions, not just the client rng.
+    fn dropout_client(seed: u64, hp: &HyperParams) -> Client {
+        let d = tiny_dataset(3, 48, 24, seed);
+        let model = build_model(ModelArch::MicroAlexNet, (1, 12, 12), 8, 3, seed);
+        Client::new(
+            0,
+            model,
+            d.train,
+            d.test,
+            AugmentConfig::mnist_like(),
+            1.0,
+            hp,
+            seed,
+        )
+    }
+
+    /// Mid-training snapshot → restore onto a pristine twin → both
+    /// trajectories (losses with contrastive-augmentation RNG draws,
+    /// dropout masks, optimizer moments, final accuracy and weights) must
+    /// be bit-identical.
+    fn assert_snapshot_fidelity(hp: &HyperParams) {
+        let mut a = dropout_client(612, hp);
+        for _ in 0..2 {
+            a.local_update_supervised(1, hp);
+        }
+        let blob = a.snapshot_blob();
+        let mut b = dropout_client(612, hp);
+        b.restore_snapshot(&blob);
+        let obj = LocalObjective {
+            contrastive: true,
+            rho: 0.0,
+        };
+        for step in 0..3 {
+            let sa = a.local_update_fedclassavg(None, hp, obj);
+            let sb = b.local_update_fedclassavg(None, hp, obj);
+            assert_eq!(
+                sa.ce_loss.to_bits(),
+                sb.ce_loss.to_bits(),
+                "CE loss diverged at step {step}"
+            );
+            assert_eq!(
+                sa.cl_loss.to_bits(),
+                sb.cl_loss.to_bits(),
+                "contrastive loss diverged at step {step}"
+            );
+        }
+        assert_eq!(
+            a.evaluate().to_bits(),
+            b.evaluate().to_bits(),
+            "accuracy diverged after restore"
+        );
+        assert_eq!(
+            a.model.full_state(),
+            b.model.full_state(),
+            "model weights diverged after restore"
+        );
+        // The RNG positions themselves must also have converged.
+        assert_eq!(a.rng.state(), b.rng.state());
+    }
+
+    #[test]
+    fn snapshot_restores_bit_identical_trajectory_adam() {
+        assert_snapshot_fidelity(&HyperParams::micro_default());
+    }
+
+    #[test]
+    fn snapshot_restores_bit_identical_trajectory_sgd_momentum() {
+        let mut hp = HyperParams::micro_default().with_lr(5e-3);
+        hp.optimizer = OptKind::Sgd {
+            momentum: 0.9,
+            weight_decay: 1e-4,
+        };
+        assert_snapshot_fidelity(&hp);
+    }
+
+    #[test]
+    fn snapshot_carries_scheduled_learning_rate() {
+        let hp = HyperParams::micro_default();
+        let mut a = dropout_client(613, &hp);
+        a.local_update_supervised(1, &hp);
+        a.set_learning_rate(7e-4);
+        let blob = a.snapshot_blob();
+        let mut b = dropout_client(613, &hp);
+        b.restore_snapshot(&blob);
+        assert_eq!(b.learning_rate(), 7e-4);
+    }
+
+    #[test]
+    #[should_panic(expected = "different architecture")]
+    fn snapshot_rejects_architecture_mismatch() {
+        let hp = HyperParams::micro_default();
+        let mut a = dropout_client(614, &hp);
+        let blob = a.snapshot_blob();
+        let mut b = tiny_client(614); // CnnFedAvg: no dropout rng slots
+        b.restore_snapshot(&blob);
     }
 
     #[test]

@@ -892,7 +892,11 @@ mod tests {
     #[test]
     fn corrupt_uplink_is_discarded_and_counted() {
         let mut net = Network::new(3).with_fault_plan(all_fate_plan(Fate::Corrupt));
-        net.begin_round(1, &[1]); // only client 1 is faulted this round
+        net.begin_round(1, &[0, 1, 2]);
+        // Heal everyone but client 1 so exactly one uplink corrupts; the
+        // delivery count (3) is unchanged, corrupt uplinks still arrive.
+        net.fates[0] = Fate::Healthy;
+        net.fates[2] = Fate::Healthy;
         let msg = WireMessage::Classifier(ClassifierWeights::zeros(4, 2));
         net.send_to_server(0, &msg).expect("send");
         net.send_to_server(1, &msg).expect("send");

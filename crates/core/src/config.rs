@@ -127,6 +127,13 @@ pub struct FedConfig {
     /// existed).
     #[serde(default)]
     pub faults: FaultPlan,
+    /// Number of clients evaluated per accuracy point, drawn as a seeded
+    /// deterministic subsample of the fleet; `0` (the default, and the
+    /// meaning of the field's absence in older configs) evaluates every
+    /// client. At cross-device scale a full sweep would hydrate the whole
+    /// fleet, so scale runs set this to a few hundred.
+    #[serde(default)]
+    pub eval_sample: usize,
 }
 
 impl FedConfig {
@@ -141,6 +148,7 @@ impl FedConfig {
             seed,
             hp,
             faults: FaultPlan::none(),
+            eval_sample: 0,
         };
         cfg.validate();
         cfg
@@ -157,9 +165,16 @@ impl FedConfig {
             seed,
             hp,
             faults: FaultPlan::none(),
+            eval_sample: 0,
         };
         cfg.validate();
         cfg
+    }
+
+    /// Builder-style eval-subsample override (`0` = evaluate every client).
+    pub fn with_eval_sample(mut self, eval_sample: usize) -> Self {
+        self.eval_sample = eval_sample;
+        self
     }
 
     /// Builder-style fault-plan override.
@@ -253,6 +268,22 @@ mod tests {
         let cfg: FedConfig = serde_json::from_str(json).expect("deserialize");
         assert!(cfg.faults.is_none());
         cfg.validate();
+    }
+
+    #[test]
+    fn config_without_eval_sample_field_deserializes_as_full_sweep() {
+        // Configs serialized before eval subsampling existed must load and
+        // keep their old meaning (evaluate every client).
+        let json = r#"{"num_clients":4,"sample_rate":1.0,"rounds":2,
+                       "feature_dim":8,"eval_every":1,"seed":7,
+                       "hp":{"lr":0.002,"batch_size":32,"rho":0.1,
+                             "local_epochs":1,"temperature":0.5,
+                             "optimizer":"Adam"}}"#;
+        let cfg: FedConfig = serde_json::from_str(json).expect("deserialize");
+        assert_eq!(cfg.eval_sample, 0);
+        let subsampled = cfg.with_eval_sample(128);
+        assert_eq!(subsampled.eval_sample, 128);
+        subsampled.validate();
     }
 
     #[test]

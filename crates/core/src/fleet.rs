@@ -1,0 +1,600 @@
+//! Virtualized client fleets: the [`Fleet`] owns every client in a
+//! federation, but only a bounded number of them exist as materialized
+//! [`Client`] values at any moment. The rest live as compact snapshot
+//! blobs ([`Client::snapshot_blob`]) plus per-client [`ClientMeta`]
+//! records, and are *paged in* (rebuilt from the fleet's seeds, restored
+//! from their blob, handed a pooled [`Workspace`]) only for the rounds
+//! that sample them. This is what lets a 100k-client cross-device
+//! simulation run on one box: memory scales with the residency cap and
+//! the dataset, not with the fleet.
+//!
+//! ## Determinism contract (the refactor oracle)
+//!
+//! A paged fleet is **bit-identical** to a fully resident fleet at the
+//! same seed. Three properties make that hold, and the equivalence tests
+//! in `tests/fleet_equivalence.rs` pin each one:
+//!
+//! 1. Every mutable piece of client state rides in the snapshot blob —
+//!    optimizer trajectory, the client's private RNG position, and the
+//!    model's layer-owned RNG positions (dropout) included.
+//! 2. Hydration rebuilds the pristine client through the *same* seed
+//!    derivations as eager construction (`0xBEEF + id` for model init,
+//!    `0xF00D + id` for the client stream), so a `Cold(None)` slot and a
+//!    never-paged client start from the same bits.
+//! 3. Workspace contents never influence numerics (every slot is fully
+//!    overwritten before use), so handing a recycled pool workspace to a
+//!    hydrated client is invisible to training.
+//!
+//! Pool *occupancy* (resident count, high-water mark) depends on worker
+//! scheduling and is only bounded — never asserted exact — while paging
+//! *counts* (page-ins, page-outs, bytes) are deterministic per run shape.
+
+use crate::client::Client;
+use crate::config::HyperParams;
+use fca_data::augment::AugmentConfig;
+use fca_data::partition::ClientSplit;
+use fca_data::Dataset;
+use fca_models::{build_model, ModelArch};
+use fca_tensor::rng::derive_seed;
+use fca_tensor::{PoolStats, Workspace, WorkspacePool, WorkspaceStats};
+use rayon::prelude::*;
+use std::sync::atomic::{AtomicU64, Ordering};
+
+/// The always-resident descriptor of one client: everything the server
+/// needs between rounds without materializing the model.
+///
+/// `weight` changes must go through [`Fleet::set_weight`] so the live
+/// client (when one exists) and this record stay in sync.
+#[derive(Clone, Debug)]
+pub struct ClientMeta {
+    /// Client id (stable across rounds; equals the slot index for fleets
+    /// built by the partitioner).
+    pub id: usize,
+    /// The client's model architecture.
+    pub arch: ModelArch,
+    /// Aggregation weight `|D_k| / |D|`.
+    pub weight: f32,
+    /// Training indices into the fleet's parent train set.
+    pub train_indices: Vec<usize>,
+    /// Test indices into the fleet's parent test set.
+    pub test_indices: Vec<usize>,
+}
+
+/// Paging counters accumulated over a fleet's lifetime.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PagingStats {
+    /// Cold clients materialized (training hydrations and evaluation
+    /// hydrations both count).
+    pub page_ins: u64,
+    /// Snapshot blobs written back after training. Evaluation pages in
+    /// without paging out — it mutates nothing, so the original blob
+    /// stays valid and no bytes are written.
+    pub page_outs: u64,
+    /// Total snapshot bytes written by page-outs.
+    pub page_bytes: u64,
+}
+
+/// One client's storage: materialized, or paged out to a blob.
+enum Slot {
+    /// Fully materialized client.
+    Live(Box<Client>),
+    /// Paged out. `None` means pristine — the client has never trained,
+    /// so hydration rebuilds it from seeds alone with nothing to restore.
+    Cold(Option<Vec<u8>>),
+}
+
+/// Everything needed to rebuild a pristine client from its meta record:
+/// the parent datasets, the shared hyperparameters, and the fleet seed
+/// the per-client streams derive from.
+pub(crate) struct Hydrator {
+    train: Dataset,
+    test: Dataset,
+    augment: AugmentConfig,
+    feature_dim: usize,
+    hp: HyperParams,
+    seed: u64,
+}
+
+impl Hydrator {
+    /// Build the pristine client for `meta` — bit-identical to what eager
+    /// fleet construction produces for the same id and seed.
+    fn build_pristine(&self, meta: &ClientMeta) -> Client {
+        let (c, h, w) = self.train.image_shape();
+        let model = build_model(
+            meta.arch,
+            (c, h, w),
+            self.feature_dim,
+            self.train.num_classes,
+            derive_seed(self.seed, 0xBEEF + meta.id as u64),
+        );
+        Client::new(
+            meta.id,
+            model,
+            self.train.subset(&meta.train_indices),
+            self.test.subset(&meta.test_indices),
+            self.augment,
+            meta.weight,
+            &self.hp,
+            derive_seed(self.seed, 0xF00D + meta.id as u64),
+        )
+    }
+}
+
+/// A federation's client fleet with bounded residency. See module docs.
+pub struct Fleet {
+    metas: Vec<ClientMeta>,
+    slots: Vec<Slot>,
+    /// `None` for fleets built directly from client values — those can
+    /// never page, so every slot stays `Live` forever.
+    hydrator: Option<Hydrator>,
+    /// Upper bound on clients materialized at once by the scheduler.
+    max_resident: usize,
+    pool: WorkspacePool,
+    page_ins: AtomicU64,
+    page_outs: AtomicU64,
+    page_bytes: AtomicU64,
+}
+
+impl Fleet {
+    /// A fully resident fleet wrapping pre-built clients. Used by test
+    /// fixtures and experiments that construct [`Client`]s by hand; such
+    /// a fleet never pages.
+    pub fn from_clients(clients: Vec<Client>) -> Fleet {
+        let metas = clients
+            .iter()
+            .map(|c| ClientMeta {
+                id: c.id,
+                arch: c.model.arch,
+                weight: c.weight,
+                train_indices: Vec::new(),
+                test_indices: Vec::new(),
+            })
+            .collect();
+        let max_resident = clients.len().max(1);
+        Fleet {
+            metas,
+            slots: clients
+                .into_iter()
+                .map(|c| Slot::Live(Box::new(c)))
+                .collect(),
+            hydrator: None,
+            max_resident,
+            pool: WorkspacePool::new(),
+            page_ins: AtomicU64::new(0),
+            page_outs: AtomicU64::new(0),
+            page_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Build a fleet over partitioner splits.
+    ///
+    /// `max_resident = None` materializes every client eagerly (the
+    /// classic cross-silo shape); `Some(r)` starts every client cold and
+    /// caps the scheduler at `r` materialized clients per wave.
+    pub(crate) fn from_splits(
+        train: &Dataset,
+        test: &Dataset,
+        splits: &[ClientSplit],
+        feature_dim: usize,
+        hp: HyperParams,
+        seed: u64,
+        max_resident: Option<usize>,
+        arch_of: &dyn Fn(usize) -> ModelArch,
+    ) -> Fleet {
+        let (c, h, w) = train.image_shape();
+        let total: usize = splits.iter().map(|s| s.train_indices.len()).sum();
+        let metas: Vec<ClientMeta> = splits
+            .iter()
+            .map(|split| ClientMeta {
+                id: split.client_id,
+                arch: arch_of(split.client_id),
+                weight: split.train_indices.len() as f32 / total.max(1) as f32,
+                train_indices: split.train_indices.clone(),
+                test_indices: split.test_indices.clone(),
+            })
+            .collect();
+        let hydrator = Hydrator {
+            train: train.clone(),
+            test: test.clone(),
+            augment: AugmentConfig::for_image(c, h, w),
+            feature_dim,
+            hp,
+            seed,
+        };
+        let slots = match max_resident {
+            None => metas
+                .iter()
+                .map(|m| Slot::Live(Box::new(hydrator.build_pristine(m))))
+                .collect(),
+            Some(_) => metas.iter().map(|_| Slot::Cold(None)).collect(),
+        };
+        let cap = max_resident.unwrap_or(metas.len()).max(1);
+        Fleet {
+            metas,
+            slots,
+            hydrator: Some(hydrator),
+            max_resident: cap,
+            pool: WorkspacePool::new(),
+            page_ins: AtomicU64::new(0),
+            page_outs: AtomicU64::new(0),
+            page_bytes: AtomicU64::new(0),
+        }
+    }
+
+    /// Number of clients in the federation (resident or not).
+    pub fn len(&self) -> usize {
+        self.slots.len()
+    }
+
+    /// True when the fleet has no clients.
+    pub fn is_empty(&self) -> bool {
+        self.slots.is_empty()
+    }
+
+    /// Residency cap the scheduler honors per wave.
+    pub fn max_resident(&self) -> usize {
+        self.max_resident
+    }
+
+    /// Per-client descriptor records.
+    pub fn metas(&self) -> &[ClientMeta] {
+        &self.metas
+    }
+
+    /// Descriptor of client `k`.
+    pub fn meta(&self, k: usize) -> &ClientMeta {
+        &self.metas[k]
+    }
+
+    /// Aggregation weight of client `k` (no materialization).
+    pub fn weight(&self, k: usize) -> f32 {
+        match &self.slots[k] {
+            Slot::Live(c) => c.weight,
+            Slot::Cold(_) => self.metas[k].weight,
+        }
+    }
+
+    /// Set client `k`'s aggregation weight, keeping the meta record and
+    /// the live client (if materialized) in sync.
+    pub fn set_weight(&mut self, k: usize, weight: f32) {
+        self.metas[k].weight = weight;
+        if let Slot::Live(c) = &mut self.slots[k] {
+            c.weight = weight;
+        }
+    }
+
+    /// True when client `k` is currently materialized.
+    pub fn is_live(&self, k: usize) -> bool {
+        matches!(self.slots[k], Slot::Live(_))
+    }
+
+    /// Mutable access to a materialized client. Panics on a cold slot —
+    /// use [`Fleet::with_client`] when the fleet may be paged.
+    pub fn client_mut(&mut self, k: usize) -> &mut Client {
+        match &mut self.slots[k] {
+            Slot::Live(c) => c,
+            Slot::Cold(_) => panic!("client {k} is paged out; use with_client"),
+        }
+    }
+
+    /// Iterate the currently materialized clients (all of them for a
+    /// resident fleet; at most the residency cap for a paged one).
+    pub fn clients(&self) -> impl Iterator<Item = &Client> {
+        self.slots.iter().filter_map(|s| match s {
+            Slot::Live(c) => Some(&**c),
+            Slot::Cold(_) => None,
+        })
+    }
+
+    /// Mutable twin of [`Fleet::clients`].
+    pub fn clients_mut(&mut self) -> impl Iterator<Item = &mut Client> {
+        self.slots.iter_mut().filter_map(|s| match s {
+            Slot::Live(c) => Some(&mut **c),
+            Slot::Cold(_) => None,
+        })
+    }
+
+    /// Run `f` on client `k`, paging it in (and back out afterwards, since
+    /// `f` may mutate it) when the slot is cold.
+    pub fn with_client<R>(&mut self, k: usize, f: impl FnOnce(&mut Client) -> R) -> R {
+        match &mut self.slots[k] {
+            Slot::Live(c) => f(c),
+            Slot::Cold(blob) => {
+                let h = self
+                    .hydrator
+                    .as_ref()
+                    .expect("cold slot in a fleet without a hydrator");
+                let mut c = hydrate(h, &self.metas[k], blob.as_deref(), &self.pool);
+                self.page_ins.fetch_add(1, Ordering::Relaxed);
+                let out = f(&mut c);
+                *blob = Some(dehydrate(&mut c, &self.pool, &self.page_bytes));
+                self.page_outs.fetch_add(1, Ordering::Relaxed);
+                out
+            }
+        }
+    }
+
+    /// Run `f` on every sampled client in parallel, leaving the rest
+    /// untouched. `f` must communicate results through the network.
+    ///
+    /// `sampled` must be sorted and distinct
+    /// ([`crate::sim::sample_clients`] guarantees this); the walk carves
+    /// disjoint `&mut` slot references so rayon only ever sees the
+    /// sampled clients — no scan over the full fleet, no hash set. Paged
+    /// fleets process the sample in *waves* of at most `max_resident`
+    /// clients; within a wave each worker hydrates its client, trains it,
+    /// and pages it back out, so at most `max_resident` models exist at
+    /// once. Per-client work is independent within a round, so the wave
+    /// boundaries are invisible to the numerics.
+    pub fn for_sampled_parallel<F>(&mut self, sampled: &[usize], f: F)
+    where
+        F: Fn(&mut Client) + Sync,
+    {
+        let wave = if self.hydrator.is_some() {
+            self.max_resident.max(1)
+        } else {
+            sampled.len().max(1)
+        };
+        for chunk in sampled.chunks(wave) {
+            let picked = carve(&mut self.slots, chunk);
+            let hydrator = self.hydrator.as_ref();
+            let metas = &self.metas;
+            let pool = &self.pool;
+            let page_ins = &self.page_ins;
+            let page_outs = &self.page_outs;
+            let page_bytes = &self.page_bytes;
+            picked
+                .into_par_iter()
+                .zip(chunk.par_iter())
+                .for_each(|(slot, &k)| match slot {
+                    Slot::Live(c) => f(c),
+                    Slot::Cold(blob) => {
+                        let h = hydrator.expect("cold slot in a fleet without a hydrator");
+                        let mut c = hydrate(h, &metas[k], blob.as_deref(), pool);
+                        page_ins.fetch_add(1, Ordering::Relaxed);
+                        f(&mut c);
+                        *blob = Some(dehydrate(&mut c, pool, page_bytes));
+                        page_outs.fetch_add(1, Ordering::Relaxed);
+                    }
+                });
+        }
+    }
+
+    /// Evaluate the given clients' local test accuracies, in `ids` order.
+    ///
+    /// Evaluation mutates no client state, so cold clients hydrate
+    /// against their existing blob, evaluate, and are dropped — the blob
+    /// stays as-is and nothing pages out. `ids` must be sorted and
+    /// distinct, like a round's sample.
+    pub fn evaluate_ids(&mut self, ids: &[usize]) -> Vec<f32> {
+        let wave = if self.hydrator.is_some() {
+            self.max_resident.max(1)
+        } else {
+            ids.len().max(1)
+        };
+        let mut accs = Vec::with_capacity(ids.len());
+        for chunk in ids.chunks(wave) {
+            let picked = carve(&mut self.slots, chunk);
+            let hydrator = self.hydrator.as_ref();
+            let metas = &self.metas;
+            let pool = &self.pool;
+            let page_ins = &self.page_ins;
+            let wave_accs: Vec<f32> = picked
+                .into_par_iter()
+                .zip(chunk.par_iter())
+                .map(|(slot, &k)| match slot {
+                    Slot::Live(c) => c.evaluate(),
+                    Slot::Cold(blob) => {
+                        let h = hydrator.expect("cold slot in a fleet without a hydrator");
+                        let mut c = hydrate(h, &metas[k], blob.as_deref(), pool);
+                        page_ins.fetch_add(1, Ordering::Relaxed);
+                        let acc = c.evaluate();
+                        pool.checkin(c.swap_workspace(Workspace::new()));
+                        acc
+                    }
+                })
+                .collect();
+            accs.extend(wave_accs);
+        }
+        accs
+    }
+
+    /// Workspace-pool counters (checkouts, created, resident, high-water).
+    pub fn pool_stats(&self) -> PoolStats {
+        self.pool.stats()
+    }
+
+    /// Paging counters accumulated so far.
+    pub fn paging_stats(&self) -> PagingStats {
+        PagingStats {
+            page_ins: self.page_ins.load(Ordering::Relaxed),
+            page_outs: self.page_outs.load(Ordering::Relaxed),
+            page_bytes: self.page_bytes.load(Ordering::Relaxed),
+        }
+    }
+
+    /// Fold the *materialized* clients' workspace counters into one
+    /// fleet-level point: `(live clients, allocations, reuses, max peak)`.
+    /// O(resident) for a paged fleet — cold clients carry no workspace,
+    /// their scratch lives in the pool.
+    pub fn live_workspace_point(&self) -> (u64, WorkspaceStats) {
+        let mut folded = WorkspaceStats::default();
+        let mut live = 0u64;
+        for c in self.clients() {
+            let s = c.workspace_stats();
+            folded.allocations += s.allocations;
+            folded.reuses += s.reuses;
+            folded.peak_bytes = folded.peak_bytes.max(s.peak_bytes);
+            live += 1;
+        }
+        (live, folded)
+    }
+}
+
+/// Carve disjoint `&mut Slot` references for a sorted, distinct id chunk.
+fn carve<'a>(slots: &'a mut [Slot], ids: &[usize]) -> Vec<&'a mut Slot> {
+    let mut picked: Vec<&mut Slot> = Vec::with_capacity(ids.len());
+    let mut rest = slots;
+    let mut offset = 0usize;
+    for &k in ids {
+        assert!(k >= offset, "sampled indices must be sorted and distinct");
+        let tail = rest.split_at_mut(k - offset).1;
+        let (s, tail) = tail.split_first_mut().expect("sampled index out of range");
+        picked.push(s);
+        rest = tail;
+        offset = k + 1;
+    }
+    picked
+}
+
+/// Materialize one client: rebuild the pristine twin from seeds, restore
+/// its snapshot (if it has trained before), and swap in a pooled
+/// workspace in place of the empty one `Client::new` made.
+fn hydrate(
+    h: &Hydrator,
+    meta: &ClientMeta,
+    blob: Option<&[u8]>,
+    pool: &WorkspacePool,
+) -> Box<Client> {
+    let mut c = Box::new(h.build_pristine(meta));
+    if let Some(blob) = blob {
+        c.restore_snapshot(blob);
+    }
+    drop(c.swap_workspace(pool.checkout()));
+    c
+}
+
+/// Page one client out: serialize its mutable state and return its
+/// workspace to the pool. The client is dropped by the caller.
+fn dehydrate(c: &mut Client, pool: &WorkspacePool, page_bytes: &AtomicU64) -> Vec<u8> {
+    let blob = c.snapshot_blob();
+    page_bytes.fetch_add(blob.len() as u64, Ordering::Relaxed);
+    pool.checkin(c.swap_workspace(Workspace::new()));
+    blob
+}
+
+#[cfg(test)]
+mod tests {
+    use super::*;
+    use crate::config::FedConfig;
+    use fca_data::partition::Partitioner;
+    use fca_data::synth::tiny_dataset;
+
+    fn small_fleet(max_resident: Option<usize>, seed: u64) -> Fleet {
+        let data = tiny_dataset(3, 96, 48, seed);
+        let cfg = FedConfig::paper_20_clients(HyperParams::micro_default(), 1, seed);
+        let splits = Partitioner::Dirichlet { alpha: 0.5 }.split(&data.train, &data.test, 4, seed);
+        Fleet::from_splits(
+            &data.train,
+            &data.test,
+            &splits,
+            8,
+            cfg.hp,
+            seed,
+            max_resident,
+            &ModelArch::heterogeneous_rotation,
+        )
+    }
+
+    #[test]
+    fn paged_training_matches_resident_bit_for_bit() {
+        let hp = HyperParams::micro_default();
+        let mut resident = small_fleet(None, 951);
+        let mut paged = small_fleet(Some(2), 951);
+        let sampled = [0usize, 1, 2, 3];
+        for _round in 0..2 {
+            resident.for_sampled_parallel(&sampled, |c| {
+                c.local_update_supervised(1, &hp);
+            });
+            paged.for_sampled_parallel(&sampled, |c| {
+                c.local_update_supervised(1, &hp);
+            });
+        }
+        for k in sampled {
+            let a = resident.with_client(k, |c| c.model.full_state());
+            let b = paged.with_client(k, |c| c.model.full_state());
+            assert_eq!(a.len(), b.len());
+            for (ta, tb) in a.iter().zip(&b) {
+                let bits_a: Vec<u32> = ta.data().iter().map(|x| x.to_bits()).collect();
+                let bits_b: Vec<u32> = tb.data().iter().map(|x| x.to_bits()).collect();
+                assert_eq!(bits_a, bits_b, "client {k} diverged under paging");
+            }
+        }
+        assert_eq!(
+            resident.evaluate_ids(&sampled),
+            paged.evaluate_ids(&sampled),
+            "evaluation diverged under paging"
+        );
+    }
+
+    #[test]
+    fn residency_stays_under_the_cap() {
+        let hp = HyperParams::micro_default();
+        let mut paged = small_fleet(Some(2), 952);
+        let sampled = [0usize, 1, 2, 3];
+        paged.for_sampled_parallel(&sampled, |c| {
+            c.local_update_supervised(1, &hp);
+        });
+        let _ = paged.evaluate_ids(&sampled);
+        let stats = paged.pool_stats();
+        assert!(
+            stats.high_water <= 2,
+            "pool high-water {} exceeded the residency cap",
+            stats.high_water
+        );
+        let paging = paged.paging_stats();
+        assert_eq!(paging.page_ins, 8, "4 training + 4 evaluation hydrations");
+        assert_eq!(paging.page_outs, 4, "only training pages out");
+        assert!(paging.page_bytes > 0);
+    }
+
+    #[test]
+    fn evaluation_does_not_rewrite_blobs() {
+        let hp = HyperParams::micro_default();
+        let mut paged = small_fleet(Some(1), 953);
+        let sampled = [0usize, 1];
+        paged.for_sampled_parallel(&sampled, |c| {
+            c.local_update_supervised(1, &hp);
+        });
+        let before = paged.evaluate_ids(&sampled);
+        let after = paged.evaluate_ids(&sampled);
+        assert_eq!(before, after, "repeated evaluation must be a pure read");
+        assert_eq!(paged.paging_stats().page_outs, 2);
+    }
+
+    #[test]
+    fn set_weight_syncs_meta_and_live_client() {
+        let mut fleet = small_fleet(None, 954);
+        fleet.set_weight(1, 0.75);
+        assert_eq!(fleet.weight(1), 0.75);
+        assert_eq!(fleet.meta(1).weight, 0.75);
+        assert_eq!(fleet.client_mut(1).weight, 0.75);
+    }
+
+    #[test]
+    #[should_panic(expected = "paged out")]
+    fn client_mut_panics_on_cold_slot() {
+        let mut fleet = small_fleet(Some(2), 955);
+        let _ = fleet.client_mut(0);
+    }
+
+    #[test]
+    fn from_clients_fleet_never_pages() {
+        let data = tiny_dataset(3, 48, 24, 956);
+        let cfg = FedConfig::paper_20_clients(HyperParams::micro_default(), 1, 956);
+        let splits = Partitioner::Dirichlet { alpha: 0.5 }.split(&data.train, &data.test, 2, 956);
+        let resident = Fleet::from_splits(
+            &data.train,
+            &data.test,
+            &splits,
+            8,
+            cfg.hp,
+            956,
+            None,
+            &|_| ModelArch::CnnFedAvg,
+        );
+        assert_eq!(resident.clients().count(), 2);
+        assert!(resident.is_live(0) && resident.is_live(1));
+        assert_eq!(resident.paging_stats(), PagingStats::default());
+    }
+}

@@ -12,6 +12,8 @@
 //! * [`comm`] — wire messages, per-round byte accounting (Table 5), and
 //!   deterministic fault injection (dropout / stragglers / corruption).
 //! * [`client`] — a federated client: local dataset + model + trainer.
+//! * [`fleet`] — the virtualized client fleet: bounded residency, cold
+//!   clients paged out as snapshot blobs, a shared workspace pool.
 //! * [`algo`] — one module per algorithm, all driven by the same
 //!   synchronous-round [`sim`] engine.
 //! * [`sim`] — the round loop: client sampling, parallel local training
@@ -23,8 +25,10 @@ pub mod algo;
 pub mod client;
 pub mod comm;
 pub mod config;
+pub mod fleet;
 pub mod sim;
 
 pub use comm::{Collected, Fate, FaultPlan, Network};
 pub use config::{FedConfig, HyperParams};
+pub use fleet::{ClientMeta, Fleet, PagingStats};
 pub use sim::{RoundMetrics, RunResult};

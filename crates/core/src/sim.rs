@@ -1,18 +1,16 @@
-//! The synchronous-round simulation engine: client fleet construction,
-//! client sampling, the round loop, and learning-curve collection.
+//! The synchronous-round simulation engine: fleet construction, client
+//! sampling, the round loop, and learning-curve collection.
 
 use crate::algo::Algorithm;
-use crate::client::Client;
 use crate::comm::Network;
 use crate::config::FedConfig;
-use fca_data::augment::AugmentConfig;
-use fca_data::partition::{ClientSplit, Partitioner};
+use crate::fleet::Fleet;
+use fca_data::partition::Partitioner;
 use fca_data::synth::SynthDataset;
-use fca_models::{build_model, ClientModel, ModelArch};
-use fca_tensor::rng::{derive_seed, derived_rng};
+use fca_models::ModelArch;
+use fca_tensor::rng::derived_rng;
 use fca_trace::{PhaseId, RoundRecord};
 use rand::seq::SliceRandom;
-use rayon::prelude::*;
 
 /// One evaluation point on the learning curve.
 #[derive(Clone, Copy, Debug, Default, PartialEq)]
@@ -39,7 +37,8 @@ pub struct RunResult {
     pub algo: String,
     /// Learning curve (one point per evaluation).
     pub curve: Vec<RoundMetrics>,
-    /// Final per-client accuracies.
+    /// Final per-client accuracies — one entry per evaluated client
+    /// (the whole fleet unless `FedConfig::eval_sample` subsamples).
     pub per_client_acc: Vec<f32>,
     /// Final mean accuracy (the paper's table entries).
     pub final_mean: f32,
@@ -78,60 +77,53 @@ pub fn mean_std(xs: &[f32]) -> (f32, f32) {
     (mean, var.sqrt())
 }
 
-/// Build a client fleet over a synthetic dataset.
+/// Build a fully resident fleet over a synthetic dataset — every client
+/// materialized up front, the classic cross-silo shape.
 ///
 /// `arch_of(client_id)` selects each client's architecture — pass
 /// [`ModelArch::heterogeneous_rotation`] for the paper's four-family
 /// rotation or a constant for homogeneous fleets.
-pub fn build_clients(
+pub fn build_fleet(
     data: &SynthDataset,
     partitioner: Partitioner,
     cfg: &FedConfig,
     arch_of: &dyn Fn(usize) -> ModelArch,
-) -> Vec<Client> {
+) -> Fleet {
     let splits = partitioner.split(&data.train, &data.test, cfg.num_clients, cfg.seed);
-    build_clients_from_splits(data, &splits, cfg, arch_of)
+    Fleet::from_splits(
+        &data.train,
+        &data.test,
+        &splits,
+        cfg.feature_dim,
+        cfg.hp,
+        cfg.seed,
+        None,
+        arch_of,
+    )
 }
 
-/// Build a fleet from precomputed splits (exposed for experiments that
-/// need the splits too, e.g. the Figure 2–3 histograms).
-pub fn build_clients_from_splits(
+/// Build a *paged* fleet: every client starts cold (no model built), and
+/// at most `max_resident` clients are materialized at any moment during
+/// training. Bit-identical to [`build_fleet`] at the same seed — the
+/// residency cap changes memory, never numerics.
+pub fn build_fleet_paged(
     data: &SynthDataset,
-    splits: &[ClientSplit],
+    partitioner: Partitioner,
     cfg: &FedConfig,
+    max_resident: usize,
     arch_of: &dyn Fn(usize) -> ModelArch,
-) -> Vec<Client> {
-    let (c, h, w) = data.train.image_shape();
-    let augment = AugmentConfig::for_image(c, h, w);
-    let total: usize = splits.iter().map(|s| s.train_indices.len()).sum();
-    splits
-        .iter()
-        .map(|split| {
-            let arch = arch_of(split.client_id);
-            let model: ClientModel = build_model(
-                arch,
-                (c, h, w),
-                cfg.feature_dim,
-                data.train.num_classes,
-                derive_seed(cfg.seed, 0xBEEF + split.client_id as u64),
-            );
-            Client::new(
-                split.client_id,
-                model,
-                data.train.subset(&split.train_indices),
-                data.test.subset(&split.test_indices),
-                augment,
-                split.train_indices.len() as f32 / total.max(1) as f32,
-                &cfg.hp,
-                derive_seed(cfg.seed, 0xF00D + split.client_id as u64),
-            )
-        })
-        .collect()
-}
-
-/// Evaluate every client's local test accuracy (parallel).
-pub fn evaluate_all(clients: &mut [Client]) -> Vec<f32> {
-    clients.par_iter_mut().map(|c| c.evaluate()).collect()
+) -> Fleet {
+    let splits = partitioner.split(&data.train, &data.test, cfg.num_clients, cfg.seed);
+    Fleet::from_splits(
+        &data.train,
+        &data.test,
+        &splits,
+        cfg.feature_dim,
+        cfg.hp,
+        cfg.seed,
+        Some(max_resident.max(1)),
+        arch_of,
+    )
 }
 
 /// Sample `m` distinct clients for a round, deterministically per
@@ -151,40 +143,62 @@ pub fn sample_clients(num_clients: usize, m: usize, seed: u64, round: usize) -> 
     ids
 }
 
-/// Fold the fleet's per-client workspace counters into one fleet-wide
-/// trace event: hand-out counts are summed, the high-water mark is the
-/// max across clients (each client owns an independent arena).
-fn emit_workspace_point(round: u64, clients: &[Client]) {
+/// The client ids evaluated at a curve point: the whole fleet when
+/// `cfg.eval_sample` is 0 (or covers everyone), otherwise a sorted
+/// subsample drawn deterministically per `(seed, round)` — so a paged
+/// 100k-client run hydrates a few hundred clients per point, not the
+/// fleet.
+pub fn eval_ids(cfg: &FedConfig, num_clients: usize, round: usize) -> Vec<usize> {
+    if cfg.eval_sample == 0 || cfg.eval_sample >= num_clients {
+        return (0..num_clients).collect();
+    }
+    let mut rng = derived_rng(cfg.seed, 0xE7A1_0000 + round as u64);
+    let mut ids: Vec<usize> = (0..num_clients).collect();
+    ids.shuffle(&mut rng);
+    ids.truncate(cfg.eval_sample);
+    ids.sort_unstable();
+    ids
+}
+
+/// Emit the fleet's allocator/paging counters as one trace point: a
+/// `Workspace` event folding the *materialized* clients' arena counters
+/// (O(resident), not O(fleet) — cold clients carry no workspace) and a
+/// `Pool` event with the shared pool's occupancy plus the fleet's paging
+/// totals.
+fn emit_workspace_point(round: u64, fleet: &Fleet) {
     if !fca_trace::is_active() {
         return;
     }
-    let mut allocations = 0u64;
-    let mut reuses = 0u64;
-    let mut peak_bytes = 0u64;
-    for client in clients.iter() {
-        let s = client.workspace_stats();
-        allocations += s.allocations;
-        reuses += s.reuses;
-        peak_bytes = peak_bytes.max(s.peak_bytes);
-    }
-    fca_trace::emit_workspace(round, clients.len() as u64, allocations, reuses, peak_bytes);
+    let (live, ws) = fleet.live_workspace_point();
+    fca_trace::emit_workspace(round, live, ws.allocations, ws.reuses, ws.peak_bytes);
+    let pool = fleet.pool_stats();
+    let paging = fleet.paging_stats();
+    fca_trace::emit_pool(
+        round,
+        pool.resident,
+        pool.high_water,
+        pool.checkouts,
+        paging.page_ins,
+        paging.page_outs,
+        paging.page_bytes,
+    );
 }
 
-/// Drive a full federated run: `cfg.rounds` rounds of `algo` over
-/// `clients`, evaluating every `cfg.eval_every` rounds.
+/// Drive a full federated run: `cfg.rounds` rounds of `algo` over the
+/// fleet, evaluating every `cfg.eval_every` rounds.
 ///
 /// Client failure is an outcome, not a crash: `cfg.faults` seeds the
 /// network's [`crate::comm::FaultPlan`], each round opens with
 /// [`Network::begin_round`] fixing the sampled clients' fates, algorithms
 /// aggregate whatever survives, and per-round drop/corruption counts land
 /// on the learning curve.
-pub fn run_federation(
-    clients: &mut [Client],
-    algo: &mut dyn Algorithm,
-    cfg: &FedConfig,
-) -> RunResult {
+///
+/// The fleet may be resident ([`build_fleet`]) or paged
+/// ([`build_fleet_paged`]); the run is bit-identical either way at the
+/// same seed.
+pub fn run_federation(fleet: &mut Fleet, algo: &mut dyn Algorithm, cfg: &FedConfig) -> RunResult {
     cfg.validate();
-    let mut net = Network::new(clients.len()).with_fault_plan(cfg.faults);
+    let mut net = Network::new(fleet.len()).with_fault_plan(cfg.faults);
     let mut curve = Vec::new();
     let mut epochs = 0usize;
     let (mut point_dropped, mut point_corrupt) = (0u64, 0u64);
@@ -192,7 +206,7 @@ pub fn run_federation(
 
     // Round 0 point: untrained average accuracy.
     let span = fca_trace::clock();
-    let accs = evaluate_all(clients);
+    let accs = fleet.evaluate_ids(&eval_ids(cfg, fleet.len(), 0));
     fca_trace::phase(PhaseId::Evaluate, span);
     let (m0, s0) = mean_std(&accs);
     curve.push(RoundMetrics {
@@ -203,7 +217,7 @@ pub fn run_federation(
         dropped: 0,
         corrupt: 0,
     });
-    emit_workspace_point(0, clients);
+    emit_workspace_point(0, fleet);
     fca_trace::flush_ops(0);
 
     for round in 1..=cfg.rounds {
@@ -212,9 +226,9 @@ pub fn run_federation(
         let round_span = fca_trace::clock();
         let (down0, up0) = (net.stats().downlink_bytes(), net.stats().uplink_bytes());
 
-        let sampled = sample_clients(clients.len(), cfg.clients_per_round(), cfg.seed, round);
+        let sampled = sample_clients(fleet.len(), cfg.clients_per_round(), cfg.seed, round);
         net.begin_round(round, &sampled);
-        algo.round(round, clients, &sampled, &net, &cfg.hp);
+        algo.round(round, fleet, &sampled, &net, &cfg.hp);
         epochs += algo.epochs_per_round(&cfg.hp);
 
         let (d, c) = net.take_round_faults();
@@ -225,7 +239,7 @@ pub fn run_federation(
 
         if round % cfg.eval_every.max(1) == 0 || round == cfg.rounds {
             let span = fca_trace::clock();
-            let accs = evaluate_all(clients);
+            let accs = fleet.evaluate_ids(&eval_ids(cfg, fleet.len(), round));
             fca_trace::phase(PhaseId::Evaluate, span);
             let (m, s) = mean_std(&accs);
             curve.push(RoundMetrics {
@@ -238,7 +252,7 @@ pub fn run_federation(
             });
             point_dropped = 0;
             point_corrupt = 0;
-            emit_workspace_point(round as u64, clients);
+            emit_workspace_point(round as u64, fleet);
         }
 
         fca_trace::flush_ops(round as u64);
@@ -254,8 +268,10 @@ pub fn run_federation(
         }
     }
 
+    // Final sweep — the round-`cfg.rounds` eval selection, so subsampled
+    // runs report the same clients the last curve point measured.
     let span = fca_trace::clock();
-    let per_client_acc = evaluate_all(clients);
+    let per_client_acc = fleet.evaluate_ids(&eval_ids(cfg, fleet.len(), cfg.rounds));
     fca_trace::phase(PhaseId::Evaluate, span);
     // The final fleet evaluation lands on the last round's op/phase rows
     // (the report aggregates additively per `(round, name)` key).
@@ -284,45 +300,41 @@ pub mod test_support {
 
     /// A tiny heterogeneous fleet (rotating micro-architectures) with a
     /// fresh network, 3 classes on 12×12 grayscale images.
-    pub fn tiny_fleet(n: usize, seed: u64) -> (Vec<Client>, Network) {
+    pub fn tiny_fleet(n: usize, seed: u64) -> (Fleet, Network) {
         tiny_fleet_hp(n, seed, HyperParams::micro_default())
     }
 
     /// [`tiny_fleet`] with explicit hyperparameters (the optimizer is built
     /// from them at client construction, so lr overrides must go here).
-    pub fn tiny_fleet_hp(n: usize, seed: u64, hp: HyperParams) -> (Vec<Client>, Network) {
+    pub fn tiny_fleet_hp(n: usize, seed: u64, hp: HyperParams) -> (Fleet, Network) {
         let data = tiny_dataset(3, 24 * n.max(2), 12 * n.max(2), seed);
         let mut cfg = FedConfig::paper_20_clients(hp, 1, seed);
         cfg.num_clients = n;
         cfg.feature_dim = 8;
-        let clients = build_clients(
+        let fleet = build_fleet(
             &data,
             Partitioner::Dirichlet { alpha: 0.5 },
             &cfg,
             &ModelArch::heterogeneous_rotation,
         );
-        (clients, Network::new(n))
+        (fleet, Network::new(n))
     }
 
     /// A tiny homogeneous fleet (all `CnnFedAvg`).
-    pub fn tiny_fleet_homogeneous(n: usize, seed: u64) -> (Vec<Client>, Network) {
+    pub fn tiny_fleet_homogeneous(n: usize, seed: u64) -> (Fleet, Network) {
         tiny_fleet_homogeneous_hp(n, seed, HyperParams::micro_default())
     }
 
     /// [`tiny_fleet_homogeneous`] with explicit hyperparameters.
-    pub fn tiny_fleet_homogeneous_hp(
-        n: usize,
-        seed: u64,
-        hp: HyperParams,
-    ) -> (Vec<Client>, Network) {
+    pub fn tiny_fleet_homogeneous_hp(n: usize, seed: u64, hp: HyperParams) -> (Fleet, Network) {
         let data = tiny_dataset(3, 24 * n.max(2), 12 * n.max(2), seed);
         let mut cfg = FedConfig::paper_20_clients(hp, 1, seed);
         cfg.num_clients = n;
         cfg.feature_dim = 8;
-        let clients = build_clients(&data, Partitioner::Dirichlet { alpha: 0.5 }, &cfg, &|_| {
+        let fleet = build_fleet(&data, Partitioner::Dirichlet { alpha: 0.5 }, &cfg, &|_| {
             ModelArch::CnnFedAvg
         });
-        (clients, Network::new(n))
+        (fleet, Network::new(n))
     }
 
     /// Public data for KT-pFL tests (12×12 grayscale).
@@ -377,17 +389,41 @@ mod tests {
     }
 
     #[test]
+    fn eval_ids_full_sweep_by_default() {
+        let cfg = small_cfg(800, 1);
+        assert_eq!(eval_ids(&cfg, 4, 0), vec![0, 1, 2, 3]);
+        // A sample covering the fleet degenerates to the full sweep too.
+        let cfg = cfg.with_eval_sample(9);
+        assert_eq!(eval_ids(&cfg, 4, 3), vec![0, 1, 2, 3]);
+    }
+
+    #[test]
+    fn eval_ids_subsample_is_seeded_sorted_and_round_varying() {
+        let cfg = small_cfg(806, 1).with_eval_sample(3);
+        let a = eval_ids(&cfg, 10, 2);
+        let b = eval_ids(&cfg, 10, 2);
+        assert_eq!(a, b, "eval subsample must be deterministic");
+        assert_eq!(a.len(), 3);
+        assert!(a.windows(2).all(|w| w[0] < w[1]));
+        let rounds: Vec<Vec<usize>> = (0..8).map(|r| eval_ids(&cfg, 10, r)).collect();
+        assert!(
+            rounds.windows(2).any(|w| w[0] != w[1]),
+            "eval subsample never varied across rounds"
+        );
+    }
+
+    #[test]
     fn run_federation_produces_curve_and_traffic() {
         let cfg = small_cfg(801, 3);
         let data = tiny_dataset(3, 96, 48, cfg.seed);
-        let mut clients = build_clients(
+        let mut fleet = build_fleet(
             &data,
             Partitioner::Dirichlet { alpha: 0.5 },
             &cfg,
             &ModelArch::heterogeneous_rotation,
         );
         let mut algo = FedClassAvg::new(cfg.feature_dim, 3, cfg.seed);
-        let result = run_federation(&mut clients, &mut algo, &cfg);
+        let result = run_federation(&mut fleet, &mut algo, &cfg);
         assert_eq!(result.curve.len(), 4); // round 0 + 3 evals
         assert_eq!(result.per_client_acc.len(), 4);
         assert!(result.downlink_bytes > 0);
@@ -403,14 +439,14 @@ mod tests {
     fn local_only_run_has_zero_traffic() {
         let cfg = small_cfg(802, 2);
         let data = tiny_dataset(3, 96, 48, cfg.seed);
-        let mut clients = build_clients(
+        let mut fleet = build_fleet(
             &data,
             Partitioner::Dirichlet { alpha: 0.5 },
             &cfg,
             &ModelArch::heterogeneous_rotation,
         );
         let mut algo = LocalOnly::new();
-        let result = run_federation(&mut clients, &mut algo, &cfg);
+        let result = run_federation(&mut fleet, &mut algo, &cfg);
         assert_eq!(result.downlink_bytes + result.uplink_bytes, 0);
     }
 
@@ -419,19 +455,64 @@ mod tests {
         let run = || {
             let cfg = small_cfg(803, 2);
             let data = tiny_dataset(3, 96, 48, cfg.seed);
-            let mut clients = build_clients(
+            let mut fleet = build_fleet(
                 &data,
                 Partitioner::Dirichlet { alpha: 0.5 },
                 &cfg,
                 &ModelArch::heterogeneous_rotation,
             );
             let mut algo = FedClassAvg::new(cfg.feature_dim, 3, cfg.seed);
-            run_federation(&mut clients, &mut algo, &cfg)
+            run_federation(&mut fleet, &mut algo, &cfg)
         };
         let a = run();
         let b = run();
         assert_eq!(a.per_client_acc, b.per_client_acc, "non-deterministic run");
         assert_eq!(a.downlink_bytes, b.downlink_bytes);
+    }
+
+    #[test]
+    fn paged_run_is_bit_identical_to_resident_run() {
+        let run = |max_resident: Option<usize>| {
+            let cfg = small_cfg(807, 2);
+            let data = tiny_dataset(3, 96, 48, cfg.seed);
+            let part = Partitioner::Dirichlet { alpha: 0.5 };
+            let mut fleet = match max_resident {
+                None => build_fleet(&data, part, &cfg, &ModelArch::heterogeneous_rotation),
+                Some(r) => {
+                    build_fleet_paged(&data, part, &cfg, r, &ModelArch::heterogeneous_rotation)
+                }
+            };
+            let mut algo = FedClassAvg::new(cfg.feature_dim, 3, cfg.seed);
+            run_federation(&mut fleet, &mut algo, &cfg)
+        };
+        let resident = run(None);
+        let paged = run(Some(2));
+        assert_eq!(
+            resident.per_client_acc, paged.per_client_acc,
+            "paging changed the numerics"
+        );
+        assert_eq!(resident.downlink_bytes, paged.downlink_bytes);
+        assert_eq!(resident.uplink_bytes, paged.uplink_bytes);
+        for (a, b) in resident.curve.iter().zip(&paged.curve) {
+            assert_eq!(a.mean_acc.to_bits(), b.mean_acc.to_bits());
+            assert_eq!(a.std_acc.to_bits(), b.std_acc.to_bits());
+        }
+    }
+
+    #[test]
+    fn eval_subsample_shrinks_the_final_sweep() {
+        let cfg = small_cfg(808, 2).with_eval_sample(2);
+        let data = tiny_dataset(3, 96, 48, cfg.seed);
+        let mut fleet = build_fleet(
+            &data,
+            Partitioner::Dirichlet { alpha: 0.5 },
+            &cfg,
+            &ModelArch::heterogeneous_rotation,
+        );
+        let mut algo = LocalOnly::new();
+        let result = run_federation(&mut fleet, &mut algo, &cfg);
+        assert_eq!(result.per_client_acc.len(), 2);
+        assert!(result.curve.iter().all(|p| !p.mean_acc.is_nan()));
     }
 
     #[test]
@@ -441,14 +522,14 @@ mod tests {
             let mut cfg = small_cfg(805, 4);
             cfg.faults = FaultPlan::new(55, 0.3, 0.1, 0.1);
             let data = tiny_dataset(3, 96, 48, cfg.seed);
-            let mut clients = build_clients(
+            let mut fleet = build_fleet(
                 &data,
                 Partitioner::Dirichlet { alpha: 0.5 },
                 &cfg,
                 &ModelArch::heterogeneous_rotation,
             );
             let mut algo = FedClassAvg::new(cfg.feature_dim, 3, cfg.seed);
-            run_federation(&mut clients, &mut algo, &cfg)
+            run_federation(&mut fleet, &mut algo, &cfg)
         };
         let a = run();
         assert_eq!(a.curve.len(), 5, "faults must not shorten the run");
@@ -476,13 +557,13 @@ mod tests {
     fn fleet_weights_sum_to_one() {
         let cfg = small_cfg(804, 1);
         let data = tiny_dataset(3, 96, 48, cfg.seed);
-        let clients = build_clients(
+        let fleet = build_fleet(
             &data,
             Partitioner::Dirichlet { alpha: 0.5 },
             &cfg,
             &ModelArch::heterogeneous_rotation,
         );
-        let total: f32 = clients.iter().map(|c| c.weight).sum();
+        let total: f32 = fleet.metas().iter().map(|m| m.weight).sum();
         assert!((total - 1.0).abs() < 1e-5);
     }
 }

@@ -5,6 +5,7 @@
 //! | rule | contract | scope |
 //! |------|----------|-------|
 //! | `D1` | determinism: no wall-clock / ambient RNG reads outside the observability and bench crates; no iteration-order-dependent containers in aggregation or wire code | workspace minus `crates/trace`, `crates/bench`, `tests/`; hash-container check on `fca-core` algo/comm/sim only |
+//! | `F1` | fleet virtualization: no dense-fleet iteration (`.clients()`/`.clients_mut()`) outside the pool module — a paged fleet keeps almost nothing resident, so O(fleet) walks must go through the paging-aware entry points | `crates/core/src/` minus `fleet.rs` |
 //! | `P1` | panic-freedom: the round loop and the wire encode/decode/collect paths must treat failure as an outcome, never a panic | `crates/core/src/comm.rs` + `crates/core/src/algo/` |
 //! | `U1` | unsafe hygiene: every `unsafe` is preceded by a `// SAFETY:` comment (or a `# Safety` doc section) stating its bounds argument | whole workspace |
 //! | `W1` | workspace discipline: `forward`/`backward` bodies allocate through the `Workspace`, never ad hoc | `crates/nn/src/` |
@@ -21,6 +22,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "D1",
         "determinism: no Instant::now/SystemTime::now/thread_rng outside crates/{trace,bench}; no HashMap/HashSet in fca-core aggregation or wire modules",
+    ),
+    (
+        "F1",
+        "fleet virtualization: no .clients()/.clients_mut() dense iteration in fca-core outside fleet.rs; use for_sampled_parallel/evaluate_ids/with_client",
     ),
     (
         "P1",
@@ -45,6 +50,7 @@ pub fn check_file(f: &FileLint) -> Vec<Finding> {
     let mut out = Vec::new();
     d1_time(f, &mut out);
     d1_hash(f, &mut out);
+    f1_dense_fleet(f, &mut out);
     p1_panics(f, &mut out);
     u1_unsafe(f, &mut out);
     w1_workspace(f, &mut out);
@@ -61,6 +67,10 @@ fn in_d1_hash_scope(path: &str) -> bool {
     path.starts_with("crates/core/src/algo/")
         || path == "crates/core/src/comm.rs"
         || path == "crates/core/src/sim.rs"
+}
+
+fn in_f1_scope(path: &str) -> bool {
+    path.starts_with("crates/core/src/") && path != "crates/core/src/fleet.rs"
 }
 
 fn in_p1_scope(path: &str) -> bool {
@@ -125,6 +135,44 @@ fn d1_hash(f: &FileLint, out: &mut Vec<Finding>) {
                     "{} in an aggregation/wire module: iteration order is randomized and \
                      can leak into results; use BTreeMap/BTreeSet or a sorted Vec",
                     tok.text
+                ),
+            ));
+        }
+    }
+}
+
+/// F1: the fleet is virtualized — only the clients a round samples are
+/// resident; the rest live as compact snapshot blobs. `.clients()` /
+/// `.clients_mut()` iterate *live* clients only, so production code that
+/// reaches for them either silently skips the cold majority or assumes a
+/// fully resident fleet. Both break at 100k clients; route through the
+/// paging-aware entry points (`for_sampled_parallel`, `evaluate_ids`,
+/// `with_client`) or the always-resident `metas()` instead.
+fn f1_dense_fleet(f: &FileLint, out: &mut Vec<Finding>) {
+    if !in_f1_scope(&f.path) {
+        return;
+    }
+    for ci in 0..f.code.len() {
+        let tok = f.code_tok(ci);
+        if f.in_test_code(tok.line) {
+            continue;
+        }
+        let call = if f.code_matches(ci, &[".", "clients", "("]) {
+            Some(".clients()")
+        } else if f.code_matches(ci, &[".", "clients_mut", "("]) {
+            Some(".clients_mut()")
+        } else {
+            None
+        };
+        if let Some(call) = call {
+            let anchor = f.code_tok(ci + 1);
+            out.push(f.finding(
+                "F1",
+                anchor,
+                format!(
+                    "{call} outside the pool module iterates only the live clients and \
+                     skips every paged-out one; use for_sampled_parallel/evaluate_ids/\
+                     with_client (or metas() for always-resident data)"
                 ),
             ));
         }
@@ -285,6 +333,26 @@ mod tests {
         assert_eq!(run("crates/core/src/algo/ktpfl.rs", src).len(), 1);
         assert_eq!(run("crates/core/src/comm.rs", src).len(), 1);
         assert!(run("crates/tensor/src/workspace.rs", src).is_empty());
+    }
+
+    #[test]
+    fn f1_flags_dense_fleet_iteration_only_in_core_outside_pool() {
+        let src = "fn f(fleet: &mut Fleet) { for c in fleet.clients_mut() { c.touch(); } }\n";
+        assert_eq!(run("crates/core/src/sim.rs", src).len(), 1);
+        assert_eq!(run("crates/core/src/algo/fedmd.rs", src).len(), 1);
+        assert!(run("crates/core/src/fleet.rs", src).is_empty());
+        assert!(run("crates/metrics/src/eval.rs", src).is_empty());
+        let read = "fn g(fleet: &Fleet) { let n = fleet.clients().count(); }\n";
+        assert_eq!(run("crates/core/src/client.rs", read).len(), 1);
+        // The sanctioned alternatives don't trip it.
+        let ok = "fn h(fleet: &mut Fleet) { let w: f32 = fleet.metas().iter().map(|m| m.weight).sum(); }\n";
+        assert!(run("crates/core/src/sim.rs", ok).is_empty());
+    }
+
+    #[test]
+    fn f1_exempts_test_modules() {
+        let src = "#[cfg(test)]\nmod tests {\n  fn t(fleet: &mut Fleet) { for c in fleet.clients_mut() {} }\n}\n";
+        assert!(run("crates/core/src/algo/fedproto.rs", src).is_empty());
     }
 
     #[test]

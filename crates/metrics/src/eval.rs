@@ -2,7 +2,7 @@
 //! extraction (for t-SNE and conductance) and learning-curve rendering.
 
 use fca_tensor::Tensor;
-use fedclassavg::client::Client;
+use fedclassavg::fleet::Fleet;
 use fedclassavg::sim::RoundMetrics;
 
 /// Features extracted from a client fleet on sampled test images.
@@ -17,25 +17,28 @@ pub struct FleetFeatures {
 
 /// Extract up to `per_client` test-image features from every client
 /// (eval-mode forward through each client's own extractor) — the input to
-/// the Figure 8 t-SNE.
-pub fn extract_fleet_features(clients: &mut [Client], per_client: usize) -> FleetFeatures {
+/// the Figure 8 t-SNE. Paged fleets hydrate one client at a time, so the
+/// extraction stays within the fleet's residency budget.
+pub fn extract_fleet_features(fleet: &mut Fleet, per_client: usize) -> FleetFeatures {
     use fca_nn::Module as _;
     use fca_tensor::Workspace;
     let mut ws = Workspace::new();
     let mut parts: Vec<Tensor> = Vec::new();
     let mut labels = Vec::new();
     let mut client_ids = Vec::new();
-    for c in clients.iter_mut() {
-        let n = c.test_data.len().min(per_client);
-        if n == 0 {
-            continue;
-        }
-        let idx: Vec<usize> = (0..n).collect();
-        let (x, y) = c.test_data.gather_batch(&idx);
-        let f = c.model.feature_extractor.forward(&x, false, &mut ws);
-        parts.push(f);
-        labels.extend(y);
-        client_ids.extend(std::iter::repeat(c.id).take(n));
+    for k in 0..fleet.len() {
+        fleet.with_client(k, |c| {
+            let n = c.test_data.len().min(per_client);
+            if n == 0 {
+                return;
+            }
+            let idx: Vec<usize> = (0..n).collect();
+            let (x, y) = c.test_data.gather_batch(&idx);
+            let f = c.model.feature_extractor.forward(&x, false, &mut ws);
+            parts.push(f);
+            labels.extend(y);
+            client_ids.extend(std::iter::repeat(c.id).take(n));
+        });
     }
     assert!(!parts.is_empty(), "no client produced features");
     let refs: Vec<&Tensor> = parts.iter().collect();
@@ -85,8 +88,8 @@ mod tests {
 
     #[test]
     fn fleet_features_have_expected_shape() {
-        let (mut clients, _net) = tiny_fleet(3, 921);
-        let ff = extract_fleet_features(&mut clients, 5);
+        let (mut fleet, _net) = tiny_fleet(3, 921);
+        let ff = extract_fleet_features(&mut fleet, 5);
         assert_eq!(ff.features.dims()[1], 8);
         assert_eq!(ff.features.dims()[0], ff.labels.len());
         assert_eq!(ff.labels.len(), ff.client_ids.len());

@@ -4,6 +4,7 @@
 use crate::classifier::{Classifier, ClassifierWeights};
 use fca_nn::module::{load_state_dict, state_dict, Module};
 use fca_nn::structure::Sequential;
+use fca_tensor::rng::SnapRng;
 use fca_tensor::{Tensor, Workspace};
 
 /// The architecture families of the zoo (paper §4.1).
@@ -155,6 +156,12 @@ impl ClientModel {
     /// Total trainable scalar count.
     pub fn param_count(&mut self) -> usize {
         self.params_mut().iter().map(|p| p.numel()).sum()
+    }
+
+    /// Model-owned random generators (dropout masks in the extractor), in
+    /// stable order — their positions travel in a client's paging blob.
+    pub fn rng_slots(&mut self) -> Vec<&mut SnapRng> {
+        self.feature_extractor.rng_slots()
     }
 
     /// Full state snapshot (params + buffers), for `+weight` averaging.

@@ -1,9 +1,8 @@
 //! Pointwise activations: ReLU and (inverted) dropout.
 
 use crate::module::{Module, Param};
-use fca_tensor::rng::seeded_rng;
+use fca_tensor::rng::SnapRng;
 use fca_tensor::{Tensor, Workspace};
-use rand::rngs::StdRng;
 use rand::Rng;
 
 /// Rectified linear unit.
@@ -57,10 +56,12 @@ impl Module for Relu {
 /// `p` and scales survivors by `1/(1-p)`; identity at eval time.
 ///
 /// The layer owns a seeded generator so training stays deterministic even
-/// when clients run on rayon worker threads.
+/// when clients run on rayon worker threads. The generator is a
+/// [`SnapRng`], so its position is exposed via [`Module::rng_slots`] and
+/// survives a page-out → page-in cycle of the owning client.
 pub struct Dropout {
     p: f32,
-    rng: StdRng,
+    rng: SnapRng,
     mask: Vec<f32>,
 }
 
@@ -73,7 +74,7 @@ impl Dropout {
         );
         Dropout {
             p,
-            rng: seeded_rng(seed),
+            rng: SnapRng::seed_from(seed),
             mask: Vec::new(),
         }
     }
@@ -118,6 +119,10 @@ impl Module for Dropout {
 
     fn params_mut(&mut self) -> Vec<&mut Param> {
         Vec::new()
+    }
+
+    fn rng_slots(&mut self) -> Vec<&mut SnapRng> {
+        vec![&mut self.rng]
     }
 }
 
@@ -177,5 +182,21 @@ mod tests {
     #[should_panic(expected = "probability")]
     fn dropout_rejects_p_one() {
         Dropout::new(1.0, 0);
+    }
+
+    #[test]
+    fn dropout_rng_position_roundtrips_through_rng_slots() {
+        let mut ws = Workspace::new();
+        let x = Tensor::ones([1, 64]);
+        let mut d = Dropout::new(0.5, 9);
+        for _ in 0..3 {
+            d.forward(&x, true, &mut ws);
+        }
+        let pos = d.rng_slots()[0].state();
+        let expected: Vec<f32> = d.forward(&x, true, &mut ws).data().to_vec();
+        let mut twin = Dropout::new(0.5, 9);
+        *twin.rng_slots()[0] = SnapRng::from_state(pos);
+        let got: Vec<f32> = twin.forward(&x, true, &mut ws).data().to_vec();
+        assert_eq!(expected, got, "restored dropout drew a different mask");
     }
 }

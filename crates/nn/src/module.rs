@@ -1,6 +1,7 @@
 //! The [`Module`] trait and [`Param`] type: the backprop contract every
 //! layer implements.
 
+use fca_tensor::rng::SnapRng;
 use fca_tensor::{Tensor, Workspace};
 
 /// A trainable parameter: a value tensor plus its accumulated gradient.
@@ -67,6 +68,15 @@ pub trait Module: Send {
 
     /// Non-trainable state tensors (running stats), in stable order.
     fn buffers_mut(&mut self) -> Vec<&mut Tensor> {
+        Vec::new()
+    }
+
+    /// Layer-owned random generators (dropout masks), in stable order.
+    ///
+    /// These are deliberately *not* buffers: buffers participate in
+    /// federated weight averaging, while RNG positions are snapshot state
+    /// that must travel bit-exactly when a client is paged out and back in.
+    fn rng_slots(&mut self) -> Vec<&mut SnapRng> {
         Vec::new()
     }
 

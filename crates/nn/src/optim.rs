@@ -6,6 +6,30 @@
 use crate::module::Param;
 use fca_tensor::Tensor;
 
+/// A complete, position-independent snapshot of an optimizer's mutable
+/// state, captured with [`Optimizer::state`] and re-applied with
+/// [`Optimizer::load_state`].
+///
+/// Hyperparameters (momentum, betas, eps) are *not* part of the snapshot —
+/// a restored optimizer is rebuilt from the same configuration and only
+/// its trajectory (learning rate, step count, moment tensors) travels.
+/// Restoring a snapshot must make the optimizer's future updates
+/// bit-identical to one that was never snapshotted; the paging layer's
+/// client blobs rely on it.
+#[derive(Clone, Debug, Default, PartialEq)]
+pub struct OptState {
+    /// Learning rate at snapshot time (schedules may have moved it off the
+    /// configured base).
+    pub lr: f32,
+    /// Update steps taken so far (drives Adam's bias correction; 0 for
+    /// optimizers without a step count).
+    pub step: u64,
+    /// Per-parameter state tensors in the implementation's own layout
+    /// (SGD: velocity; Adam: first moments then second moments). Empty
+    /// when the state was never lazily initialized.
+    pub slots: Vec<Tensor>,
+}
+
 /// A gradient-descent optimizer over a parameter list.
 pub trait Optimizer: Send {
     /// Apply one update step using each parameter's accumulated gradient.
@@ -16,6 +40,13 @@ pub trait Optimizer: Send {
 
     /// Change the learning rate (schedules).
     fn set_learning_rate(&mut self, lr: f32);
+
+    /// Snapshot the mutable state (see [`OptState`]).
+    fn state(&self) -> OptState;
+
+    /// Restore a snapshot taken from an identically configured optimizer
+    /// over the same parameter list.
+    fn load_state(&mut self, state: OptState);
 }
 
 /// Stochastic gradient descent with optional momentum and weight decay.
@@ -29,26 +60,42 @@ pub struct Sgd {
 impl Sgd {
     /// Plain SGD.
     pub fn new(lr: f32) -> Self {
-        Sgd { lr, momentum: 0.0, weight_decay: 0.0, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum: 0.0,
+            weight_decay: 0.0,
+            velocity: Vec::new(),
+        }
     }
 
     /// SGD with momentum and L2 weight decay.
     pub fn with_momentum(lr: f32, momentum: f32, weight_decay: f32) -> Self {
-        Sgd { lr, momentum, weight_decay, velocity: Vec::new() }
+        Sgd {
+            lr,
+            momentum,
+            weight_decay,
+            velocity: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Sgd {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.velocity.is_empty() && self.momentum > 0.0 {
-            self.velocity = params.iter().map(|p| Tensor::zeros(p.value.shape().clone())).collect();
+            self.velocity = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().clone()))
+                .collect();
         }
         for (i, p) in params.iter_mut().enumerate() {
             if self.momentum > 0.0 {
                 let v = &mut self.velocity[i];
                 assert_eq!(v.dims(), p.grad.dims(), "optimizer state shape drift");
-                for ((vi, &gi), &wi) in
-                    v.data_mut().iter_mut().zip(p.grad.data()).zip(p.value.data())
+                for ((vi, &gi), &wi) in v
+                    .data_mut()
+                    .iter_mut()
+                    .zip(p.grad.data())
+                    .zip(p.value.data())
                 {
                     *vi = self.momentum * *vi + gi + self.weight_decay * wi;
                 }
@@ -72,6 +119,21 @@ impl Optimizer for Sgd {
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
     }
+
+    fn state(&self) -> OptState {
+        OptState {
+            lr: self.lr,
+            step: 0,
+            slots: self.velocity.clone(),
+        }
+    }
+
+    fn load_state(&mut self, state: OptState) {
+        self.lr = state.lr;
+        // Empty slots are legitimate: momentum-free SGD never allocates
+        // velocity, and momentum SGD lazily allocates it on the first step.
+        self.velocity = state.slots;
+    }
 }
 
 /// Adam (Kingma & Ba), the optimizer the paper's hyperparameter table
@@ -89,15 +151,29 @@ pub struct Adam {
 impl Adam {
     /// Adam with the standard (0.9, 0.999, 1e-8) defaults.
     pub fn new(lr: f32) -> Self {
-        Adam { lr, beta1: 0.9, beta2: 0.999, eps: 1e-8, t: 0, m: Vec::new(), v: Vec::new() }
+        Adam {
+            lr,
+            beta1: 0.9,
+            beta2: 0.999,
+            eps: 1e-8,
+            t: 0,
+            m: Vec::new(),
+            v: Vec::new(),
+        }
     }
 }
 
 impl Optimizer for Adam {
     fn step(&mut self, params: &mut [&mut Param]) {
         if self.m.is_empty() {
-            self.m = params.iter().map(|p| Tensor::zeros(p.value.shape().clone())).collect();
-            self.v = params.iter().map(|p| Tensor::zeros(p.value.shape().clone())).collect();
+            self.m = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().clone()))
+                .collect();
+            self.v = params
+                .iter()
+                .map(|p| Tensor::zeros(p.value.shape().clone()))
+                .collect();
         }
         self.t += 1;
         let bc1 = 1.0 - self.beta1.powi(self.t as i32);
@@ -128,6 +204,31 @@ impl Optimizer for Adam {
 
     fn set_learning_rate(&mut self, lr: f32) {
         self.lr = lr;
+    }
+
+    fn state(&self) -> OptState {
+        let mut slots = Vec::with_capacity(self.m.len() + self.v.len());
+        slots.extend(self.m.iter().cloned());
+        slots.extend(self.v.iter().cloned());
+        OptState {
+            lr: self.lr,
+            step: self.t,
+            slots,
+        }
+    }
+
+    fn load_state(&mut self, state: OptState) {
+        assert!(
+            state.slots.len() % 2 == 0,
+            "Adam snapshot holds m followed by v; got an odd slot count {}",
+            state.slots.len()
+        );
+        self.lr = state.lr;
+        self.t = state.step;
+        let half = state.slots.len() / 2;
+        let mut slots = state.slots;
+        self.v = slots.split_off(half);
+        self.m = slots;
     }
 }
 
@@ -241,7 +342,10 @@ mod tests {
 
     #[test]
     fn step_schedule_decays_at_intervals() {
-        let s = Schedule::Step { every: 10, gamma: 0.5 };
+        let s = Schedule::Step {
+            every: 10,
+            gamma: 0.5,
+        };
         assert_eq!(s.rate_at(1.0, 0), 1.0);
         assert_eq!(s.rate_at(1.0, 9), 1.0);
         assert_eq!(s.rate_at(1.0, 10), 0.5);
@@ -250,7 +354,10 @@ mod tests {
 
     #[test]
     fn cosine_schedule_endpoints_and_monotonicity() {
-        let s = Schedule::Cosine { horizon: 100, min_lr: 0.01 };
+        let s = Schedule::Cosine {
+            horizon: 100,
+            min_lr: 0.01,
+        };
         assert!((s.rate_at(1.0, 0) - 1.0).abs() < 1e-6);
         assert!((s.rate_at(1.0, 100) - 0.01).abs() < 1e-6);
         assert!((s.rate_at(1.0, 500) - 0.01).abs() < 1e-6);
@@ -271,8 +378,86 @@ mod tests {
     #[test]
     fn schedule_applies_to_optimizer() {
         let mut opt = Sgd::new(1.0);
-        Schedule::Step { every: 1, gamma: 0.1 }.apply(&mut opt, 1.0, 2);
+        Schedule::Step {
+            every: 1,
+            gamma: 0.1,
+        }
+        .apply(&mut opt, 1.0, 2);
         assert!((opt.learning_rate() - 0.01).abs() < 1e-7);
+    }
+
+    /// Run `steps` quadratic-descent updates on `p` with `opt`.
+    fn descend(opt: &mut dyn Optimizer, p: &mut Param, steps: usize) {
+        for _ in 0..steps {
+            let x = p.value.at(0);
+            p.grad = Tensor::from_vec([1], vec![2.0 * x]);
+            opt.step(&mut [&mut *p]);
+        }
+    }
+
+    /// Snapshot `opt` mid-trajectory, load it into `twin`, and assert the
+    /// two continue bit-identically.
+    fn assert_snapshot_resumes(opt: &mut dyn Optimizer, twin: &mut dyn Optimizer) {
+        let mut p = quadratic_param(5.0);
+        descend(opt, &mut p, 17);
+        let mut q = Param::new("x", p.value.clone());
+        twin.load_state(opt.state());
+        descend(opt, &mut p, 23);
+        descend(twin, &mut q, 23);
+        assert_eq!(
+            p.value.at(0).to_bits(),
+            q.value.at(0).to_bits(),
+            "restored optimizer diverged from the never-snapshotted one"
+        );
+    }
+
+    #[test]
+    fn sgd_momentum_snapshot_resumes_bit_identically() {
+        let mut opt = Sgd::with_momentum(0.05, 0.9, 1e-4);
+        let mut twin = Sgd::with_momentum(0.05, 0.9, 1e-4);
+        assert_snapshot_resumes(&mut opt, &mut twin);
+    }
+
+    #[test]
+    fn adam_snapshot_resumes_bit_identically() {
+        let mut opt = Adam::new(0.3);
+        let mut twin = Adam::new(0.3);
+        assert_snapshot_resumes(&mut opt, &mut twin);
+    }
+
+    #[test]
+    fn snapshot_carries_scheduled_learning_rate() {
+        let mut opt = Adam::new(0.3);
+        opt.set_learning_rate(0.07);
+        let st = opt.state();
+        assert_eq!(st.lr, 0.07);
+        let mut twin = Adam::new(0.3);
+        twin.load_state(st);
+        assert_eq!(twin.learning_rate(), 0.07);
+    }
+
+    #[test]
+    fn plain_sgd_snapshot_is_empty_and_loads() {
+        let mut opt = Sgd::new(0.1);
+        let mut p = quadratic_param(1.0);
+        descend(&mut opt, &mut p, 3);
+        let st = opt.state();
+        assert!(st.slots.is_empty(), "plain SGD holds no state tensors");
+        assert_eq!(st.step, 0);
+        let mut twin = Sgd::new(0.1);
+        twin.load_state(st);
+        assert_eq!(twin.learning_rate(), 0.1);
+    }
+
+    #[test]
+    #[should_panic(expected = "odd slot count")]
+    fn adam_rejects_odd_slot_count() {
+        let mut opt = Adam::new(0.1);
+        opt.load_state(OptState {
+            lr: 0.1,
+            step: 1,
+            slots: vec![Tensor::zeros([1])],
+        });
     }
 
     #[test]

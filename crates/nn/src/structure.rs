@@ -3,6 +3,7 @@
 //! paper's four CNN families.
 
 use crate::module::{Module, Param};
+use fca_tensor::rng::SnapRng;
 use fca_tensor::{Tensor, Workspace};
 
 /// A chain of modules applied in order.
@@ -104,6 +105,10 @@ impl Module for Sequential {
             .flat_map(|l| l.buffers_mut())
             .collect()
     }
+
+    fn rng_slots(&mut self) -> Vec<&mut SnapRng> {
+        self.layers.iter_mut().flat_map(|l| l.rng_slots()).collect()
+    }
 }
 
 /// Residual block: `y = body(x) + shortcut(x)`.
@@ -190,6 +195,14 @@ impl Module for Residual {
             b.extend(s.buffers_mut());
         }
         b
+    }
+
+    fn rng_slots(&mut self) -> Vec<&mut SnapRng> {
+        let mut r = self.body.rng_slots();
+        if let Some(s) = &mut self.shortcut {
+            r.extend(s.rng_slots());
+        }
+        r
     }
 }
 
@@ -289,6 +302,13 @@ impl Module for InceptionBlock {
         self.branches
             .iter_mut()
             .flat_map(|b| b.buffers_mut())
+            .collect()
+    }
+
+    fn rng_slots(&mut self) -> Vec<&mut SnapRng> {
+        self.branches
+            .iter_mut()
+            .flat_map(|b| b.rng_slots())
             .collect()
     }
 }

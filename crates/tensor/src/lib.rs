@@ -34,7 +34,7 @@ pub mod workspace;
 
 pub use shape::Shape;
 pub use tensor::Tensor;
-pub use workspace::{SlotId, Workspace, WorkspaceStats};
+pub use workspace::{PoolStats, SlotId, Workspace, WorkspacePool, WorkspaceStats};
 
 /// Convenience prelude importing the types and traits most users need.
 pub mod prelude {
@@ -42,5 +42,5 @@ pub mod prelude {
     pub use crate::rng::{derive_seed, seeded_rng};
     pub use crate::shape::Shape;
     pub use crate::tensor::Tensor;
-    pub use crate::workspace::{SlotId, Workspace, WorkspaceStats};
+    pub use crate::workspace::{PoolStats, SlotId, Workspace, WorkspacePool, WorkspaceStats};
 }

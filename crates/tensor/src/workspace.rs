@@ -223,6 +223,115 @@ impl Workspace {
     pub fn recycle_vec(&mut self, v: Vec<f32>) {
         self.pool.push(v);
     }
+
+    /// Demote every keyed slot into the anonymous recycle pool.
+    ///
+    /// A shared workspace outlives the layer stack that keyed its slots:
+    /// when a paged client is rebuilt, its layers mint fresh [`SlotId`]s,
+    /// so the previous hydration's keyed buffers would sit dead in the map
+    /// forever. Retiring them keeps the capacity available to `alloc`.
+    /// Retired buffers are sorted by capacity so the pool's subsequent
+    /// best-fit behaviour does not depend on hash-map iteration order.
+    pub fn retire_slots(&mut self) {
+        if self.slots.is_empty() {
+            return;
+        }
+        let mut freed: Vec<Vec<f32>> = self.slots.drain().map(|(_, v)| v).collect();
+        freed.sort_by_key(|v| v.capacity());
+        self.pool.append(&mut freed);
+    }
+
+    /// Total f32 capacity parked in this workspace (free list plus keyed
+    /// slots) — how "warm" the arena is for its next tenant.
+    pub fn retained_capacity(&self) -> usize {
+        self.pool.iter().map(|v| v.capacity()).sum::<usize>()
+            + self.slots.values().map(|v| v.capacity()).sum::<usize>()
+    }
+}
+
+/// Counters describing a [`WorkspacePool`]'s lifetime behaviour.
+#[derive(Clone, Copy, Debug, Default, PartialEq, Eq)]
+pub struct PoolStats {
+    /// Total checkouts served (pool hits + fresh builds).
+    pub checkouts: u64,
+    /// Workspaces created because the free list was empty.
+    pub created: u64,
+    /// Workspaces currently checked out.
+    pub resident: u64,
+    /// Maximum simultaneously checked-out workspaces ever observed — the
+    /// bound the paging scheduler's flat-memory claim is asserted against.
+    pub high_water: u64,
+}
+
+/// A shared, thread-safe pool of [`Workspace`] arenas.
+///
+/// Cross-device-scale fleets cannot afford one arena per client: the pool
+/// holds only as many workspaces as are ever simultaneously resident
+/// (bounded by the paging scheduler's wave size), and each page-in checks
+/// one out for the duration of the client's local work.
+///
+/// Checked-in workspaces keep their grown capacity, so after the first
+/// wave the pool serves warm arenas and steady-state paging stops touching
+/// the allocator. Contents are stale garbage by the same contract as
+/// [`Workspace`] itself — numerics never read uninitialized scratch, which
+/// is what makes pool assignment order irrelevant to results.
+#[derive(Debug, Default)]
+pub struct WorkspacePool {
+    free: std::sync::Mutex<Vec<Workspace>>,
+    checkouts: AtomicU64,
+    created: AtomicU64,
+    resident: AtomicU64,
+    high_water: AtomicU64,
+}
+
+impl WorkspacePool {
+    /// Empty pool; workspaces are created lazily on first checkout.
+    pub fn new() -> Self {
+        Self::default()
+    }
+
+    /// Take a workspace (the warmest one when available, otherwise fresh).
+    pub fn checkout(&self) -> Workspace {
+        let ws = {
+            let mut free = self.free.lock().unwrap_or_else(|p| p.into_inner());
+            // Prefer the arena with the most retained capacity so a cold
+            // workspace checked in after a warm one cannot shadow it
+            // (ties go to the most recently checked in).
+            free.iter()
+                .enumerate()
+                .max_by_key(|(i, w)| (w.retained_capacity(), *i))
+                .map(|(i, _)| i)
+                .map(|i| free.swap_remove(i))
+        };
+        let ws = ws.unwrap_or_else(|| {
+            self.created.fetch_add(1, Ordering::Relaxed);
+            Workspace::new()
+        });
+        self.checkouts.fetch_add(1, Ordering::Relaxed);
+        let now = self.resident.fetch_add(1, Ordering::Relaxed) + 1;
+        self.high_water.fetch_max(now, Ordering::Relaxed);
+        ws
+    }
+
+    /// Return a workspace to the free list, retiring its keyed slots so
+    /// the next tenant (a freshly built layer stack with new [`SlotId`]s)
+    /// can reuse the capacity anonymously.
+    pub fn checkin(&self, mut ws: Workspace) {
+        ws.retire_slots();
+        self.resident.fetch_sub(1, Ordering::Relaxed);
+        let mut free = self.free.lock().unwrap_or_else(|p| p.into_inner());
+        free.push(ws);
+    }
+
+    /// Snapshot of the pool's counters.
+    pub fn stats(&self) -> PoolStats {
+        PoolStats {
+            checkouts: self.checkouts.load(Ordering::Relaxed),
+            created: self.created.load(Ordering::Relaxed),
+            resident: self.resident.load(Ordering::Relaxed),
+            high_water: self.high_water.load(Ordering::Relaxed),
+        }
+    }
 }
 
 #[cfg(test)]
@@ -328,5 +437,87 @@ mod tests {
         }
         assert_eq!(ws.stats().allocations, 0);
         assert_eq!(ws.stats().reuses, 20);
+    }
+
+    #[test]
+    fn retire_slots_moves_capacity_to_the_pool() {
+        let mut ws = Workspace::new();
+        let id = SlotId::fresh();
+        let buf = ws.take_slot(id, 128);
+        ws.put_slot(id, buf);
+        ws.retire_slots();
+        ws.reset_stats();
+        // A fresh SlotId (a rebuilt layer) reuses the retired capacity.
+        let buf = ws.take_slot(SlotId::fresh(), 64);
+        assert_eq!(
+            ws.stats().allocations,
+            1,
+            "take_slot always leaves the pool"
+        );
+        let anon = ws.alloc(100);
+        assert_eq!(
+            ws.stats().allocations,
+            1,
+            "anonymous alloc must reuse retired slot capacity"
+        );
+        ws.recycle_vec(anon);
+        ws.put_slot(SlotId::fresh(), buf);
+    }
+
+    #[test]
+    fn pool_checkout_checkin_reuses_and_tracks_high_water() {
+        let pool = WorkspacePool::new();
+        let mut a = pool.checkout();
+        let b = pool.checkout();
+        assert_eq!(pool.stats().resident, 2);
+        assert_eq!(pool.stats().created, 2);
+        // Warm up `a`, return both, and check the next tenant gets warmth.
+        let t = a.tensor_zeroed([32, 32]);
+        a.recycle(t);
+        pool.checkin(a);
+        pool.checkin(b);
+        assert_eq!(pool.stats().resident, 0);
+        assert_eq!(pool.stats().high_water, 2);
+        let mut c = pool.checkout();
+        assert_eq!(
+            pool.stats().created,
+            2,
+            "free list must serve the third checkout"
+        );
+        c.reset_stats();
+        let t = c.tensor_zeroed([32, 32]);
+        assert_eq!(
+            c.stats().allocations,
+            0,
+            "pooled workspace lost its capacity"
+        );
+        c.recycle(t);
+        pool.checkin(c);
+        assert_eq!(pool.stats().checkouts, 3);
+        assert_eq!(
+            pool.stats().high_water,
+            2,
+            "high water must not grow past peak"
+        );
+    }
+
+    #[test]
+    fn pool_checkin_retires_keyed_slots() {
+        let pool = WorkspacePool::new();
+        let mut ws = pool.checkout();
+        let id = SlotId::fresh();
+        let buf = ws.take_slot(id, 256);
+        ws.put_slot(id, buf);
+        pool.checkin(ws);
+        let mut ws = pool.checkout();
+        ws.reset_stats();
+        let anon = ws.alloc(200);
+        assert_eq!(
+            ws.stats().allocations,
+            0,
+            "previous tenant's keyed slot capacity must be reusable"
+        );
+        ws.recycle_vec(anon);
+        pool.checkin(ws);
     }
 }

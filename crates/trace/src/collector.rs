@@ -179,6 +179,30 @@ pub fn emit_workspace(round: u64, clients: u64, allocations: u64, reuses: u64, p
     });
 }
 
+/// Emit one resident-pool `Pool` paging-counter event.
+pub fn emit_pool(
+    round: u64,
+    resident: u64,
+    high_water: u64,
+    checkouts: u64,
+    page_ins: u64,
+    page_outs: u64,
+    page_bytes: u64,
+) {
+    if !is_active() {
+        return;
+    }
+    emit(&Event::Pool {
+        round,
+        resident,
+        high_water,
+        checkouts,
+        page_ins,
+        page_outs,
+        page_bytes,
+    });
+}
+
 /// Uninstalls the sink on drop: deactivates the probes, writes the
 /// `run_end` line, flushes the writer, and zeroes every counter cell so a
 /// later install starts from a clean slate.

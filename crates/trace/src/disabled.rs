@@ -53,6 +53,19 @@ pub fn emit_workspace(
 ) {
 }
 
+/// No-op.
+#[inline(always)]
+pub fn emit_pool(
+    _round: u64,
+    _resident: u64,
+    _high_water: u64,
+    _checkouts: u64,
+    _page_ins: u64,
+    _page_outs: u64,
+    _page_bytes: u64,
+) {
+}
+
 /// Zero-sized stand-in for the live guard; dropping it does nothing.
 #[must_use = "dropping the guard immediately would end the trace at once"]
 pub struct TraceGuard {

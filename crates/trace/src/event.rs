@@ -16,7 +16,7 @@ use std::fmt::Write as _;
 /// fields, or a change in a field's unit or meaning. Readers (the
 /// `trace_report` bin, the CI smoke check) refuse other versions rather
 /// than guessing.
-pub const SCHEMA_VERSION: u64 = 1;
+pub const SCHEMA_VERSION: u64 = 2;
 
 /// One journal line. See DESIGN.md §7.4 for units and emission points.
 ///
@@ -74,6 +74,27 @@ pub enum Event {
         reuses: u64,
         /// Largest single-client capacity high-water mark, bytes.
         peak_bytes: u64,
+    },
+    /// Resident-pool and paging counters at an evaluation point
+    /// (cumulative since run start; see `fca_tensor::PoolStats`). Occupancy
+    /// numbers (`resident`, `high_water`) depend on worker scheduling but
+    /// are bounded by the fleet's residency cap; training results are not
+    /// affected.
+    Pool {
+        /// Round of the evaluation point.
+        round: u64,
+        /// Workspaces currently checked out of the pool.
+        resident: u64,
+        /// Most workspaces ever simultaneously checked out.
+        high_water: u64,
+        /// Total pool checkouts.
+        checkouts: u64,
+        /// Cold clients hydrated (blob/pristine → live model).
+        page_ins: u64,
+        /// Live clients dehydrated back to snapshot blobs.
+        page_outs: u64,
+        /// Total bytes of snapshot blobs written by page-outs.
+        page_bytes: u64,
     },
     /// One communication round: wall time, traffic deltas, fault counts.
     Round {
@@ -152,6 +173,23 @@ impl Event {
                      \"peak_bytes\":{peak_bytes}}}"
                 );
             }
+            Event::Pool {
+                round,
+                resident,
+                high_water,
+                checkouts,
+                page_ins,
+                page_outs,
+                page_bytes,
+            } => {
+                let _ = write!(
+                    s,
+                    "{{\"ev\":\"pool\",\"round\":{round},\"resident\":{resident},\
+                     \"high_water\":{high_water},\"checkouts\":{checkouts},\
+                     \"page_ins\":{page_ins},\"page_outs\":{page_outs},\
+                     \"page_bytes\":{page_bytes}}}"
+                );
+            }
             Event::Round {
                 round,
                 dur_us,
@@ -209,6 +247,15 @@ impl Event {
                 allocations: take_num(&mut fields, "allocations")?,
                 reuses: take_num(&mut fields, "reuses")?,
                 peak_bytes: take_num(&mut fields, "peak_bytes")?,
+            },
+            "pool" => Event::Pool {
+                round: take_num(&mut fields, "round")?,
+                resident: take_num(&mut fields, "resident")?,
+                high_water: take_num(&mut fields, "high_water")?,
+                checkouts: take_num(&mut fields, "checkouts")?,
+                page_ins: take_num(&mut fields, "page_ins")?,
+                page_outs: take_num(&mut fields, "page_outs")?,
+                page_bytes: take_num(&mut fields, "page_bytes")?,
             },
             "round" => Event::Round {
                 round: take_num(&mut fields, "round")?,
@@ -442,6 +489,15 @@ mod tests {
                 allocations: 0,
                 reuses: 65_536,
                 peak_bytes: 4_194_304,
+            },
+            Event::Pool {
+                round: 3,
+                resident: 0,
+                high_water: 16,
+                checkouts: 320,
+                page_ins: 320,
+                page_outs: 320,
+                page_bytes: 52_428_800,
             },
             Event::Round {
                 round: 3,

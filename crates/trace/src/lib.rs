@@ -69,16 +69,16 @@ pub struct RoundRecord {
 mod collector;
 #[cfg(feature = "enabled")]
 pub use collector::{
-    clock, emit_round, emit_workspace, flush_ops, install_file, install_writer, is_active, op,
-    op_flops, phase, TraceGuard,
+    clock, emit_pool, emit_round, emit_workspace, flush_ops, install_file, install_writer,
+    is_active, op, op_flops, phase, TraceGuard,
 };
 
 #[cfg(not(feature = "enabled"))]
 mod disabled;
 #[cfg(not(feature = "enabled"))]
 pub use disabled::{
-    clock, emit_round, emit_workspace, flush_ops, install_file, install_writer, is_active, op,
-    op_flops, phase, TraceGuard,
+    clock, emit_pool, emit_round, emit_workspace, flush_ops, install_file, install_writer,
+    is_active, op, op_flops, phase, TraceGuard,
 };
 
 #[cfg(test)]
@@ -146,6 +146,7 @@ mod tests {
         phase(PhaseId::LocalTrain, clock());
         flush_ops(1);
         emit_workspace(1, 4, 2, 98, 4096);
+        emit_pool(1, 0, 7, 42, 42, 42, 8192);
         emit_round(&RoundRecord {
             round: 1,
             dur_us: 10,
@@ -199,6 +200,15 @@ mod tests {
         assert!(events
             .iter()
             .any(|e| matches!(e, Event::Workspace { reuses: 98, .. })));
+        assert!(events.iter().any(|e| matches!(
+            e,
+            Event::Pool {
+                high_water: 7,
+                page_ins: 42,
+                page_bytes: 8192,
+                ..
+            }
+        )));
         assert!(events
             .iter()
             .any(|e| matches!(e, Event::Round { dropped: 1, .. })));
@@ -239,6 +249,7 @@ mod tests {
         phase(PhaseId::Broadcast, clock());
         flush_ops(1);
         emit_workspace(1, 1, 1, 1, 1);
+        emit_pool(1, 1, 1, 1, 1, 1, 1);
         emit_round(&RoundRecord::default());
         drop(guard);
         assert!(

@@ -12,7 +12,7 @@ use fedclassavg_suite::data::synth::SynthConfig;
 use fedclassavg_suite::fed::algo::{Algorithm, FedAvg, FedClassAvg, FedProto, KtPfl, LocalOnly};
 use fedclassavg_suite::fed::comm::FaultPlan;
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
-use fedclassavg_suite::fed::sim::{build_clients, run_federation, RunResult};
+use fedclassavg_suite::fed::sim::{build_fleet, run_federation, RunResult};
 use fedclassavg_suite::models::ModelArch;
 
 const SEED: u64 = 7;
@@ -29,6 +29,7 @@ fn cfg(rounds: usize) -> FedConfig {
         seed: SEED,
         hp: HyperParams::micro_default(),
         faults: FaultPlan::none(),
+        eval_sample: 0,
     }
 }
 
@@ -36,7 +37,7 @@ fn run(
     name: &str,
     rounds: usize,
     heterogeneous: bool,
-    make_algo: &mut dyn FnMut(&[fedclassavg_suite::fed::client::Client]) -> Box<dyn Algorithm>,
+    make_algo: &mut dyn FnMut() -> Box<dyn Algorithm>,
 ) -> RunResult {
     let data = SynthConfig::synth_fashion(SEED)
         .with_sizes(900, 300)
@@ -47,7 +48,7 @@ fn run(
     } else {
         Box::new(|_| ModelArch::CnnFedAvg)
     };
-    let mut clients = build_clients(
+    let mut fleet = build_fleet(
         &data,
         Partitioner::Skewed {
             classes_per_client: 2,
@@ -55,8 +56,8 @@ fn run(
         &cfg,
         arch.as_ref(),
     );
-    let mut algo = make_algo(&clients);
-    let result = run_federation(&mut clients, algo.as_mut(), &cfg);
+    let mut algo = make_algo();
+    let result = run_federation(&mut fleet, algo.as_mut(), &cfg);
     println!(
         "{name:<22} acc {:.4} ± {:.4}   traffic/client-round {:>9} B",
         result.final_mean,
@@ -69,8 +70,8 @@ fn run(
 fn main() {
     println!("-- heterogeneous fleets (4 rotating architectures) --");
     let classes = 10;
-    let local = run("local-only", 10, true, &mut |_| Box::new(LocalOnly::new()));
-    run("FedProto", 10, true, &mut |_| {
+    let local = run("local-only", 10, true, &mut || Box::new(LocalOnly::new()));
+    run("FedProto", 10, true, &mut || {
         Box::new(FedProto::new(FEAT, classes, 1.0))
     });
     let public = SynthConfig::synth_fashion(SEED + 1)
@@ -78,16 +79,17 @@ fn main() {
         .generate()
         .train
         .images;
-    run("KT-pFL", 5, true, &mut |_| {
+    run("KT-pFL", 5, true, &mut || {
         Box::new(KtPfl::new(public.clone(), CLIENTS).with_local_epochs(2))
     });
-    let ours = run("FedClassAvg", 10, true, &mut |_| {
+    let ours = run("FedClassAvg", 10, true, &mut || {
         Box::new(FedClassAvg::new(FEAT, classes, SEED))
     });
 
     println!("\n-- homogeneous fleet (CnnFedAvg everywhere) --");
-    run("FedAvg", 10, false, &mut |clients| {
-        // Initialize the global model from client 0's architecture.
+    run("FedAvg", 10, false, &mut || {
+        // Every client runs CnnFedAvg, so a reference build seeds the
+        // global model.
         let mut reference = fedclassavg_suite::models::build_model(
             ModelArch::CnnFedAvg,
             (1, 28, 28),
@@ -95,7 +97,6 @@ fn main() {
             classes,
             SEED,
         );
-        let _ = clients;
         Box::new(FedAvg::new(reference.full_state()))
     });
 

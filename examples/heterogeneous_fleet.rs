@@ -12,7 +12,7 @@ use fedclassavg_suite::data::synth::SynthConfig;
 use fedclassavg_suite::fed::algo::{Algorithm, FedClassAvg, LocalOnly};
 use fedclassavg_suite::fed::comm::FaultPlan;
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
-use fedclassavg_suite::fed::sim::{build_clients, run_federation};
+use fedclassavg_suite::fed::sim::{build_fleet, run_federation};
 use fedclassavg_suite::metrics::eval::extract_fleet_features;
 use fedclassavg_suite::metrics::fairness::fairness_summary;
 use fedclassavg_suite::metrics::tsne::{nearest_neighbor_label_agreement, tsne, TsneConfig};
@@ -31,6 +31,7 @@ fn main() {
         seed: 11,
         hp: HyperParams::micro_default(),
         faults: FaultPlan::none(),
+        eval_sample: 0,
     };
 
     let mut summaries = Vec::new();
@@ -48,7 +49,7 @@ fn main() {
             )),
         ),
     ] {
-        let mut clients = build_clients(
+        let mut fleet = build_fleet(
             &data,
             Partitioner::Skewed {
                 classes_per_client: 2,
@@ -56,7 +57,7 @@ fn main() {
             &cfg,
             &ModelArch::heterogeneous_rotation,
         );
-        let result = run_federation(&mut clients, algo.as_mut(), &cfg);
+        let result = run_federation(&mut fleet, algo.as_mut(), &cfg);
         println!(
             "{name}: final accuracy {:.4} ± {:.4}",
             result.final_mean, result.final_std
@@ -69,7 +70,7 @@ fn main() {
 
         // Embed everyone's features: do same-label points from different
         // clients mix (the Figure 8 signature of FedClassAvg)?
-        let ff = extract_fleet_features(&mut clients, 8);
+        let ff = extract_fleet_features(&mut fleet, 8);
         let y = tsne(
             &ff.features,
             &TsneConfig {

@@ -19,7 +19,7 @@ use fedclassavg_suite::data::synth::SynthConfig;
 use fedclassavg_suite::fed::algo::FedClassAvg;
 use fedclassavg_suite::fed::comm::FaultPlan;
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
-use fedclassavg_suite::fed::sim::{build_clients, run_federation};
+use fedclassavg_suite::fed::sim::{build_fleet, run_federation};
 use fedclassavg_suite::models::ModelArch;
 use fedclassavg_suite::trace;
 
@@ -64,8 +64,9 @@ fn main() {
         seed: 42,
         hp: HyperParams::micro_default(),
         faults: FaultPlan::none(),
+        eval_sample: 0,
     };
-    let mut clients = build_clients(
+    let mut fleet = build_fleet(
         &data,
         Partitioner::Dirichlet { alpha: 0.5 },
         &cfg,
@@ -73,13 +74,13 @@ fn main() {
         // model heterogeneity; only the classifier shape is shared.
         &ModelArch::heterogeneous_rotation,
     );
-    for c in &clients {
-        println!("client {} runs {}", c.id, c.model.arch.name());
+    for m in fleet.metas() {
+        println!("client {} runs {}", m.id, m.arch.name());
     }
 
     // 3. Run FedClassAvg.
     let mut algo = FedClassAvg::new(cfg.feature_dim, data.train.num_classes, cfg.seed);
-    let result = run_federation(&mut clients, &mut algo, &cfg);
+    let result = run_federation(&mut fleet, &mut algo, &cfg);
 
     // 4. Inspect the learning curve and the wire cost.
     println!("\nround  epochs  mean_acc  std");

@@ -1,0 +1,13 @@
+#!/usr/bin/env bash
+# Fleet-scaling snapshot: run the same 2-round federation over 1k / 10k /
+# 100k-client paged fleets and write BENCH_fleet.json (per-size build and
+# round wall time + paging traffic + pool high-water) at the repo root,
+# so successive PRs can check that round cost stays flat as the fleet
+# grows. Run from anywhere in the repo.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "=== fleet scaling sweep: 1k / 10k / 100k clients ==="
+cargo run --release -p fca-bench --bin bench_fleet
+
+echo "bench_fleet: wrote $(pwd)/BENCH_fleet.json"

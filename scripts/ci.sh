@@ -37,4 +37,7 @@ echo "=== observability smoke: traced quick run + journal schema check ==="
 cargo run --release --example quickstart -- --quick --trace
 cargo run --release -p fca-bench --bin trace_report -- --check results/trace/quickstart.jsonl
 
+echo "=== fleet virtualization smoke: 1k-client paged run under a 4-client cap ==="
+cargo run --release --example fleet_scale -- --quick
+
 echo "ci: all green"

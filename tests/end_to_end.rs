@@ -9,7 +9,7 @@ use fedclassavg_suite::fed::algo::{
 };
 use fedclassavg_suite::fed::comm::{FaultPlan, WireMessage};
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
-use fedclassavg_suite::fed::sim::{build_clients, run_federation, RunResult};
+use fedclassavg_suite::fed::sim::{build_fleet, run_federation, RunResult};
 use fedclassavg_suite::models::classifier::ClassifierWeights;
 use fedclassavg_suite::models::ModelArch;
 
@@ -34,6 +34,7 @@ fn small_cfg(seed: u64, rounds: usize) -> FedConfig {
         seed,
         hp: HyperParams::micro_default().with_lr(3e-3),
         faults: FaultPlan::none(),
+        eval_sample: 0,
     }
 }
 
@@ -51,9 +52,9 @@ fn run_algo(
     } else {
         Box::new(|_| ModelArch::CnnFedAvg)
     };
-    let mut clients = build_clients(&data, dist, &cfg, arch.as_ref());
+    let mut fleet = build_fleet(&data, dist, &cfg, arch.as_ref());
     let mut algo = make(&cfg, &data);
-    run_federation(&mut clients, algo.as_mut(), &cfg)
+    run_federation(&mut fleet, algo.as_mut(), &cfg)
 }
 
 fn assert_learned(r: &RunResult, label: &str) {
@@ -156,13 +157,13 @@ fn fedprox_learns_above_chance_homogeneous() {
 fn fedproto_learns_above_chance() {
     let data = small_data(6);
     let cfg = small_cfg(6, 8);
-    let mut clients = build_clients(&data, Partitioner::Dirichlet { alpha: 0.5 }, &cfg, &|k| {
+    let mut fleet = build_fleet(&data, Partitioner::Dirichlet { alpha: 0.5 }, &cfg, &|k| {
         ModelArch::ProtoCnn {
             width_variant: k % 4,
         }
     });
     let mut algo = FedProto::new(cfg.feature_dim, CLASSES, 1.0);
-    let r = run_federation(&mut clients, &mut algo, &cfg);
+    let r = run_federation(&mut fleet, &mut algo, &cfg);
     assert_learned(&r, "fedproto");
 }
 
@@ -250,14 +251,14 @@ fn partial_participation_works() {
     let mut cfg = small_cfg(11, 6);
     cfg.num_clients = 6;
     cfg.sample_rate = 0.5;
-    let mut clients = build_clients(
+    let mut fleet = build_fleet(
         &data,
         Partitioner::Dirichlet { alpha: 0.5 },
         &cfg,
         &ModelArch::heterogeneous_rotation,
     );
     let mut algo = FedClassAvg::new(cfg.feature_dim, CLASSES, cfg.seed);
-    let r = run_federation(&mut clients, &mut algo, &cfg);
+    let r = run_federation(&mut fleet, &mut algo, &cfg);
     assert!(r.per_client_acc.iter().all(|a| a.is_finite()));
     // Only 3 of 6 clients communicate per round.
     let payload =

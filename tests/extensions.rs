@@ -7,7 +7,7 @@ use fedclassavg_suite::data::synth::SynthConfig;
 use fedclassavg_suite::fed::algo::{FedClassAvg, FedMd};
 use fedclassavg_suite::fed::comm::FaultPlan;
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
-use fedclassavg_suite::fed::sim::{build_clients, run_federation};
+use fedclassavg_suite::fed::sim::{build_fleet, run_federation};
 use fedclassavg_suite::models::ModelArch;
 use fedclassavg_suite::nn::optim::Schedule;
 
@@ -32,6 +32,7 @@ fn cfg(seed: u64, rounds: usize) -> FedConfig {
         seed,
         hp: HyperParams::micro_default().with_lr(3e-3),
         faults: FaultPlan::none(),
+        eval_sample: 0,
     }
 }
 
@@ -40,7 +41,7 @@ fn f16_federation_matches_f32_within_tolerance_and_halves_traffic() {
     let run = |half: bool| {
         let d = data(61);
         let c = cfg(61, 6);
-        let mut clients = build_clients(
+        let mut fleet = build_fleet(
             &d,
             Partitioner::Dirichlet { alpha: 0.5 },
             &c,
@@ -50,7 +51,7 @@ fn f16_federation_matches_f32_within_tolerance_and_halves_traffic() {
         if half {
             algo = algo.with_half_precision();
         }
-        run_federation(&mut clients, &mut algo, &c)
+        run_federation(&mut fleet, &mut algo, &c)
     };
     let full = run(false);
     let half = run(true);
@@ -80,14 +81,14 @@ fn fedmd_learns_above_chance_on_heterogeneous_fleet() {
     public_cfg.height = 12;
     public_cfg.width = 12;
     let public = public_cfg.generate().train.images;
-    let mut clients = build_clients(
+    let mut fleet = build_fleet(
         &d,
         Partitioner::Dirichlet { alpha: 0.5 },
         &c,
         &ModelArch::heterogeneous_rotation,
     );
     let mut algo = FedMd::new(public).with_local_epochs(2);
-    let r = run_federation(&mut clients, &mut algo, &c);
+    let r = run_federation(&mut fleet, &mut algo, &c);
     assert!(
         r.final_mean > 0.3,
         "FedMD final accuracy {:.3} not above chance",
@@ -105,14 +106,14 @@ fn schedule_driven_federation_decays_client_rates() {
 
     let d = data(71);
     let c = cfg(71, 1);
-    let mut clients = build_clients(
+    let mut fleet = build_fleet(
         &d,
         Partitioner::Dirichlet { alpha: 0.5 },
         &c,
         &ModelArch::heterogeneous_rotation,
     );
     let mut algo = FedClassAvg::new(FEAT, CLASSES, c.seed);
-    let net = Network::new(clients.len());
+    let net = Network::new(fleet.len());
     let schedule = Schedule::Cosine {
         horizon: 10,
         min_lr: 1e-4,
@@ -121,14 +122,14 @@ fn schedule_driven_federation_decays_client_rates() {
     let mut rates = Vec::new();
     for round in 0..5 {
         rates.push(schedule.rate_at(base, round));
-        for client in clients.iter_mut() {
+        for client in fleet.clients_mut() {
             client.set_learning_rate(schedule.rate_at(base, round));
         }
-        algo.round(round, &mut clients, &[0, 1, 2, 3], &net, &c.hp);
+        algo.round(round, &mut fleet, &[0, 1, 2, 3], &net, &c.hp);
     }
     assert!(
         rates.windows(2).all(|w| w[1] < w[0]),
         "cosine rates not decreasing: {rates:?}"
     );
-    assert!(clients.iter_mut().all(|cl| cl.evaluate().is_finite()));
+    assert!(fleet.clients_mut().all(|cl| cl.evaluate().is_finite()));
 }

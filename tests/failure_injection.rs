@@ -9,7 +9,7 @@ use fedclassavg_suite::fed::algo::{FedClassAvg, FedProto};
 use fedclassavg_suite::fed::client::Client;
 use fedclassavg_suite::fed::comm::{FaultPlan, Network, WireMessage};
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
-use fedclassavg_suite::fed::sim::{build_clients, run_federation};
+use fedclassavg_suite::fed::sim::{build_fleet, run_federation};
 use fedclassavg_suite::models::classifier::ClassifierWeights;
 use fedclassavg_suite::models::{build_model, ModelArch};
 use fedclassavg_suite::tensor::Tensor;
@@ -32,6 +32,7 @@ fn small_cfg(seed: u64) -> FedConfig {
         seed,
         faults: FaultPlan::none(),
         hp: HyperParams::micro_default(),
+        eval_sample: 0,
     }
 }
 
@@ -43,14 +44,14 @@ fn dropped_clients_mid_training_is_fine() {
     let mut cfg = small_cfg(21);
     cfg.sample_rate = 0.25; // one client per round
     cfg.rounds = 4;
-    let mut clients = build_clients(
+    let mut fleet = build_fleet(
         &data,
         Partitioner::Dirichlet { alpha: 0.5 },
         &cfg,
         &ModelArch::heterogeneous_rotation,
     );
     let mut algo = FedClassAvg::new(cfg.feature_dim, 4, cfg.seed);
-    let r = run_federation(&mut clients, &mut algo, &cfg);
+    let r = run_federation(&mut fleet, &mut algo, &cfg);
     assert!(r.per_client_acc.iter().all(|a| a.is_finite()));
 }
 
@@ -118,19 +119,25 @@ fn mismatched_feature_dims_rejected() {
 }
 
 #[test]
-#[should_panic(expected = "prototype dim")]
-fn fedproto_rejects_mismatched_prototype_dims() {
+fn fedproto_skips_mismatched_prototype_dims() {
     let data = small_data(24);
     let cfg = small_cfg(24);
-    let mut clients = build_clients(&data, Partitioner::Dirichlet { alpha: 0.5 }, &cfg, &|k| {
+    let mut fleet = build_fleet(&data, Partitioner::Dirichlet { alpha: 0.5 }, &cfg, &|k| {
         ModelArch::ProtoCnn {
             width_variant: k % 4,
         }
     });
-    // Server configured for the wrong feature dimension.
+    // Server configured for the wrong feature dimension: every uplink
+    // prototype is mis-sized, so aggregation must treat each one like a
+    // corrupt payload — skipped, leaving every global prototype unset —
+    // rather than crashing the round.
     let mut algo = FedProto::new(cfg.feature_dim + 1, 4, 1.0);
     let net = Network::new(cfg.num_clients);
-    algo.round(0, &mut clients, &[0, 1, 2, 3], &net, &cfg.hp);
+    algo.round(0, &mut fleet, &[0, 1, 2, 3], &net, &cfg.hp);
+    assert!(
+        algo.prototypes().iter().all(|p| p.is_none()),
+        "a mis-sized prototype leaked into aggregation"
+    );
 }
 
 #[test]

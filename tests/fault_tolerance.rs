@@ -9,7 +9,7 @@ use fedclassavg_suite::data::synth::SynthConfig;
 use fedclassavg_suite::fed::algo::FedClassAvg;
 use fedclassavg_suite::fed::comm::{FaultPlan, WireMessage};
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
-use fedclassavg_suite::fed::sim::{build_clients, run_federation, RunResult};
+use fedclassavg_suite::fed::sim::{build_fleet, run_federation, RunResult};
 use fedclassavg_suite::models::classifier::ClassifierWeights;
 use fedclassavg_suite::models::ModelArch;
 use fedclassavg_suite::tensor::Tensor;
@@ -123,15 +123,16 @@ fn faulty_run(seed: u64, rounds: usize, plan: FaultPlan) -> RunResult {
         seed,
         hp: HyperParams::micro_default(),
         faults: plan,
+        eval_sample: 0,
     };
-    let mut clients = build_clients(
+    let mut fleet = build_fleet(
         &data,
         Partitioner::Dirichlet { alpha: 0.5 },
         &cfg,
         &ModelArch::heterogeneous_rotation,
     );
     let mut algo = FedClassAvg::new(cfg.feature_dim, CLASSES, cfg.seed);
-    run_federation(&mut clients, &mut algo, &cfg)
+    run_federation(&mut fleet, &mut algo, &cfg)
 }
 
 #[test]

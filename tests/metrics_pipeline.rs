@@ -8,7 +8,8 @@ use fedclassavg_suite::data::synth::SynthConfig;
 use fedclassavg_suite::fed::algo::{FedClassAvg, LocalOnly};
 use fedclassavg_suite::fed::comm::FaultPlan;
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
-use fedclassavg_suite::fed::sim::{build_clients, run_federation};
+use fedclassavg_suite::fed::fleet::Fleet;
+use fedclassavg_suite::fed::sim::{build_fleet, run_federation};
 use fedclassavg_suite::metrics::conductance::{
     layer_conductance, logit_delta, mean_pairwise_rank_agreement, rank_scores,
 };
@@ -19,13 +20,7 @@ use fedclassavg_suite::models::ModelArch;
 use fedclassavg_suite::nn::Module as _;
 use fedclassavg_suite::tensor::Workspace;
 
-fn trained_fleet(
-    seed: u64,
-    federated: bool,
-) -> (
-    Vec<fedclassavg_suite::fed::client::Client>,
-    fedclassavg_suite::fed::sim::RunResult,
-) {
+fn trained_fleet(seed: u64, federated: bool) -> (Fleet, fedclassavg_suite::fed::sim::RunResult) {
     let mut dcfg = SynthConfig::synth_fashion(seed).with_sizes(240, 120);
     dcfg.num_classes = 4;
     dcfg.height = 12;
@@ -40,8 +35,9 @@ fn trained_fleet(
         seed,
         hp: HyperParams::micro_default().with_lr(3e-3),
         faults: FaultPlan::none(),
+        eval_sample: 0,
     };
-    let mut clients = build_clients(
+    let mut fleet = build_fleet(
         &data,
         Partitioner::Skewed {
             classes_per_client: 2,
@@ -51,18 +47,18 @@ fn trained_fleet(
     );
     let result = if federated {
         let mut algo = FedClassAvg::new(cfg.feature_dim, 4, cfg.seed);
-        run_federation(&mut clients, &mut algo, &cfg)
+        run_federation(&mut fleet, &mut algo, &cfg)
     } else {
         let mut algo = LocalOnly::new();
-        run_federation(&mut clients, &mut algo, &cfg)
+        run_federation(&mut fleet, &mut algo, &cfg)
     };
-    (clients, result)
+    (fleet, result)
 }
 
 #[test]
 fn tsne_pipeline_runs_on_trained_features() {
-    let (mut clients, _) = trained_fleet(41, true);
-    let ff = extract_fleet_features(&mut clients, 10);
+    let (mut fleet, _) = trained_fleet(41, true);
+    let ff = extract_fleet_features(&mut fleet, 10);
     assert!(ff.features.dims()[0] >= 20);
     let y = tsne(
         &ff.features,
@@ -82,13 +78,13 @@ fn tsne_pipeline_runs_on_trained_features() {
 
 #[test]
 fn conductance_pipeline_on_trained_classifiers() {
-    let (mut clients, _) = trained_fleet(43, true);
+    let (mut fleet, _) = trained_fleet(43, true);
     // Shared probe: first test image of client 0.
-    let (x, y) = clients[0].test_data.gather_batch(&[0]);
+    let (x, y) = fleet.client_mut(0).test_data.gather_batch(&[0]);
     let label = y[0];
     let mut ws = Workspace::new();
     let mut ranks = Vec::new();
-    for c in clients.iter_mut() {
+    for c in fleet.clients_mut() {
         let feats = c.model.feature_extractor.forward(&x, false, &mut ws);
         let baseline = vec![0.0f32; feats.dims()[1]];
         let cond = layer_conductance(
@@ -125,12 +121,12 @@ fn rank_agreement_statistic_is_well_defined_for_both_regimes() {
     // pipeline yields a valid, finite Spearman mean for both regimes and
     // that identical classifiers + identical features give agreement 1.
     for federated in [false, true] {
-        let (mut clients, _) = trained_fleet(47, federated);
-        let (x, y) = clients[0].test_data.gather_batch(&[0]);
+        let (mut fleet, _) = trained_fleet(47, federated);
+        let (x, y) = fleet.client_mut(0).test_data.gather_batch(&[0]);
         let label = y[0];
         let mut ws = Workspace::new();
         let mut ranks = Vec::new();
-        for c in clients.iter_mut() {
+        for c in fleet.clients_mut() {
             let feats = c.model.feature_extractor.forward(&x, false, &mut ws);
             let baseline = vec![0.0f32; feats.dims()[1]];
             let cond = layer_conductance(
@@ -166,8 +162,8 @@ fn fairness_summary_of_federation_outcome() {
 
 #[test]
 fn per_class_accuracy_on_trained_model() {
-    let (mut clients, _) = trained_fleet(59, true);
-    let c = &mut clients[0];
+    let (mut fleet, _) = trained_fleet(59, true);
+    let c = fleet.client_mut(0);
     let idx: Vec<usize> = (0..c.test_data.len()).collect();
     let (x, y) = c.test_data.gather_batch(&idx);
     let mut ws = Workspace::new();

@@ -11,14 +11,14 @@ use fedclassavg_suite::data::synth::tiny_dataset;
 use fedclassavg_suite::fed::algo::FedClassAvg;
 use fedclassavg_suite::fed::comm::FaultPlan;
 use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
-use fedclassavg_suite::fed::sim::{build_clients, run_federation, RunResult};
+use fedclassavg_suite::fed::sim::{build_fleet, build_fleet_paged, run_federation, RunResult};
 use fedclassavg_suite::models::ModelArch;
 use fedclassavg_suite::trace::{self, Event, SCHEMA_VERSION};
 
 const SEED: u64 = 907;
 const ROUNDS: usize = 3;
 
-fn run_once() -> RunResult {
+fn run_once(max_resident: Option<usize>) -> RunResult {
     let mut cfg =
         FedConfig::paper_20_clients(HyperParams::micro_default().with_lr(5e-3), ROUNDS, SEED);
     cfg.num_clients = 4;
@@ -26,23 +26,22 @@ fn run_once() -> RunResult {
     // Faults on, so the drop/corrupt counters cross the journal too.
     cfg.faults = FaultPlan::new(55, 0.3, 0.1, 0.1);
     let data = tiny_dataset(3, 96, 48, cfg.seed);
-    let mut clients = build_clients(
-        &data,
-        Partitioner::Dirichlet { alpha: 0.5 },
-        &cfg,
-        &ModelArch::heterogeneous_rotation,
-    );
+    let dist = Partitioner::Dirichlet { alpha: 0.5 };
+    let mut fleet = match max_resident {
+        None => build_fleet(&data, dist, &cfg, &ModelArch::heterogeneous_rotation),
+        Some(r) => build_fleet_paged(&data, dist, &cfg, r, &ModelArch::heterogeneous_rotation),
+    };
     let mut algo = FedClassAvg::new(cfg.feature_dim, 3, cfg.seed);
-    run_federation(&mut clients, &mut algo, &cfg)
+    run_federation(&mut fleet, &mut algo, &cfg)
 }
 
 #[test]
 fn traced_run_is_bit_identical_and_journal_is_schema_valid() {
-    let untraced = run_once();
+    let untraced = run_once(None);
 
     let journal = std::env::temp_dir().join(format!("fca-trace-e2e-{}.jsonl", std::process::id()));
     let guard = trace::install_file(&journal, "trace_e2e").expect("install journal");
-    let traced = run_once();
+    let traced = run_once(None);
     drop(guard);
 
     // Determinism: tracing observed the run without perturbing one bit.
@@ -137,5 +136,50 @@ fn traced_run_is_bit_identical_and_journal_is_schema_valid() {
             Event::Workspace { clients, reuses, .. } if *clients == 4 && *reuses > 0
         )),
         "no workspace event with fleet-wide reuse recorded"
+    );
+    // A resident fleet journals pool points too — with zero paging.
+    assert!(
+        events.iter().any(|e| matches!(
+            e,
+            Event::Pool {
+                page_ins: 0,
+                page_outs: 0,
+                ..
+            }
+        )),
+        "resident run missing its (pageless) pool event"
+    );
+
+    // Same run again with a 2-client residency cap: still bit-identical,
+    // and the journal now carries real page-in/page-out counts.
+    let paged_journal =
+        std::env::temp_dir().join(format!("fca-trace-e2e-paged-{}.jsonl", std::process::id()));
+    let guard = trace::install_file(&paged_journal, "trace_e2e paged").expect("install journal");
+    let paged = run_once(Some(2));
+    drop(guard);
+    assert_eq!(
+        untraced.per_client_acc, paged.per_client_acc,
+        "paging changed the numerics under tracing"
+    );
+    let text = std::fs::read_to_string(&paged_journal).expect("paged journal written");
+    std::fs::remove_file(&paged_journal).ok();
+    let paged_events: Vec<Event> = text
+        .lines()
+        .map(|l| Event::parse(l).expect("schema-valid line"))
+        .collect();
+    assert!(
+        paged_events.iter().any(|e| matches!(
+            e,
+            Event::Pool { page_ins, page_outs, page_bytes, .. }
+                if *page_ins > 0 && *page_outs > 0 && *page_bytes > 0
+        )),
+        "paged run journaled no paging traffic"
+    );
+    assert!(
+        paged_events.iter().any(|e| matches!(
+            e,
+            Event::Pool { high_water, .. } if *high_water > 0
+        )),
+        "paged run never recorded pool occupancy"
     );
 }
