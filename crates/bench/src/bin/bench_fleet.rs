@@ -64,6 +64,7 @@ fn measure(num_clients: usize) -> Entry {
         hp: HyperParams::micro_default(),
         faults: FaultPlan::none(),
         eval_sample: CLIENTS_PER_ROUND,
+        eval_precision: fca_tensor::quant::Precision::F32,
     };
     assert_eq!(cfg.clients_per_round(), CLIENTS_PER_ROUND);
 

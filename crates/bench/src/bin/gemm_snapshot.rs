@@ -1,10 +1,12 @@
 //! Standalone GEMM throughput snapshot.
 //!
-//! Times the production (packed) GEMM kernels against the seed `ikj`
-//! baselines (`gemm_*_naive`) at the shapes training actually hits, then
-//! writes `BENCH_gemm.json` (shape → ns/iter + GFLOP/s + speedup) into the
-//! current directory so successive PRs have a perf trajectory to compare
-//! against. Run via `scripts/bench_snapshot.sh` or directly:
+//! Times every dispatchable kernel arm (scalar, AVX2+FMA, AVX-512 where
+//! the machine has it) plus the quantized f16/int8 paths against the seed
+//! `ikj` baselines (`gemm_*_naive`) at the shapes training actually hits,
+//! then writes `BENCH_gemm.json` (shape × kernel → ns/iter + GFLOP/s +
+//! speedup) into the current directory so successive PRs have a perf
+//! trajectory to compare against. Run via `scripts/bench_snapshot.sh` or
+//! directly:
 //!
 //! ```text
 //! cargo run --release -p fca-bench --bin gemm_snapshot
@@ -13,8 +15,10 @@
 // Bench binaries time wall-clock by design (fca-lint D1 exempts crates/bench).
 #![allow(clippy::disallowed_methods)]
 
-use fca_tensor::linalg::{gemm_nn, gemm_nn_naive, gemm_nt, gemm_nt_naive, gemm_tn, gemm_tn_naive};
+use fca_tensor::linalg::{gemm_arm, gemm_nn_naive, gemm_nt_naive, gemm_tn_naive};
+use fca_tensor::quant::{gemm_quant, Precision};
 use fca_tensor::rng::seeded_rng;
+use fca_tensor::simd;
 use fca_tensor::Tensor;
 use serde::Serialize;
 use std::time::Instant;
@@ -25,10 +29,13 @@ struct Entry {
     variant: &'static str,
     /// What training op this shape stands in for.
     role: &'static str,
+    /// Which kernel produced the row: a dispatch arm name (`scalar`,
+    /// `avx2_fma`, `avx512`) or `<arm>+f16` / `<arm>+int8` for the
+    /// quantized path running on the active arm.
+    kernel: String,
     m: usize,
     k: usize,
     n: usize,
-    /// Packed engine (the production `gemm_*` path).
     ns_per_iter: f64,
     gflops: f64,
     /// Seed `ikj` kernel (`gemm_*_naive`) on the same shape.
@@ -58,7 +65,7 @@ fn time_ns(mut f: impl FnMut()) -> f64 {
     reps[reps.len() / 2]
 }
 
-type Kernel = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
+type NaiveFn = fn(&[f32], &[f32], &mut [f32], usize, usize, usize);
 
 /// The shapes the training loop actually produces (see DESIGN.md §7.2):
 /// the im2col product, the classifier forward, and the skinny `gemm_tn`
@@ -77,11 +84,18 @@ const SHAPES: &[(&str, &str, usize, usize, usize)] = &[
 fn main() {
     let mut rng = seeded_rng(0xBE);
     let mut entries = Vec::new();
+    let arms = simd::available();
+    let active = simd::active();
+    println!(
+        "arms: {:?}, active: {}, quant on active arm",
+        arms.iter().map(|a| a.as_str()).collect::<Vec<_>>(),
+        active.as_str()
+    );
     for &(variant, role, m, k, n) in SHAPES {
-        let (packed, naive): (Kernel, Kernel) = match variant {
-            "nn" => (gemm_nn, gemm_nn_naive),
-            "tn" => (gemm_tn, gemm_tn_naive),
-            _ => (gemm_nt, gemm_nt_naive),
+        let (naive, trans): (NaiveFn, (bool, bool)) = match variant {
+            "nn" => (gemm_nn_naive, (false, false)),
+            "tn" => (gemm_tn_naive, (true, false)),
+            _ => (gemm_nt_naive, (false, true)),
         };
         // Operand storage sizes per variant: nn A:(m,k) B:(k,n);
         // tn A:(k,m) B:(k,n); nt A:(m,k) B:(n,k) — all m*k / k*n elements.
@@ -89,32 +103,51 @@ fn main() {
         let b = Tensor::randn([k * n], 1.0, &mut rng);
         let mut c = vec![0.0f32; m * n];
         let flops = 2.0 * (m * k * n) as f64;
-        let ns = time_ns(|| {
-            c.fill(0.0);
-            packed(a.data(), b.data(), &mut c, m, k, n);
-        });
         let naive_ns = time_ns(|| {
             c.fill(0.0);
             naive(a.data(), b.data(), &mut c, m, k, n);
         });
-        let (gflops, naive_gflops) = (flops / ns, flops / naive_ns);
-        let speedup = naive_ns / ns;
-        println!(
-            "{variant:>2} {role:<32} {m:>4}x{k:>4}x{n:>5}  \
-             {gflops:>7.2} GF/s (naive {naive_gflops:>6.2})  {speedup:>5.2}x"
-        );
-        entries.push(Entry {
-            variant,
-            role,
-            m,
-            k,
-            n,
-            ns_per_iter: ns,
-            gflops,
-            naive_ns_per_iter: naive_ns,
-            naive_gflops,
-            speedup,
-        });
+        let naive_gflops = flops / naive_ns;
+        // Timed closures per kernel row: every dispatch arm the machine
+        // has, then the quantized paths (which run on the active arm).
+        let mut rows: Vec<(String, Box<dyn FnMut(&[f32], &[f32], &mut [f32])>)> = Vec::new();
+        for &arm in &arms {
+            rows.push((
+                arm.as_str().to_string(),
+                Box::new(move |a, b, c| gemm_arm(arm, a, b, c, (m, k, n), trans)),
+            ));
+        }
+        for prec in [Precision::F16, Precision::Int8] {
+            rows.push((
+                format!("{}+{}", active.as_str(), prec.as_str()),
+                Box::new(move |a, b, c| gemm_quant(a, b, c, (m, k, n), trans, prec)),
+            ));
+        }
+        for (kernel, mut call) in rows {
+            let ns = time_ns(|| {
+                c.fill(0.0);
+                call(a.data(), b.data(), &mut c);
+            });
+            let gflops = flops / ns;
+            let speedup = naive_ns / ns;
+            println!(
+                "{variant:>2} {role:<32} {kernel:<16} {m:>4}x{k:>4}x{n:>5}  \
+                 {gflops:>7.2} GF/s (naive {naive_gflops:>6.2})  {speedup:>5.2}x"
+            );
+            entries.push(Entry {
+                variant,
+                role,
+                kernel,
+                m,
+                k,
+                n,
+                ns_per_iter: ns,
+                gflops,
+                naive_ns_per_iter: naive_ns,
+                naive_gflops,
+                speedup,
+            });
+        }
     }
     let json = serde_json::to_string_pretty(&entries).expect("serialize");
     std::fs::write("BENCH_gemm.json", json + "\n").expect("write BENCH_gemm.json");

@@ -80,8 +80,14 @@ fn fmt_ms(us: u64) -> String {
 }
 
 fn render(events: &[Event]) {
-    if let Some(Event::RunStart { label, .. }) = events.first() {
-        println!("run: {label}");
+    if let Some(Event::RunStart {
+        label,
+        kernel,
+        precision,
+        ..
+    }) = events.first()
+    {
+        println!("run: {label} (gemm kernel: {kernel}, eval precision: {precision})");
     }
 
     // Per-round phase timings (µs summed per (round, phase)).
@@ -116,13 +122,14 @@ fn render(events: &[Event]) {
     }
 
     // Per-op totals across the whole run, in the registry's order.
-    let mut ops: BTreeMap<usize, (u64, u64, u64)> = BTreeMap::new();
+    let mut ops: BTreeMap<usize, (u64, u64, u64, u64)> = BTreeMap::new();
     for ev in events {
         if let Event::Op {
             op,
             calls,
             total_us,
             flops,
+            bytes,
             ..
         } = ev
         {
@@ -131,27 +138,29 @@ fn render(events: &[Event]) {
                 cell.0 += calls;
                 cell.1 += total_us;
                 cell.2 += flops;
+                cell.3 += bytes;
             }
         }
     }
     if !ops.is_empty() {
         println!("\n== per-op totals ==");
         println!(
-            "{:<16} {:>10} {:>12} {:>16} {:>8}",
-            "op", "calls", "total ms", "flops", "GFLOP/s"
+            "{:<16} {:>10} {:>12} {:>16} {:>14} {:>8}",
+            "op", "calls", "total ms", "flops", "bytes", "GFLOP/s"
         );
-        for (ix, (calls, total_us, flops)) in &ops {
+        for (ix, (calls, total_us, flops, bytes)) in &ops {
             let gflops = if *total_us > 0 && *flops > 0 {
                 format!("{:.2}", *flops as f64 / (*total_us as f64 * 1e3))
             } else {
                 "-".into()
             };
             println!(
-                "{:<16} {:>10} {:>12} {:>16} {:>8}",
+                "{:<16} {:>10} {:>12} {:>16} {:>14} {:>8}",
                 OpId::ALL[*ix].as_str(),
                 calls,
                 fmt_ms(*total_us),
                 flops,
+                bytes,
                 gflops
             );
         }

@@ -241,6 +241,7 @@ impl ExperimentContext {
             hp: d.hyperparams(),
             faults: FaultPlan::none(),
             eval_sample: 0,
+            eval_precision: fca_tensor::quant::Precision::F32,
         }
     }
 }

@@ -1,6 +1,7 @@
 //! Experiment configuration, including the paper's Table 1 hyperparameters.
 
 use crate::comm::FaultPlan;
+use fca_tensor::quant::Precision;
 use serde::{Deserialize, Serialize};
 
 /// Which optimizer local updates use.
@@ -134,6 +135,13 @@ pub struct FedConfig {
     /// fleet, so scale runs set this to a few hundred.
     #[serde(default)]
     pub eval_sample: usize,
+    /// Compute precision for inference-mode forwards during fleet
+    /// evaluation (`F32` — the default, and the meaning of the field's
+    /// absence in older configs — keeps evaluation exact; `F16`/`Int8`
+    /// select the quantize-on-pack GEMM path). Training numerics are
+    /// always f32 regardless of this setting.
+    #[serde(default)]
+    pub eval_precision: Precision,
 }
 
 impl FedConfig {
@@ -149,6 +157,7 @@ impl FedConfig {
             hp,
             faults: FaultPlan::none(),
             eval_sample: 0,
+            eval_precision: Precision::F32,
         };
         cfg.validate();
         cfg
@@ -166,6 +175,7 @@ impl FedConfig {
             hp,
             faults: FaultPlan::none(),
             eval_sample: 0,
+            eval_precision: Precision::F32,
         };
         cfg.validate();
         cfg
@@ -174,6 +184,12 @@ impl FedConfig {
     /// Builder-style eval-subsample override (`0` = evaluate every client).
     pub fn with_eval_sample(mut self, eval_sample: usize) -> Self {
         self.eval_sample = eval_sample;
+        self
+    }
+
+    /// Builder-style eval-precision override.
+    pub fn with_eval_precision(mut self, precision: Precision) -> Self {
+        self.eval_precision = precision;
         self
     }
 
@@ -284,6 +300,22 @@ mod tests {
         let subsampled = cfg.with_eval_sample(128);
         assert_eq!(subsampled.eval_sample, 128);
         subsampled.validate();
+    }
+
+    #[test]
+    fn config_without_eval_precision_field_deserializes_as_f32() {
+        // Configs serialized before the quantized eval path existed must
+        // load and keep their old meaning (exact f32 evaluation).
+        let json = r#"{"num_clients":4,"sample_rate":1.0,"rounds":2,
+                       "feature_dim":8,"eval_every":1,"seed":7,
+                       "hp":{"lr":0.002,"batch_size":32,"rho":0.1,
+                             "local_epochs":1,"temperature":0.5,
+                             "optimizer":"Adam"}}"#;
+        let cfg: FedConfig = serde_json::from_str(json).expect("deserialize");
+        assert_eq!(cfg.eval_precision, Precision::F32);
+        let quantized = cfg.with_eval_precision(Precision::Int8);
+        assert_eq!(quantized.eval_precision, Precision::Int8);
+        quantized.validate();
     }
 
     #[test]

@@ -35,6 +35,7 @@ use fca_data::augment::AugmentConfig;
 use fca_data::partition::ClientSplit;
 use fca_data::Dataset;
 use fca_models::{build_model, ModelArch};
+use fca_tensor::quant::Precision;
 use fca_tensor::rng::derive_seed;
 use fca_tensor::{PoolStats, Workspace, WorkspacePool, WorkspaceStats};
 use rayon::prelude::*;
@@ -93,6 +94,9 @@ pub(crate) struct Hydrator {
     feature_dim: usize,
     hp: HyperParams,
     seed: u64,
+    /// Eval precision stamped onto every hydrated client, so paged-in
+    /// clients evaluate exactly like always-resident ones.
+    eval_precision: Precision,
 }
 
 impl Hydrator {
@@ -200,6 +204,7 @@ impl Fleet {
             feature_dim,
             hp,
             seed,
+            eval_precision: Precision::F32,
         };
         let slots = match max_resident {
             None => metas
@@ -251,6 +256,19 @@ impl Fleet {
         match &self.slots[k] {
             Slot::Live(c) => c.weight,
             Slot::Cold(_) => self.metas[k].weight,
+        }
+    }
+
+    /// Set the compute precision every client uses for inference-mode
+    /// forwards: live clients are updated in place, and the hydrator
+    /// stamps the same precision onto every future page-in, so paged and
+    /// resident fleets evaluate identically. Training stays f32.
+    pub fn set_eval_precision(&mut self, precision: Precision) {
+        if let Some(h) = &mut self.hydrator {
+            h.eval_precision = precision;
+        }
+        for c in self.clients_mut() {
+            c.set_eval_precision(precision);
         }
     }
 
@@ -460,6 +478,7 @@ fn hydrate(
     if let Some(blob) = blob {
         c.restore_snapshot(blob);
     }
+    c.set_eval_precision(h.eval_precision);
     drop(c.swap_workspace(pool.checkout()));
     c
 }

@@ -198,6 +198,9 @@ fn emit_workspace_point(round: u64, fleet: &Fleet) {
 /// same seed.
 pub fn run_federation(fleet: &mut Fleet, algo: &mut dyn Algorithm, cfg: &FedConfig) -> RunResult {
     cfg.validate();
+    // Applies to live clients now and to every future page-in, so paged
+    // and resident fleets evaluate under the same precision.
+    fleet.set_eval_precision(cfg.eval_precision);
     let mut net = Network::new(fleet.len()).with_fault_plan(cfg.faults);
     let mut curve = Vec::new();
     let mut epochs = 0usize;

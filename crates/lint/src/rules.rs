@@ -6,6 +6,7 @@
 //! |------|----------|-------|
 //! | `D1` | determinism: no wall-clock / ambient RNG reads outside the observability and bench crates; no iteration-order-dependent containers in aggregation or wire code | workspace minus `crates/trace`, `crates/bench`, `tests/`; hash-container check on `fca-core` algo/comm/sim only |
 //! | `F1` | fleet virtualization: no dense-fleet iteration (`.clients()`/`.clients_mut()`) outside the pool module — a paged fleet keeps almost nothing resident, so O(fleet) walks must go through the paging-aware entry points | `crates/core/src/` minus `fleet.rs` |
+//! | `K1` | kernel confinement: `std::arch`/`core::arch` intrinsics and `is_x86_feature_detected!` live only in the dispatch module, so every other file stays portable and the scalar oracle stays the single source of truth for numerics | whole workspace minus `crates/tensor/src/simd.rs` |
 //! | `P1` | panic-freedom: the round loop and the wire encode/decode/collect paths must treat failure as an outcome, never a panic | `crates/core/src/comm.rs` + `crates/core/src/algo/` |
 //! | `U1` | unsafe hygiene: every `unsafe` is preceded by a `// SAFETY:` comment (or a `# Safety` doc section) stating its bounds argument | whole workspace |
 //! | `W1` | workspace discipline: `forward`/`backward` bodies allocate through the `Workspace`, never ad hoc | `crates/nn/src/` |
@@ -26,6 +27,10 @@ pub const RULES: &[(&str, &str)] = &[
     (
         "F1",
         "fleet virtualization: no .clients()/.clients_mut() dense iteration in fca-core outside fleet.rs; use for_sampled_parallel/evaluate_ids/with_client",
+    ),
+    (
+        "K1",
+        "kernel confinement: no std::arch/core::arch or is_x86_feature_detected! outside crates/tensor/src/simd.rs; ISA-specific code lives behind the dispatch module",
     ),
     (
         "P1",
@@ -51,6 +56,7 @@ pub fn check_file(f: &FileLint) -> Vec<Finding> {
     d1_time(f, &mut out);
     d1_hash(f, &mut out);
     f1_dense_fleet(f, &mut out);
+    k1_isa_confinement(f, &mut out);
     p1_panics(f, &mut out);
     u1_unsafe(f, &mut out);
     w1_workspace(f, &mut out);
@@ -71,6 +77,10 @@ fn in_d1_hash_scope(path: &str) -> bool {
 
 fn in_f1_scope(path: &str) -> bool {
     path.starts_with("crates/core/src/") && path != "crates/core/src/fleet.rs"
+}
+
+fn in_k1_scope(path: &str) -> bool {
+    path != "crates/tensor/src/simd.rs"
 }
 
 fn in_p1_scope(path: &str) -> bool {
@@ -173,6 +183,41 @@ fn f1_dense_fleet(f: &FileLint, out: &mut Vec<Finding>) {
                     "{call} outside the pool module iterates only the live clients and \
                      skips every paged-out one; use for_sampled_parallel/evaluate_ids/\
                      with_client (or metas() for always-resident data)"
+                ),
+            ));
+        }
+    }
+}
+
+/// K1: ISA-specific intrinsics are confined to the one module whose job is
+/// runtime dispatch. Anywhere else, `std::arch` imports or ad hoc feature
+/// probes fork the numerics away from the scalar oracle and dodge the
+/// resolve-once policy (`FCA_GEMM_KERNEL`, trace stamping). Applies to
+/// test code too — bit-exactness tests compare *kernels via the dispatch
+/// API*, not hand-rolled intrinsics.
+fn k1_isa_confinement(f: &FileLint, out: &mut Vec<Finding>) {
+    if !in_k1_scope(&f.path) {
+        return;
+    }
+    for ci in 0..f.code.len() {
+        let tok = f.code_tok(ci);
+        let what = if f.code_matches(ci, &["std", ":", ":", "arch"])
+            || f.code_matches(ci, &["core", ":", ":", "arch"])
+        {
+            Some("std::arch / core::arch")
+        } else if f.code_matches(ci, &["is_x86_feature_detected"]) {
+            Some("is_x86_feature_detected!")
+        } else {
+            None
+        };
+        if let Some(what) = what {
+            out.push(f.finding(
+                "K1",
+                tok,
+                format!(
+                    "{what} outside crates/tensor/src/simd.rs: ISA-specific code must go \
+                     through the dispatch module so kernel selection stays resolve-once \
+                     and the scalar oracle stays authoritative"
                 ),
             ));
         }
@@ -353,6 +398,30 @@ mod tests {
     fn f1_exempts_test_modules() {
         let src = "#[cfg(test)]\nmod tests {\n  fn t(fleet: &mut Fleet) { for c in fleet.clients_mut() {} }\n}\n";
         assert!(run("crates/core/src/algo/fedproto.rs", src).is_empty());
+    }
+
+    #[test]
+    fn k1_flags_isa_use_outside_dispatch_module() {
+        let arch = "use std::arch::x86_64::_mm256_fmadd_ps;\n";
+        assert_eq!(run("crates/tensor/src/gemm.rs", arch).len(), 1);
+        assert_eq!(run("crates/nn/src/conv.rs", arch).len(), 1);
+        assert!(run("crates/tensor/src/simd.rs", arch).is_empty());
+        let core_arch = "use core::arch::x86_64::__m256;\n";
+        assert_eq!(run("crates/tensor/src/pack.rs", core_arch).len(), 1);
+        let probe = "fn f() -> bool { is_x86_feature_detected!(\"avx2\") }\n";
+        assert_eq!(run("crates/bench/src/lib.rs", probe).len(), 1);
+        assert!(run("crates/tensor/src/simd.rs", probe).is_empty());
+    }
+
+    #[test]
+    fn k1_ignores_lookalikes_and_applies_in_tests() {
+        // `arch` as a field/ident and strings don't trip it.
+        let ok = "fn f(m: &Model) { let a = m.arch; let s = \"std::arch\"; }\n";
+        assert!(run("crates/models/src/model.rs", ok).is_empty());
+        // No test-module exemption: kernels are compared via the dispatch
+        // API, never via hand-rolled intrinsics.
+        let test_src = "#[cfg(test)]\nmod tests {\n  use std::arch::x86_64::_mm256_add_ps;\n}\n";
+        assert_eq!(run("crates/tensor/src/gemm.rs", test_src).len(), 1);
     }
 
     #[test]

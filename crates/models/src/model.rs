@@ -4,6 +4,7 @@
 use crate::classifier::{Classifier, ClassifierWeights};
 use fca_nn::module::{load_state_dict, state_dict, Module};
 use fca_nn::structure::Sequential;
+use fca_tensor::quant::Precision;
 use fca_tensor::rng::SnapRng;
 use fca_tensor::{Tensor, Workspace};
 
@@ -145,6 +146,13 @@ impl ClientModel {
         let mut p = self.feature_extractor.params_mut();
         p.extend(self.classifier.params_mut());
         p
+    }
+
+    /// Select the compute precision for inference-mode forwards (applies
+    /// to both extractor and classifier). Training numerics stay f32.
+    pub fn set_eval_precision(&mut self, precision: Precision) {
+        self.feature_extractor.set_eval_precision(precision);
+        self.classifier.set_eval_precision(precision);
     }
 
     /// Zero all gradients.

@@ -5,6 +5,7 @@ use crate::init::kaiming_normal;
 use crate::module::{Module, Param};
 use fca_tensor::gemm::{gemm_packed, pack_a, pack_b, packed_a_len, packed_b_len};
 use fca_tensor::linalg::dot;
+use fca_tensor::quant::{gemm_quant, Precision};
 use fca_tensor::{SlotId, Tensor, Workspace};
 use fca_trace::OpId;
 use rand::Rng;
@@ -64,6 +65,9 @@ pub struct Conv2d {
     gypack_slot: SlotId,
     /// `[n, c, h, w]` of the last forward input (`n == 0` before any).
     in_dims: [usize; 4],
+    /// Compute precision for inference-mode forwards (f32 by default).
+    /// Training forwards and the backward pass are always f32.
+    eval_precision: Precision,
 }
 
 impl Conv2d {
@@ -100,6 +104,7 @@ impl Conv2d {
             bpack_slot: SlotId::fresh(),
             gypack_slot: SlotId::fresh(),
             in_dims: [0; 4],
+            eval_precision: Precision::F32,
         }
     }
 
@@ -221,7 +226,7 @@ fn col2im(
 }
 
 impl Module for Conv2d {
-    fn forward(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         let fwd_span = fca_trace::clock();
         let (n, c, h, w) = x.shape().as_nchw();
         let g = self.geom;
@@ -246,6 +251,40 @@ impl Module for Conv2d {
         let mut out = ws.tensor([n, g.out_channels, oh, ow]);
         let mut col_all = ws.take_slot(self.col_slot, n * col_img);
         let weight = self.weight.value.data();
+        let bias = self.bias.value.data();
+        let x_data = x.data();
+        let img_sz = c * h * w;
+        let out_img_sz = g.out_channels * row_len;
+
+        if !train && self.eval_precision != Precision::F32 {
+            // Inference-only quantized path: `gemm_quant` owns its own
+            // quantize-on-pack (thread-local scratch, sequential driver),
+            // so the per-image rayon region needs no shared f32 panels.
+            let prec = self.eval_precision;
+            out.data_mut()
+                .par_chunks_mut(out_img_sz)
+                .zip(col_all.par_chunks_mut(col_img))
+                .enumerate()
+                .for_each(|(ni, (out_img, col))| {
+                    let img = &x_data[ni * img_sz..(ni + 1) * img_sz];
+                    for grp in 0..g.groups {
+                        let col_g = &mut col[grp * kdim * row_len..(grp + 1) * kdim * row_len];
+                        let span = fca_trace::clock();
+                        im2col(img, h, w, grp * icg, (grp + 1) * icg, &g, oh, ow, col_g);
+                        fca_trace::op(OpId::Im2col, span);
+                        let y_g = &mut out_img[grp * ocg * row_len..(grp + 1) * ocg * row_len];
+                        for (oc_local, plane) in y_g.chunks_mut(row_len).enumerate() {
+                            plane.fill(bias[grp * ocg + oc_local]);
+                        }
+                        let w_g = &weight[grp * ocg * kdim..(grp + 1) * ocg * kdim];
+                        gemm_quant(w_g, col_g, y_g, (ocg, kdim, row_len), (false, false), prec);
+                    }
+                });
+            ws.put_slot(self.col_slot, col_all);
+            self.in_dims = [n, c, h, w];
+            fca_trace::op(OpId::ConvForward, fwd_span);
+            return out;
+        }
 
         // Pack each group's weight into MR-panels once per call; the packed
         // panels are shared read-only by every image in the rayon region.
@@ -264,11 +303,6 @@ impl Module for Conv2d {
         fca_trace::op(OpId::GemmPack, span);
         let b_len = packed_b_len(kdim, row_len);
         let mut bpack_all = ws.take_slot(self.bpack_slot, n * g.groups * b_len);
-
-        let bias = self.bias.value.data();
-        let x_data = x.data();
-        let img_sz = c * h * w;
-        let out_img_sz = g.out_channels * row_len;
 
         out.data_mut()
             .par_chunks_mut(out_img_sz)
@@ -416,6 +450,10 @@ impl Module for Conv2d {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
     }
+
+    fn set_eval_precision(&mut self, precision: Precision) {
+        self.eval_precision = precision;
+    }
 }
 
 /// Naive direct convolution, used as a test oracle.
@@ -510,6 +548,31 @@ mod tests {
         let y = conv.forward(&x, true, &mut ws);
         let yref = conv2d_reference(&x, &conv.weight.value, &conv.bias.value, &geom);
         assert_close(&y, &yref, 1e-4);
+    }
+
+    #[test]
+    fn quantized_eval_forward_tracks_f32_and_leaves_training_alone() {
+        let mut rng = seeded_rng(68);
+        let mut ws = Workspace::new();
+        let geom = ConvGeometry {
+            in_channels: 3,
+            out_channels: 5,
+            kernel: 3,
+            stride: 1,
+            padding: 1,
+            groups: 1,
+        };
+        let mut conv = Conv2d::new(geom, &mut rng);
+        let x = Tensor::randn([2, 3, 8, 8], 1.0, &mut rng);
+        let exact = conv.forward(&x, false, &mut ws);
+        for prec in [Precision::F16, Precision::Int8] {
+            conv.set_eval_precision(prec);
+            let q = conv.forward(&x, false, &mut ws);
+            assert_close(&q, &exact, 0.25);
+            // Training forwards must stay bit-identical f32.
+            let t = conv.forward(&x, true, &mut ws);
+            assert_eq!(t.data(), exact.data(), "{prec:?} leaked into training");
+        }
     }
 
     #[test]

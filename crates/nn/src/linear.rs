@@ -4,6 +4,7 @@ use crate::init::kaiming_normal;
 use crate::module::{Module, Param};
 use fca_tensor::linalg::{gemm_nn_ws, gemm_nt_ws, gemm_tn_ws};
 use fca_tensor::ops::add_bias_rows;
+use fca_tensor::quant::{gemm_quant, Precision};
 use fca_tensor::{SlotId, Tensor, Workspace};
 use fca_trace::OpId;
 use rand::Rng;
@@ -25,6 +26,9 @@ pub struct Linear {
     in_slot: SlotId,
     /// Row count of the last cached input (0 before any forward).
     cached_rows: usize,
+    /// Compute precision for inference-mode forwards (f32 by default).
+    /// Training forwards and the backward pass are always f32.
+    eval_precision: Precision,
 }
 
 impl Linear {
@@ -38,6 +42,7 @@ impl Linear {
             bias: Param::new("linear.bias", Tensor::zeros([out_features])),
             in_slot: SlotId::fresh(),
             cached_rows: 0,
+            eval_precision: Precision::F32,
         }
     }
 
@@ -51,20 +56,33 @@ impl Linear {
         self.weight.value.dims()[0]
     }
 
-    /// Forward without caching (inference-only helper).
+    /// Forward without caching (inference-only helper). Honors the
+    /// configured eval precision.
     pub fn forward_inference(&self, x: &Tensor, ws: &mut Workspace) -> Tensor {
         let span = fca_trace::clock();
         let n = x.dims()[0];
-        let mut y = ws.tensor_zeroed([n, self.out_features()]);
-        gemm_nt_ws(
-            x.data(),
-            self.weight.value.data(),
-            y.data_mut(),
-            n,
-            self.in_features(),
-            self.out_features(),
-            ws,
-        );
+        let (in_f, out_f) = (self.in_features(), self.out_features());
+        let mut y = ws.tensor_zeroed([n, out_f]);
+        if self.eval_precision == Precision::F32 {
+            gemm_nt_ws(
+                x.data(),
+                self.weight.value.data(),
+                y.data_mut(),
+                n,
+                in_f,
+                out_f,
+                ws,
+            );
+        } else {
+            gemm_quant(
+                x.data(),
+                self.weight.value.data(),
+                y.data_mut(),
+                (n, in_f, out_f),
+                (false, true),
+                self.eval_precision,
+            );
+        }
         add_bias_rows(&mut y, &self.bias.value);
         fca_trace::op(OpId::LinearForward, span);
         y
@@ -72,7 +90,7 @@ impl Linear {
 }
 
 impl Module for Linear {
-    fn forward(&mut self, x: &Tensor, _train: bool, ws: &mut Workspace) -> Tensor {
+    fn forward(&mut self, x: &Tensor, train: bool, ws: &mut Workspace) -> Tensor {
         let span = fca_trace::clock();
         assert_eq!(
             x.dims()[1],
@@ -87,15 +105,27 @@ impl Module for Linear {
         // variants draw packing scratch from the workspace pool, keeping
         // the steady state allocation-free.
         let mut y = ws.tensor_zeroed([n, out_f]);
-        gemm_nt_ws(
-            x.data(),
-            self.weight.value.data(),
-            y.data_mut(),
-            n,
-            in_f,
-            out_f,
-            ws,
-        );
+        if train || self.eval_precision == Precision::F32 {
+            gemm_nt_ws(
+                x.data(),
+                self.weight.value.data(),
+                y.data_mut(),
+                n,
+                in_f,
+                out_f,
+                ws,
+            );
+        } else {
+            // Inference-only quantized path; training forwards stay f32.
+            gemm_quant(
+                x.data(),
+                self.weight.value.data(),
+                y.data_mut(),
+                (n, in_f, out_f),
+                (false, true),
+                self.eval_precision,
+            );
+        }
         add_bias_rows(&mut y, &self.bias.value);
         let mut cache = ws.take_slot(self.in_slot, n * in_f);
         cache.copy_from_slice(x.data());
@@ -151,6 +181,10 @@ impl Module for Linear {
     fn params_mut(&mut self) -> Vec<&mut Param> {
         vec![&mut self.weight, &mut self.bias]
     }
+
+    fn set_eval_precision(&mut self, precision: Precision) {
+        self.eval_precision = precision;
+    }
 }
 
 #[cfg(test)]
@@ -180,6 +214,31 @@ mod tests {
         let a = l.forward(&x, true, &mut ws);
         let b = l.forward_inference(&x, &mut ws);
         assert_eq!(a, b);
+    }
+
+    #[test]
+    fn quantized_eval_forward_tracks_f32_and_leaves_training_alone() {
+        let mut rng = seeded_rng(55);
+        let mut ws = Workspace::new();
+        let mut l = Linear::new(32, 10, &mut rng);
+        let x = Tensor::randn([4, 32], 1.0, &mut rng);
+        let exact = l.forward(&x, false, &mut ws);
+        for prec in [Precision::F16, Precision::Int8] {
+            l.set_eval_precision(prec);
+            let q = l.forward(&x, false, &mut ws);
+            let qi = l.forward_inference(&x, &mut ws);
+            assert_eq!(q, qi, "{prec:?}: cached vs inference forward diverge");
+            for (a, b) in exact.data().iter().zip(q.data()) {
+                assert!(
+                    (a - b).abs() < 0.35 * (1.0 + a.abs()),
+                    "{prec:?} eval drifted: {a} vs {b}"
+                );
+            }
+            // Training forwards must be bit-identical regardless of the
+            // configured eval precision.
+            let t = l.forward(&x, true, &mut ws);
+            assert_eq!(t, exact, "{prec:?} leaked into the training path");
+        }
     }
 
     #[test]

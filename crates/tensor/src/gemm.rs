@@ -32,6 +32,7 @@
 //! **bit-identical for any `RAYON_NUM_THREADS`** (asserted by tests here
 //! and relied on by the reproduction's seeded-run guarantees).
 
+use crate::simd::Kernel;
 use rayon::prelude::*;
 
 /// Microkernel rows: A panels are this many rows wide.
@@ -53,7 +54,7 @@ const PAR_THRESHOLD: usize = 64 * 1024;
 /// plain mul+add otherwise — `mul_add` without hardware support would fall
 /// back to a libm call per element.
 #[inline(always)]
-fn fmadd(a: f32, b: f32, c: f32) -> f32 {
+pub(crate) fn fmadd(a: f32, b: f32, c: f32) -> f32 {
     if cfg!(target_feature = "fma") {
         a.mul_add(b, c)
     } else {
@@ -158,7 +159,7 @@ pub fn pack_b(b: &[f32], k: usize, n: usize, trans: bool, out: &mut [f32]) {
 /// convinces LLVM to hold each accumulator row in vector registers instead
 /// of round-tripping a 2D array through the stack (a ~14× difference).
 #[inline(always)]
-fn axpy_row(acc: &mut [f32; NR], a: f32, b: &[f32; NR]) {
+pub(crate) fn axpy_row(acc: &mut [f32; NR], a: f32, b: &[f32; NR]) {
     for (av, &bv) in acc.iter_mut().zip(b) {
         *av = fmadd(a, bv, *av);
     }
@@ -179,7 +180,14 @@ fn axpy_row(acc: &mut [f32; NR], a: f32, b: &[f32; NR]) {
 // SAFETY: given the contract above, every store below targets
 // `c.add(i * ldc)[..len]` with `i < mr` and `len <= nr`, which stays
 // inside the caller's exclusive `mr × nr` region at stride `ldc`.
-unsafe fn microkernel(pa: &[f32], pb: &[f32], c: *mut f32, ldc: usize, mr: usize, nr: usize) {
+pub(crate) unsafe fn microkernel(
+    pa: &[f32],
+    pb: &[f32],
+    c: *mut f32,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
     let mut r0 = [0.0f32; NR];
     let mut r1 = [0.0f32; NR];
     let mut r2 = [0.0f32; NR];
@@ -231,11 +239,12 @@ unsafe fn microkernel(pa: &[f32], pb: &[f32], c: *mut f32, ldc: usize, mr: usize
 /// columns `[j0, j1)` concurrently. `i0`/`j0` must be multiples of
 /// MR/NR respectively (they are multiples of MC/NC by construction).
 #[allow(clippy::too_many_arguments)]
-// SAFETY: the only unsafe op below is the `microkernel` call at
-// `c.add(ir * n + jr)` with `ir < i1 <= m`, `jr < j1 <= n`, and `mr`/`nr`
-// clipped to the tile edge — exactly the `mr × nr` region at stride `n`
-// that microkernel's contract requires, inside this tile's exclusive area.
+// SAFETY: the only unsafe op below is the arm-dispatched microkernel call
+// at `c.add(ir * n + jr)` with `ir < i1 <= m`, `jr < j1 <= n`, and mr/nr
+// clipped to the tile edge — exactly the mr × nr region at stride n the
+// microkernel contract requires, inside this tile's exclusive area.
 unsafe fn compute_tile(
+    arm: Kernel,
     pa: &[f32],
     pb: &[f32],
     c: *mut f32,
@@ -258,7 +267,7 @@ unsafe fn compute_tile(
             while ir < i1 {
                 let mr = MR.min(i1 - ir);
                 let pap = &pa[(ir / MR) * MR * k + kc_lo * MR..][..klen * MR];
-                microkernel(pap, pbp, c.add(ir * n + jr), n, mr, nr);
+                crate::simd::microkernel_arm(arm, pap, pbp, c.add(ir * n + jr), n, mr, nr);
                 ir += MR;
             }
             jr += NR;
@@ -284,8 +293,24 @@ unsafe impl Sync for TilePtr {}
 /// accumulated into (zero it first for a plain product).
 ///
 /// Parallelizes over the 2D macro-tile grid once the work is large enough;
-/// results are bit-identical across thread counts (see module docs).
+/// results are bit-identical across thread counts **and** across kernel
+/// arms (see module docs and [`crate::simd`]).
 pub fn gemm_packed(pa: &[f32], pb: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    gemm_packed_arm(crate::simd::active(), pa, pb, c, m, k, n);
+}
+
+/// [`gemm_packed`] with an explicit kernel arm instead of the
+/// process-wide dispatch — the hook test and bench harnesses use to
+/// compare arms bit-for-bit within one process.
+pub fn gemm_packed_arm(
+    arm: Kernel,
+    pa: &[f32],
+    pb: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
     debug_assert!(pa.len() >= packed_a_len(m, k));
     debug_assert!(pb.len() >= packed_b_len(k, n));
     debug_assert_eq!(c.len(), m * n);
@@ -302,6 +327,7 @@ pub fn gemm_packed(pa: &[f32], pb: &[f32], c: &mut [f32], m: usize, k: usize, n:
         // [j0, j0+NC) of C; regions of distinct t are disjoint.
         unsafe {
             compute_tile(
+                arm,
                 pa,
                 pb,
                 cp.0,
@@ -321,18 +347,131 @@ pub fn gemm_packed(pa: &[f32], pb: &[f32], c: &mut [f32], m: usize, k: usize, n:
     }
 }
 
-#[cfg(test)]
-mod tests {
-    use super::*;
+// ---------------------------------------------------------------------------
+// Skinny-shape path.
+//
+// The `tn` weight-gradient (`dW = Xᵀ·dY`: m = classes ≈ 10) and other
+// short-m products waste 80%+ of the 8×16 register tile and pay a full
+// pack_b for B rows that are touched once. The skinny path packs only A
+// (row-major, trivially small) and streams B directly from row-major
+// storage in 16-column strips. Per-element arithmetic — KC slab order,
+// sequential k, one add into C per slab — is identical to the packed
+// engine, so the result is bit-for-bit the same (property-tested below).
+// ---------------------------------------------------------------------------
 
-    fn fill(v: &mut [f32], seed: &mut u64) {
-        for x in v.iter_mut() {
+/// Largest m the skinny path accepts.
+pub(crate) const SKINNY_MAX_M: usize = 16;
+/// Smallest n for which strip-streaming B beats the packed engine.
+pub(crate) const SKINNY_MIN_N: usize = 4 * NR;
+
+/// True when `C += A·B` should take the skinny-m path. B must be stored
+/// row-major `k × n` (`trans_b = false`) since the kernel streams it.
+pub(crate) fn skinny_applies(m: usize, k: usize, n: usize, trans_b: bool) -> bool {
+    !trans_b && m >= 1 && m <= SKINNY_MAX_M && n >= SKINNY_MIN_N && k > 0
+}
+
+/// Materialize the logical `m × k` A row-major (resolving `trans`), the
+/// only packing the skinny path needs.
+pub(crate) fn pack_a_rowmajor(a: &[f32], m: usize, k: usize, trans: bool, out: &mut [f32]) {
+    debug_assert_eq!(a.len(), m * k);
+    debug_assert!(out.len() >= m * k);
+    if trans {
+        for i in 0..m {
+            for kk in 0..k {
+                out[i * k + kk] = a[kk * m + i];
+            }
+        }
+    } else {
+        out[..m * k].copy_from_slice(a);
+    }
+}
+
+/// Scalar skinny kernel: `C += A·B` with A row-major `m × k`, B row-major
+/// `k × n` read in place. One row × 16-column strip at a time with a
+/// fixed-size accumulator (the [`axpy_row`] shape LLVM keeps in vector
+/// registers), scalar tail for the last `n % NR` columns. Bit-identical
+/// to the packed engine and to the SIMD skinny arms.
+pub(crate) fn skinny_scalar(arow: &[f32], b: &[f32], c: &mut [f32], m: usize, k: usize, n: usize) {
+    debug_assert_eq!(arow.len(), m * k);
+    debug_assert_eq!(b.len(), k * n);
+    debug_assert_eq!(c.len(), m * n);
+    if m == 0 || n == 0 || k == 0 {
+        return;
+    }
+    let nstrip = n - n % NR;
+    let mut j0 = 0;
+    while j0 < nstrip {
+        for i in 0..m {
+            let ar = &arow[i * k..(i + 1) * k];
+            let mut kc_lo = 0;
+            while kc_lo < k {
+                let kc_hi = (kc_lo + KC).min(k);
+                let mut acc = [0.0f32; NR];
+                for (kk, &av) in ar.iter().enumerate().take(kc_hi).skip(kc_lo) {
+                    let bf: &[f32; NR] = b[kk * n + j0..kk * n + j0 + NR]
+                        .try_into()
+                        .expect("NR-sized strip");
+                    axpy_row(&mut acc, av, bf);
+                }
+                let crow = &mut c[i * n + j0..i * n + j0 + NR];
+                for (cj, &v) in crow.iter_mut().zip(&acc) {
+                    *cj += v;
+                }
+                kc_lo += KC;
+            }
+        }
+        j0 += NR;
+    }
+    skinny_tail(arow, b, c, m, k, n, nstrip);
+}
+
+/// Column tail of the skinny path: columns `[j_lo, n)` one at a time,
+/// same slab/sequential-k arithmetic. Shared by the scalar and SIMD arms
+/// so their tails are trivially identical.
+pub(crate) fn skinny_tail(
+    arow: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+    j_lo: usize,
+) {
+    for i in 0..m {
+        let ar = &arow[i * k..(i + 1) * k];
+        for j in j_lo..n {
+            let mut kc_lo = 0;
+            while kc_lo < k {
+                let kc_hi = (kc_lo + KC).min(k);
+                let mut acc = 0.0f32;
+                for (kk, &av) in ar.iter().enumerate().take(kc_hi).skip(kc_lo) {
+                    acc = fmadd(av, b[kk * n + j], acc);
+                }
+                c[i * n + j] += acc;
+                kc_lo += KC;
+            }
+        }
+    }
+}
+
+#[cfg(test)]
+pub(crate) mod tests_support {
+    /// Deterministic LCG fill in `[-0.5, 0.5)`, shared by sibling
+    /// modules' tests so every oracle sees the same inputs.
+    pub(crate) fn fill(v: &mut [f32], seed: &mut u64) {
+        for x in v {
             *seed = seed
                 .wrapping_mul(6364136223846793005)
                 .wrapping_add(1442695040888963407);
             *x = ((*seed >> 33) as f32 / (1u64 << 31) as f32) - 0.5;
         }
     }
+}
+
+#[cfg(test)]
+mod tests {
+    use super::tests_support::fill;
+    use super::*;
 
     fn reference_nn(a: &[f32], b: &[f32], m: usize, k: usize, n: usize) -> Vec<f32> {
         let mut c = vec![0.0f32; m * n];
@@ -490,5 +629,167 @@ mod tests {
         for (x, y) in c.iter().zip(&once) {
             assert_eq!(*x, 2.0 * y);
         }
+    }
+
+    fn packed_product_arm(
+        arm: Kernel,
+        a: &[f32],
+        b: &[f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) -> Vec<f32> {
+        let mut pa = vec![f32::NAN; packed_a_len(m, k).max(1)];
+        let mut pb = vec![f32::NAN; packed_b_len(k, n).max(1)];
+        pack_a(a, m, k, false, &mut pa);
+        pack_b(b, k, n, false, &mut pb);
+        let mut c = vec![0.0f32; m * n];
+        gemm_packed_arm(arm, &pa, &pb, &mut c, m, k, n);
+        c
+    }
+
+    /// Tentpole acceptance: every explicit-SIMD arm must be bit-identical
+    /// to the scalar oracle over an exhaustive sweep of every m/n
+    /// remainder around the MR/NR register tile plus KC slab boundaries
+    /// (the narrow-nr, clipped-mr, and partial-slab store paths all get
+    /// hit).
+    #[test]
+    fn explicit_arms_match_scalar_bit_for_bit() {
+        let arms = crate::simd::available();
+        let ms: Vec<usize> = (1..=2 * MR + 1).collect();
+        let ns: Vec<usize> = (1..=2 * NR + 1).collect();
+        let ks = [1, 3, 7, 64, KC - 1, KC, KC + 1, 2 * KC + 3];
+        let mut seed = 0xA11CE;
+        for &k in &ks {
+            for &m in &ms {
+                for &n in &ns {
+                    let mut a = vec![0.0f32; m * k];
+                    let mut b = vec![0.0f32; k * n];
+                    fill(&mut a, &mut seed);
+                    fill(&mut b, &mut seed);
+                    let oracle = packed_product_arm(Kernel::Scalar, &a, &b, m, k, n);
+                    for &arm in &arms {
+                        if arm == Kernel::Scalar {
+                            continue;
+                        }
+                        let got = packed_product_arm(arm, &a, &b, m, k, n);
+                        assert_eq!(got, oracle, "arm {} diverged at {m}x{k}x{n}", arm.as_str());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Larger multi-macro-tile shapes: arms must agree where the parallel
+    /// tile grid and tile-edge clipping both engage.
+    #[test]
+    fn explicit_arms_match_scalar_on_macro_tiles() {
+        let mut seed = 0x5CA1E;
+        for &(m, k, n) in &[
+            (MC - 1, 65, NC + 3),
+            (MC + 1, KC + 1, NC - 1),
+            (2 * MC + 2, 65, 2 * NC + 4),
+        ] {
+            let mut a = vec![0.0f32; m * k];
+            let mut b = vec![0.0f32; k * n];
+            fill(&mut a, &mut seed);
+            fill(&mut b, &mut seed);
+            let oracle = packed_product_arm(Kernel::Scalar, &a, &b, m, k, n);
+            for arm in crate::simd::available() {
+                let got = packed_product_arm(arm, &a, &b, m, k, n);
+                assert_eq!(got, oracle, "arm {} at {m}x{k}x{n}", arm.as_str());
+            }
+        }
+    }
+
+    /// Thread-count invariance must hold per arm (each arm's kernel is
+    /// deterministic under the macro-tile decomposition).
+    #[test]
+    fn explicit_arms_bit_exact_across_thread_counts() {
+        let (m, k, n) = (MC + 9, 65, NC + 21);
+        let mut seed = 0xF00D;
+        let mut a = vec![0.0f32; m * k];
+        let mut b = vec![0.0f32; k * n];
+        fill(&mut a, &mut seed);
+        fill(&mut b, &mut seed);
+        for arm in crate::simd::available() {
+            let run = || packed_product_arm(arm, &a, &b, m, k, n);
+            let baseline = rayon::ThreadPoolBuilder::new()
+                .num_threads(1)
+                .build()
+                .expect("pool")
+                .install(run);
+            for threads in [2, 8] {
+                let got = rayon::ThreadPoolBuilder::new()
+                    .num_threads(threads)
+                    .build()
+                    .expect("pool")
+                    .install(run);
+                assert_eq!(baseline, got, "{} x {threads} threads", arm.as_str());
+            }
+        }
+    }
+
+    /// The skinny path (every arm) must be bit-identical to the packed
+    /// engine — it is substituted silently inside `gemm_into`, so this is
+    /// what keeps training gradients reproducible across the dispatch
+    /// boundary. Sweep covers strip remainders, row-group remainders, and
+    /// KC slab boundaries.
+    #[test]
+    fn skinny_path_is_bit_identical_to_packed_engine() {
+        let mut seed = 0x51131;
+        let ns = [SKINNY_MIN_N, SKINNY_MIN_N + 1, 79, 512, 5 * NR + 3];
+        let ks = [1, 7, 64, KC - 1, KC, KC + 1];
+        for m in 1..=SKINNY_MAX_M {
+            for &n in &ns {
+                for &k in &ks {
+                    let mut a = vec![0.0f32; m * k];
+                    let mut b = vec![0.0f32; k * n];
+                    fill(&mut a, &mut seed);
+                    fill(&mut b, &mut seed);
+                    assert!(skinny_applies(m, k, n, false));
+                    let oracle = packed_product(&a, &b, m, k, n);
+                    for arm in crate::simd::available() {
+                        let mut c = vec![0.0f32; m * n];
+                        crate::simd::skinny_arm(arm, &a, &b, &mut c, m, k, n);
+                        assert_eq!(c, oracle, "skinny {} at {m}x{k}x{n}", arm.as_str());
+                    }
+                }
+            }
+        }
+    }
+
+    /// Shapes the skinny heuristic must refuse: transposed B, wide m,
+    /// narrow n, empty k.
+    #[test]
+    fn skinny_heuristic_bounds() {
+        assert!(skinny_applies(10, 64, 512, false));
+        assert!(!skinny_applies(10, 64, 512, true));
+        assert!(!skinny_applies(SKINNY_MAX_M + 1, 64, 512, false));
+        assert!(!skinny_applies(10, 64, SKINNY_MIN_N - 1, false));
+        assert!(!skinny_applies(10, 0, 512, false));
+        assert!(!skinny_applies(0, 64, 512, false));
+    }
+
+    /// `pack_a_rowmajor` with `trans` must equal packing the explicit
+    /// transpose.
+    #[test]
+    fn pack_a_rowmajor_trans_round_trip() {
+        let (m, k) = (6, 11);
+        let mut seed = 3;
+        let mut a = vec![0.0f32; m * k];
+        fill(&mut a, &mut seed);
+        let mut at = vec![0.0f32; m * k]; // k×m storage
+        for i in 0..m {
+            for kk in 0..k {
+                at[kk * m + i] = a[i * k + kk];
+            }
+        }
+        let mut out = vec![0.0f32; m * k];
+        pack_a_rowmajor(&at, m, k, true, &mut out);
+        assert_eq!(out, a);
+        let mut out2 = vec![0.0f32; m * k];
+        pack_a_rowmajor(&a, m, k, false, &mut out2);
+        assert_eq!(out2, a);
     }
 }

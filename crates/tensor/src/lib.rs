@@ -20,25 +20,35 @@
 //! flop counts); tracing observes and never branches, so traced results
 //! stay bit-identical to untraced ones — see `linalg`'s module docs and
 //! DESIGN.md §7.4.
+//!
+//! GEMM kernels are selected once per process by [`simd::active`]
+//! (runtime CPUID dispatch: scalar / AVX2+FMA / AVX-512, overridable via
+//! `FCA_GEMM_KERNEL`); all arms are bit-identical. Eval-only forwards can
+//! additionally opt into the quantized f16/int8 compute path in [`quant`].
 
 #![warn(missing_docs)]
 
 pub mod gemm;
 pub mod linalg;
 pub mod ops;
+pub mod quant;
 pub mod rng;
 pub mod serialize;
 pub mod shape;
+pub mod simd;
 pub mod tensor;
 pub mod workspace;
 
+pub use quant::Precision;
 pub use shape::Shape;
+pub use simd::Kernel;
 pub use tensor::Tensor;
 pub use workspace::{PoolStats, SlotId, Workspace, WorkspacePool, WorkspaceStats};
 
 /// Convenience prelude importing the types and traits most users need.
 pub mod prelude {
     pub use crate::linalg::{matmul, matmul_nt, matmul_tn};
+    pub use crate::quant::Precision;
     pub use crate::rng::{derive_seed, seeded_rng};
     pub use crate::shape::Shape;
     pub use crate::tensor::Tensor;

@@ -33,7 +33,10 @@
 //! results are bit-identical to untraced ones; with tracing inactive each
 //! probe is one relaxed atomic load.
 
-use crate::gemm::{gemm_packed, pack_a, pack_b, packed_a_len, packed_b_len};
+use crate::gemm::{
+    gemm_packed_arm, pack_a, pack_a_rowmajor, pack_b, packed_a_len, packed_b_len, skinny_applies,
+};
+use crate::simd::Kernel;
 use crate::tensor::Tensor;
 use crate::workspace::Workspace;
 use fca_trace::OpId;
@@ -63,7 +66,37 @@ fn gemm_into(
     n: usize,
     trans: (bool, bool),
 ) {
+    gemm_buffers_arm(crate::simd::active(), buffers, (a, b), c, (m, k, n), trans);
+}
+
+/// [`gemm_into`] with an explicit kernel arm: packs, picks the skinny
+/// path when it applies (bit-identical, see [`crate::gemm`]), and runs
+/// the blocked engine otherwise.
+fn gemm_buffers_arm(
+    arm: Kernel,
+    buffers: (&mut Vec<f32>, &mut Vec<f32>),
+    ab: (&[f32], &[f32]),
+    c: &mut [f32],
+    dims: (usize, usize, usize),
+    trans: (bool, bool),
+) {
+    let (a, b) = ab;
+    let (m, k, n) = dims;
     let (pa, pb) = buffers;
+    if skinny_applies(m, k, n, trans.1) {
+        // Short-m product with row-major B: pack only A and stream B.
+        let alen = m * k;
+        if pa.len() < alen {
+            pa.resize(alen, 0.0);
+        }
+        let span = fca_trace::clock();
+        pack_a_rowmajor(a, m, k, trans.0, &mut pa[..alen]);
+        fca_trace::op(OpId::GemmPack, span);
+        let span = fca_trace::clock();
+        crate::simd::skinny_arm(arm, &pa[..alen], b, c, m, k, n);
+        fca_trace::op_flops(OpId::GemmKernel, span, 2 * (m * k * n) as u64);
+        return;
+    }
     let (alen, blen) = (packed_a_len(m, k), packed_b_len(k, n));
     if pa.len() < alen {
         pa.resize(alen, 0.0);
@@ -76,11 +109,11 @@ fn gemm_into(
     pack_b(b, k, n, trans.1, &mut pb[..blen]);
     fca_trace::op(OpId::GemmPack, span);
     let span = fca_trace::clock();
-    gemm_packed(&pa[..alen], &pb[..blen], c, m, k, n);
+    gemm_packed_arm(arm, &pa[..alen], &pb[..blen], c, m, k, n);
     fca_trace::op_flops(OpId::GemmKernel, span, 2 * (m * k * n) as u64);
 }
 
-fn gemm_thread_local(
+pub(crate) fn gemm_thread_local(
     a: &[f32],
     b: &[f32],
     c: &mut [f32],
@@ -93,6 +126,26 @@ fn gemm_thread_local(
         let mut scratch = cell.borrow_mut();
         let (pa, pb) = &mut *scratch;
         gemm_into((pa, pb), a, b, c, m, k, n, trans);
+    });
+}
+
+/// `C += op_a(A) · op_b(B)` with an explicit kernel arm instead of the
+/// process-wide dispatch, using the per-thread pack scratch. `dims` is
+/// `(m, k, n)`, `trans` the per-operand transpose flags. This is the
+/// bench/test hook for comparing arms (including the skinny path) inside
+/// one process; results are bit-identical across arms.
+pub fn gemm_arm(
+    arm: Kernel,
+    a: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    dims: (usize, usize, usize),
+    trans: (bool, bool),
+) {
+    PACK_SCRATCH.with(|cell| {
+        let mut scratch = cell.borrow_mut();
+        let (pa, pb) = &mut *scratch;
+        gemm_buffers_arm(arm, (pa, pb), (a, b), c, dims, trans);
     });
 }
 

@@ -1,0 +1,821 @@
+//! Explicit-SIMD microkernels and runtime kernel dispatch.
+//!
+//! This module is the **only** place in the workspace allowed to touch
+//! `std::arch`/`core::arch` intrinsics or `is_x86_feature_detected!`
+//! (enforced by the `K1` fca-lint rule), so every ISA decision is auditable
+//! in one file. Everything else selects a kernel through [`active`] /
+//! [`Kernel`] and calls the `*_arm` dispatch shims below.
+//!
+//! # Kernel arms
+//!
+//! * [`Kernel::Scalar`] — the safe autovectorized engine from
+//!   [`crate::gemm`]. Portable fallback **and** bit-exactness oracle.
+//! * [`Kernel::Avx2Fma`] — AVX2+FMA f32 microkernel: the 8×16 tile is
+//!   computed as two 4×16 register passes (8 YMM accumulators + 2 B
+//!   vectors + 1 broadcast stays inside the 16-register file), plus a
+//!   narrow subkernel for `nr ≤ 8` column strips (the small-n classifier
+//!   shapes) and a skinny-m kernel that reads row-major B directly.
+//! * [`Kernel::Avx512`] — AVX-512F variant: one ZMM covers the full
+//!   `NR = 16` tile width, so all 8 rows accumulate in a single pass.
+//!
+//! # Determinism contract
+//!
+//! Every arm performs the *identical* per-element arithmetic: KC slabs in
+//! ascending order, sequential-k accumulation from 0.0 within a slab, one
+//! f32 add into C per slab, and the same fused-vs-unfused multiply-add
+//! choice (the crate-wide [`BASE_FMA`] constant, captured *outside* any
+//! `#[target_feature]` context so it reflects the build flags rather than
+//! the kernel's enabled features). Vector lanes are just parallel copies
+//! of the scalar chain, so **kernel choice never affects result bits** —
+//! property-tested exhaustively in this module and relied on by the
+//! seeded-run reproducibility guarantees.
+//!
+//! The quantized (f16/int8) microkernels live here too; their shared
+//! quantize-on-pack logic is scalar code in [`crate::quant`], so all arms
+//! consume identical quantized panels.
+
+use crate::gemm::{fmadd, microkernel, skinny_scalar, KC, MR, NR};
+use crate::quant::{microkernel_f16_scalar, microkernel_i8_scalar};
+use std::sync::OnceLock;
+
+/// True when the crate itself is compiled with FMA codegen (e.g.
+/// `-C target-cpu=native` from `.cargo/config.toml`). The explicit kernels
+/// branch on this so their multiply-add contraction always matches the
+/// scalar oracle's [`fmadd`], whatever features a build enables.
+pub(crate) const BASE_FMA: bool = cfg!(target_feature = "fma");
+
+/// A GEMM kernel arm, resolved once per process by [`active`].
+#[derive(Clone, Copy, Debug, PartialEq, Eq)]
+pub enum Kernel {
+    /// Safe autovectorized fallback (also the bit-exactness oracle).
+    Scalar,
+    /// Explicit AVX2+FMA microkernels.
+    Avx2Fma,
+    /// Explicit AVX-512F microkernels.
+    Avx512,
+}
+
+impl Kernel {
+    /// Stable lowercase name, as recorded in the trace `run_start` event
+    /// and the `FCA_GEMM_KERNEL` override.
+    pub fn as_str(self) -> &'static str {
+        match self {
+            Kernel::Scalar => "scalar",
+            Kernel::Avx2Fma => "avx2_fma",
+            Kernel::Avx512 => "avx512",
+        }
+    }
+}
+
+/// What runtime detection resolved, cached for the process lifetime.
+struct Resolved {
+    arm: Kernel,
+    /// F16C conversions available (and the arm is not forced scalar):
+    /// gates the vectorized f16 consumption kernel.
+    f16c: bool,
+}
+
+static RESOLVED: OnceLock<Resolved> = OnceLock::new();
+
+fn resolved() -> &'static Resolved {
+    RESOLVED.get_or_init(resolve)
+}
+
+/// The kernel arm every GEMM entry point dispatches to, resolved once from
+/// CPUID (plus the `FCA_GEMM_KERNEL` override: `scalar` forces the
+/// fallback, `avx2_fma`/`avx512` force an arm that must be available,
+/// `auto`/unset picks the best detected).
+pub fn active() -> Kernel {
+    resolved().arm
+}
+
+/// All arms the current machine can run, scalar first. Test and bench
+/// harnesses iterate this to compare arms bit-for-bit in one process.
+pub fn available() -> Vec<Kernel> {
+    let mut arms = vec![Kernel::Scalar];
+    if detect(Kernel::Avx2Fma) {
+        arms.push(Kernel::Avx2Fma);
+    }
+    if detect(Kernel::Avx512) {
+        arms.push(Kernel::Avx512);
+    }
+    arms
+}
+
+fn resolve() -> Resolved {
+    let arm = match std::env::var("FCA_GEMM_KERNEL") {
+        Ok(v) => match v.as_str() {
+            "" | "auto" => best(),
+            "scalar" => Kernel::Scalar,
+            "avx2" | "avx2_fma" => forced(Kernel::Avx2Fma),
+            "avx512" => forced(Kernel::Avx512),
+            other => panic!(
+                "FCA_GEMM_KERNEL={other:?} is not a kernel \
+                 (expected auto|scalar|avx2_fma|avx512)"
+            ),
+        },
+        Err(_) => best(),
+    };
+    Resolved {
+        arm,
+        f16c: arm != Kernel::Scalar && detect_f16c(),
+    }
+}
+
+fn forced(arm: Kernel) -> Kernel {
+    assert!(
+        detect(arm),
+        "FCA_GEMM_KERNEL forces {} but the CPU does not support it",
+        arm.as_str()
+    );
+    arm
+}
+
+fn best() -> Kernel {
+    if detect(Kernel::Avx512) {
+        Kernel::Avx512
+    } else if detect(Kernel::Avx2Fma) {
+        Kernel::Avx2Fma
+    } else {
+        Kernel::Scalar
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect(arm: Kernel) -> bool {
+    match arm {
+        Kernel::Scalar => true,
+        Kernel::Avx2Fma => {
+            std::arch::is_x86_feature_detected!("avx2")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+        Kernel::Avx512 => {
+            std::arch::is_x86_feature_detected!("avx512f")
+                && std::arch::is_x86_feature_detected!("fma")
+        }
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+fn detect_f16c() -> bool {
+    std::arch::is_x86_feature_detected!("f16c") && detect(Kernel::Avx2Fma)
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect(arm: Kernel) -> bool {
+    arm == Kernel::Scalar
+}
+
+#[cfg(not(target_arch = "x86_64"))]
+fn detect_f16c() -> bool {
+    false
+}
+
+// ---------------------------------------------------------------------------
+// Dispatch shims: one `match` per microkernel invocation (microkernels cost
+// thousands of cycles each, so the predicted branch is free) and no fn
+// pointers, which keeps `#[target_feature]` coercion rules out of play.
+// ---------------------------------------------------------------------------
+
+/// f32 microkernel for one MR×NR tile on the given arm.
+///
+/// # Safety
+///
+/// Same contract as [`crate::gemm::microkernel`]: `c` must be valid for
+/// `mr × nr` read/writes at row stride `ldc` with no concurrent aliasing.
+/// Non-scalar arms additionally require that `arm` was reported available
+/// by [`available`]/[`active`] (runtime CPUID detection).
+// SAFETY: each match arm forwards the caller's contract unchanged; the
+// ISA-specific arms are only reachable for arms that runtime detection
+// reported available.
+pub(crate) unsafe fn microkernel_arm(
+    arm: Kernel,
+    pa: &[f32],
+    pb: &[f32],
+    c: *mut f32,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    match arm {
+        Kernel::Scalar => microkernel(pa, pb, c, ldc, mr, nr),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2Fma => x86::microkernel_avx2(pa, pb, c, ldc, mr, nr),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx512 => x86::microkernel_avx512(pa, pb, c, ldc, mr, nr),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => microkernel(pa, pb, c, ldc, mr, nr),
+    }
+}
+
+/// Skinny-m kernel (`C += A_rowmajor · B`, B read directly, no packing)
+/// on the given arm. Safe: operates on checked slices.
+pub(crate) fn skinny_arm(
+    arm: Kernel,
+    arow: &[f32],
+    b: &[f32],
+    c: &mut [f32],
+    m: usize,
+    k: usize,
+    n: usize,
+) {
+    match arm {
+        Kernel::Scalar => skinny_scalar(arow, b, c, m, k, n),
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: runtime detection established AVX2+FMA before handing
+        // out this `Kernel` value.
+        Kernel::Avx2Fma => unsafe { x86::skinny_avx2(arow, b, c, m, k, n) },
+        #[cfg(target_arch = "x86_64")]
+        // SAFETY: runtime detection established AVX-512F before handing
+        // out this `Kernel` value.
+        Kernel::Avx512 => unsafe { x86::skinny_avx512(arow, b, c, m, k, n) },
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => skinny_scalar(arow, b, c, m, k, n),
+    }
+}
+
+/// f16 microkernel (quantized panels, f32 accumulation) for one tile.
+///
+/// # Safety
+///
+/// Same `c` contract as [`microkernel_arm`]. Uses the F16C conversion
+/// kernel only when CPUID reported it (falls back to scalar otherwise).
+// SAFETY: forwards the caller's `c` contract; the F16C arm is gated on
+// the cached runtime-detection result.
+pub(crate) unsafe fn microkernel_f16_arm(
+    arm: Kernel,
+    pa: &[u16],
+    pb: &[u16],
+    c: *mut f32,
+    ldc: usize,
+    mr: usize,
+    nr: usize,
+) {
+    #[cfg(target_arch = "x86_64")]
+    if arm != Kernel::Scalar && resolved().f16c {
+        return x86::microkernel_f16_avx2(pa, pb, c, ldc, mr, nr);
+    }
+    let _ = arm;
+    microkernel_f16_scalar(pa, pb, c, ldc, mr, nr)
+}
+
+/// int8 microkernel (per-row/col scales, exact f32 integer accumulation)
+/// for one tile. `clip` is `(mr, nr)`; `scales` is `(row, col)` slices of
+/// at least MR/NR entries for this tile.
+///
+/// # Safety
+///
+/// Same `c` contract as [`microkernel_arm`]; non-scalar arms require the
+/// runtime-detected AVX2+FMA feature set.
+// SAFETY: forwards the caller's `c` contract; the AVX2 arm is only
+// reachable for runtime-detected arms.
+pub(crate) unsafe fn microkernel_i8_arm(
+    arm: Kernel,
+    pa: &[i8],
+    pb: &[i8],
+    c: *mut f32,
+    ldc: usize,
+    clip: (usize, usize),
+    scales: (&[f32], &[f32]),
+) {
+    match arm {
+        Kernel::Scalar => microkernel_i8_scalar(pa, pb, c, ldc, clip, scales),
+        #[cfg(target_arch = "x86_64")]
+        Kernel::Avx2Fma | Kernel::Avx512 => x86::microkernel_i8_avx2(pa, pb, c, ldc, clip, scales),
+        #[cfg(not(target_arch = "x86_64"))]
+        _ => microkernel_i8_scalar(pa, pb, c, ldc, clip, scales),
+    }
+}
+
+#[cfg(target_arch = "x86_64")]
+mod x86 {
+    use super::{fmadd, BASE_FMA, KC, MR, NR};
+    use crate::quant::f16_lut;
+    use core::arch::x86_64::*;
+
+    /// Multiply-add matching the scalar [`fmadd`] contraction choice: the
+    /// `BASE_FMA` branch is a compile-time constant, so this folds to one
+    /// instruction either way.
+    #[inline]
+    #[target_feature(enable = "avx2", enable = "fma")]
+    // SAFETY: intrinsic-only body, no memory access; reached only from
+    // kernels that dispatch resolved as AVX2+FMA-capable at startup.
+    unsafe fn fm256(a: __m256, b: __m256, c: __m256) -> __m256 {
+        if BASE_FMA {
+            _mm256_fmadd_ps(a, b, c)
+        } else {
+            _mm256_add_ps(_mm256_mul_ps(a, b), c)
+        }
+    }
+
+    /// [`fm256`] at ZMM width.
+    #[inline]
+    #[target_feature(enable = "avx512f")]
+    // SAFETY: intrinsic-only body, no memory access; reached only from
+    // the AVX-512 kernel, which dispatch gates on avx512f support.
+    unsafe fn fm512(a: __m512, b: __m512, c: __m512) -> __m512 {
+        if BASE_FMA {
+            _mm512_fmadd_ps(a, b, c)
+        } else {
+            _mm512_add_ps(_mm512_mul_ps(a, b), c)
+        }
+    }
+
+    /// AVX2+FMA f32 microkernel: two 4×16 register passes (or the narrow
+    /// single-YMM subkernel for `nr ≤ 8`). Bit-identical to
+    /// [`crate::gemm::microkernel`].
+    ///
+    /// # Safety
+    ///
+    /// `c` valid for `mr × nr` read/writes at stride `ldc`, exclusive to
+    /// this call; AVX2+FMA must be available.
+    // SAFETY: all pointer arithmetic below stays inside `pa`/`pb` (panel
+    // slabs of kc·MR / kc·NR floats) and the caller's mr×nr region of C.
+    pub(super) unsafe fn microkernel_avx2(
+        pa: &[f32],
+        pb: &[f32],
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        if nr <= 8 {
+            microkernel_avx2_narrow(pa, pb, c, ldc, mr, nr)
+        } else {
+            microkernel_avx2_main(pa, pb, c, ldc, mr, nr)
+        }
+    }
+
+    /// # Safety
+    ///
+    /// See [`microkernel_avx2`].
+    // SAFETY: loads walk exactly kc panel rows; stores are clipped to the
+    // caller's mr×nr region.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn microkernel_avx2_main(
+        pa: &[f32],
+        pb: &[f32],
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        let kc = pb.len() / NR;
+        debug_assert_eq!(pa.len(), kc * MR);
+        for half in 0..2 {
+            let row0 = half * 4;
+            if row0 >= mr {
+                break;
+            }
+            let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+            let mut ap = pa.as_ptr().add(row0);
+            let mut bp = pb.as_ptr();
+            for _ in 0..kc {
+                let b0 = _mm256_loadu_ps(bp);
+                let b1 = _mm256_loadu_ps(bp.add(8));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add(r));
+                    accr[0] = fm256(av, b0, accr[0]);
+                    accr[1] = fm256(av, b1, accr[1]);
+                }
+                ap = ap.add(MR);
+                bp = bp.add(NR);
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let i = row0 + r;
+                if i >= mr {
+                    break;
+                }
+                let cp = c.add(i * ldc);
+                if nr == NR {
+                    _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), accr[0]));
+                    let ch = cp.add(8);
+                    _mm256_storeu_ps(ch, _mm256_add_ps(_mm256_loadu_ps(ch), accr[1]));
+                } else {
+                    let mut spill = [0.0f32; NR];
+                    _mm256_storeu_ps(spill.as_mut_ptr(), accr[0]);
+                    _mm256_storeu_ps(spill.as_mut_ptr().add(8), accr[1]);
+                    for (j, &v) in spill.iter().take(nr).enumerate() {
+                        *cp.add(j) += v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// Narrow subkernel for `nr ≤ 8` (small-n classifier logits): one YMM
+    /// column strip, all 8 rows in a single pass.
+    ///
+    /// # Safety
+    ///
+    /// See [`microkernel_avx2`].
+    // SAFETY: lanes nr..8 read zero panel padding and are never stored.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn microkernel_avx2_narrow(
+        pa: &[f32],
+        pb: &[f32],
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        let kc = pb.len() / NR;
+        debug_assert_eq!(pa.len(), kc * MR);
+        let mut acc = [_mm256_setzero_ps(); MR];
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        for _ in 0..kc {
+            let b0 = _mm256_loadu_ps(bp);
+            for (r, accr) in acc.iter_mut().enumerate() {
+                *accr = fm256(_mm256_set1_ps(*ap.add(r)), b0, *accr);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        for (i, accr) in acc.iter().enumerate().take(mr) {
+            let cp = c.add(i * ldc);
+            if nr == 8 {
+                _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), *accr));
+            } else {
+                let mut spill = [0.0f32; 8];
+                _mm256_storeu_ps(spill.as_mut_ptr(), *accr);
+                for (j, &v) in spill.iter().take(nr).enumerate() {
+                    *cp.add(j) += v;
+                }
+            }
+        }
+    }
+
+    /// AVX-512F f32 microkernel: one ZMM spans the NR=16 tile width, so
+    /// all 8 rows accumulate in a single pass (8 accumulators + 1 B
+    /// vector). Bit-identical to [`crate::gemm::microkernel`].
+    ///
+    /// # Safety
+    ///
+    /// See [`microkernel_avx2`], with AVX-512F in place of AVX2.
+    // SAFETY: loads walk exactly kc panel rows; stores are clipped to the
+    // caller's mr×nr region (spill path for partial tiles).
+    #[target_feature(enable = "avx512f", enable = "fma")]
+    pub(super) unsafe fn microkernel_avx512(
+        pa: &[f32],
+        pb: &[f32],
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        let kc = pb.len() / NR;
+        debug_assert_eq!(pa.len(), kc * MR);
+        let mut acc = [_mm512_setzero_ps(); MR];
+        let mut ap = pa.as_ptr();
+        let mut bp = pb.as_ptr();
+        for _ in 0..kc {
+            let b = _mm512_loadu_ps(bp);
+            for (r, accr) in acc.iter_mut().enumerate() {
+                *accr = fm512(_mm512_set1_ps(*ap.add(r)), b, *accr);
+            }
+            ap = ap.add(MR);
+            bp = bp.add(NR);
+        }
+        for (i, accr) in acc.iter().enumerate().take(mr) {
+            let cp = c.add(i * ldc);
+            if nr == NR {
+                _mm512_storeu_ps(cp, _mm512_add_ps(_mm512_loadu_ps(cp), *accr));
+            } else {
+                let mut spill = [0.0f32; NR];
+                _mm512_storeu_ps(spill.as_mut_ptr(), *accr);
+                for (j, &v) in spill.iter().take(nr).enumerate() {
+                    *cp.add(j) += v;
+                }
+            }
+        }
+    }
+
+    /// Skinny-m driver: 16-column strips × row groups of ≤4, B read
+    /// directly from row-major storage (no pack), scalar column tail.
+    ///
+    /// # Safety
+    ///
+    /// AVX2+FMA must be available. Slice bounds are fully checked by the
+    /// callee loads (`arow` is `m·k`, `b` is `k·n`, `c` is `m·n`).
+    // SAFETY: group calls stay inside the slice bounds asserted here.
+    pub(super) unsafe fn skinny_avx2(
+        arow: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        debug_assert_eq!(arow.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let nstrip = n - n % NR;
+        let cp = c.as_mut_ptr();
+        let mut j0 = 0;
+        while j0 < nstrip {
+            let mut i0 = 0;
+            while i0 + 4 <= m {
+                skinny_avx2_group::<4>(arow, b, cp, i0, j0, (k, n));
+                i0 += 4;
+            }
+            if m - i0 >= 2 {
+                skinny_avx2_group::<2>(arow, b, cp, i0, j0, (k, n));
+                i0 += 2;
+            }
+            if m - i0 == 1 {
+                skinny_avx2_group::<1>(arow, b, cp, i0, j0, (k, n));
+            }
+            j0 += NR;
+        }
+        if nstrip < n {
+            crate::gemm::skinny_tail(arow, b, c, m, k, n, nstrip);
+        }
+    }
+
+    /// [`skinny_avx2`] at ZMM width: one 16-lane register covers a whole
+    /// strip, and with 32 vector registers the row group stretches to the
+    /// full skinny range (`m ≤ 16`), so each strip streams B exactly once
+    /// with one load per `k` step feeding up to 16 FMAs. Per-lane
+    /// accumulation chains are identical to the scalar/AVX2 strips, so
+    /// results stay bit-for-bit equal.
+    ///
+    /// # Safety
+    ///
+    /// AVX-512F must be available. Slice bounds are fully checked by the
+    /// callee loads (`arow` is `m·k`, `b` is `k·n`, `c` is `m·n`).
+    // SAFETY: group calls stay inside the slice bounds asserted here.
+    pub(super) unsafe fn skinny_avx512(
+        arow: &[f32],
+        b: &[f32],
+        c: &mut [f32],
+        m: usize,
+        k: usize,
+        n: usize,
+    ) {
+        debug_assert_eq!(arow.len(), m * k);
+        debug_assert_eq!(b.len(), k * n);
+        debug_assert_eq!(c.len(), m * n);
+        if m == 0 || n == 0 || k == 0 {
+            return;
+        }
+        let nstrip = n - n % NR;
+        let cp = c.as_mut_ptr();
+        let mut j0 = 0;
+        while j0 < nstrip {
+            let mut i0 = 0;
+            while i0 + 16 <= m {
+                skinny_avx512_group::<16>(arow, b, cp, i0, j0, (k, n));
+                i0 += 16;
+            }
+            // One group per remainder size: a single B pass per strip
+            // (16 accumulators + B + broadcast still fit in 32 ZMMs).
+            match m - i0 {
+                0 => {}
+                1 => skinny_avx512_group::<1>(arow, b, cp, i0, j0, (k, n)),
+                2 => skinny_avx512_group::<2>(arow, b, cp, i0, j0, (k, n)),
+                3 => skinny_avx512_group::<3>(arow, b, cp, i0, j0, (k, n)),
+                4 => skinny_avx512_group::<4>(arow, b, cp, i0, j0, (k, n)),
+                5 => skinny_avx512_group::<5>(arow, b, cp, i0, j0, (k, n)),
+                6 => skinny_avx512_group::<6>(arow, b, cp, i0, j0, (k, n)),
+                7 => skinny_avx512_group::<7>(arow, b, cp, i0, j0, (k, n)),
+                8 => skinny_avx512_group::<8>(arow, b, cp, i0, j0, (k, n)),
+                9 => skinny_avx512_group::<9>(arow, b, cp, i0, j0, (k, n)),
+                10 => skinny_avx512_group::<10>(arow, b, cp, i0, j0, (k, n)),
+                11 => skinny_avx512_group::<11>(arow, b, cp, i0, j0, (k, n)),
+                12 => skinny_avx512_group::<12>(arow, b, cp, i0, j0, (k, n)),
+                13 => skinny_avx512_group::<13>(arow, b, cp, i0, j0, (k, n)),
+                14 => skinny_avx512_group::<14>(arow, b, cp, i0, j0, (k, n)),
+                _ => skinny_avx512_group::<15>(arow, b, cp, i0, j0, (k, n)),
+            }
+            j0 += NR;
+        }
+        if nstrip < n {
+            crate::gemm::skinny_tail(arow, b, c, m, k, n, nstrip);
+        }
+    }
+
+    /// One `R`-row × 16-column block of the AVX-512 skinny kernel over all
+    /// KC slabs (`R ≤ 16`: R accumulators + 1 B vector + 1 broadcast).
+    ///
+    /// # Safety
+    ///
+    /// Rows `[i0, i0+R)` and columns `[j0, j0+16)` must be in bounds for
+    /// `arow` (`m × k` row-major), `b` (`k × n`), and `c` (`m × n`).
+    // SAFETY: every load/store below indexes row < i0+R, col < j0+16,
+    // k < kn.0, all inside the caller-guaranteed bounds.
+    #[target_feature(enable = "avx512f")]
+    unsafe fn skinny_avx512_group<const R: usize>(
+        arow: &[f32],
+        b: &[f32],
+        c: *mut f32,
+        i0: usize,
+        j0: usize,
+        kn: (usize, usize),
+    ) {
+        let (k, n) = kn;
+        let ap = arow.as_ptr();
+        let bp = b.as_ptr();
+        let mut kc_lo = 0;
+        while kc_lo < k {
+            let kc_hi = (kc_lo + KC).min(k);
+            let mut acc = [_mm512_setzero_ps(); R];
+            for kk in kc_lo..kc_hi {
+                let bv = _mm512_loadu_ps(bp.add(kk * n + j0));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm512_set1_ps(*ap.add((i0 + r) * k + kk));
+                    *accr = fm512(av, bv, *accr);
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let crow = c.add((i0 + r) * n + j0);
+                _mm512_storeu_ps(crow, _mm512_add_ps(_mm512_loadu_ps(crow), *accr));
+            }
+            kc_lo += KC;
+        }
+    }
+
+    /// One `R`-row × 16-column block of the skinny kernel over all KC
+    /// slabs (`R ≤ 4`: R·2 accumulators + 2 B vectors + 1 broadcast).
+    ///
+    /// # Safety
+    ///
+    /// Rows `[i0, i0+R)` and columns `[j0, j0+16)` must be in bounds for
+    /// `arow` (`m × k` row-major), `b` (`k × n`), and `c` (`m × n`).
+    // SAFETY: every load/store below indexes row < i0+R, col < j0+16,
+    // k < kn.0, all inside the caller-guaranteed bounds.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    unsafe fn skinny_avx2_group<const R: usize>(
+        arow: &[f32],
+        b: &[f32],
+        c: *mut f32,
+        i0: usize,
+        j0: usize,
+        kn: (usize, usize),
+    ) {
+        let (k, n) = kn;
+        let ap = arow.as_ptr();
+        let bp = b.as_ptr();
+        let mut kc_lo = 0;
+        while kc_lo < k {
+            let kc_hi = (kc_lo + KC).min(k);
+            let mut acc = [[_mm256_setzero_ps(); 2]; R];
+            for kk in kc_lo..kc_hi {
+                let brow = bp.add(kk * n + j0);
+                let b0 = _mm256_loadu_ps(brow);
+                let b1 = _mm256_loadu_ps(brow.add(8));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add((i0 + r) * k + kk));
+                    accr[0] = fm256(av, b0, accr[0]);
+                    accr[1] = fm256(av, b1, accr[1]);
+                }
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let crow = c.add((i0 + r) * n + j0);
+                _mm256_storeu_ps(crow, _mm256_add_ps(_mm256_loadu_ps(crow), accr[0]));
+                let ch = crow.add(8);
+                _mm256_storeu_ps(ch, _mm256_add_ps(_mm256_loadu_ps(ch), accr[1]));
+            }
+            kc_lo += KC;
+        }
+    }
+
+    /// AVX2+F16C f16 microkernel: panels are converted lane-exactly with
+    /// `vcvtph2ps` (B) and the shared f16 lookup table (A broadcasts), so
+    /// results are bit-identical to the scalar f16 kernel.
+    ///
+    /// # Safety
+    ///
+    /// Same `c` contract as [`microkernel_avx2`]; AVX2+FMA+F16C required.
+    // SAFETY: panel loads walk exactly kc rows of MR u16 / NR u16; stores
+    // are clipped to the caller's mr×nr region.
+    #[target_feature(enable = "avx2", enable = "fma", enable = "f16c")]
+    pub(super) unsafe fn microkernel_f16_avx2(
+        pa: &[u16],
+        pb: &[u16],
+        c: *mut f32,
+        ldc: usize,
+        mr: usize,
+        nr: usize,
+    ) {
+        let kc = pb.len() / NR;
+        debug_assert_eq!(pa.len(), kc * MR);
+        let lut = f16_lut();
+        for half in 0..2 {
+            let row0 = half * 4;
+            if row0 >= mr {
+                break;
+            }
+            let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+            let mut ap = pa.as_ptr().add(row0);
+            let mut bp = pb.as_ptr();
+            for _ in 0..kc {
+                let b0 = _mm256_cvtph_ps(_mm_loadu_si128(bp as *const __m128i));
+                let b1 = _mm256_cvtph_ps(_mm_loadu_si128(bp.add(8) as *const __m128i));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(lut[*ap.add(r) as usize]);
+                    accr[0] = fm256(av, b0, accr[0]);
+                    accr[1] = fm256(av, b1, accr[1]);
+                }
+                ap = ap.add(MR);
+                bp = bp.add(NR);
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let i = row0 + r;
+                if i >= mr {
+                    break;
+                }
+                let cp = c.add(i * ldc);
+                if nr == NR {
+                    _mm256_storeu_ps(cp, _mm256_add_ps(_mm256_loadu_ps(cp), accr[0]));
+                    let ch = cp.add(8);
+                    _mm256_storeu_ps(ch, _mm256_add_ps(_mm256_loadu_ps(ch), accr[1]));
+                } else {
+                    let mut spill = [0.0f32; NR];
+                    _mm256_storeu_ps(spill.as_mut_ptr(), accr[0]);
+                    _mm256_storeu_ps(spill.as_mut_ptr().add(8), accr[1]);
+                    for (j, &v) in spill.iter().take(nr).enumerate() {
+                        *cp.add(j) += v;
+                    }
+                }
+            }
+        }
+    }
+
+    /// AVX2 int8 microkernel: sign-extend + convert to f32 lanes (exact
+    /// for the i8 range), accumulate, then apply `scale_row · scale_col`
+    /// per slab. Integer sums stay below 2²⁴ so accumulation is exact and
+    /// bit-identical to the scalar int8 kernel.
+    ///
+    /// # Safety
+    ///
+    /// Same `c` contract as [`microkernel_avx2`]; `scales` must hold at
+    /// least MR row and NR column entries; AVX2+FMA required.
+    // SAFETY: panel loads walk exactly kc rows; scale loads read MR/NR
+    // entries the caller guarantees; stores are clipped to mr×nr.
+    #[target_feature(enable = "avx2", enable = "fma")]
+    pub(super) unsafe fn microkernel_i8_avx2(
+        pa: &[i8],
+        pb: &[i8],
+        c: *mut f32,
+        ldc: usize,
+        clip: (usize, usize),
+        scales: (&[f32], &[f32]),
+    ) {
+        let (mr, nr) = clip;
+        let (sa, sb) = scales;
+        let kc = pb.len() / NR;
+        debug_assert_eq!(pa.len(), kc * MR);
+        debug_assert!(sa.len() >= mr && sb.len() >= 8);
+        let sb0 = _mm256_loadu_ps(sb.as_ptr());
+        let sb1 = _mm256_loadu_ps(sb.as_ptr().add(8));
+        for half in 0..2 {
+            let row0 = half * 4;
+            if row0 >= mr {
+                break;
+            }
+            let mut acc = [[_mm256_setzero_ps(); 2]; 4];
+            let mut ap = pa.as_ptr().add(row0);
+            let mut bp = pb.as_ptr();
+            for _ in 0..kc {
+                let b0 =
+                    _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_loadl_epi64(bp as *const __m128i)));
+                let b1 = _mm256_cvtepi32_ps(_mm256_cvtepi8_epi32(_mm_loadl_epi64(
+                    bp.add(8) as *const __m128i
+                )));
+                for (r, accr) in acc.iter_mut().enumerate() {
+                    let av = _mm256_set1_ps(*ap.add(r) as f32);
+                    accr[0] = fm256(av, b0, accr[0]);
+                    accr[1] = fm256(av, b1, accr[1]);
+                }
+                ap = ap.add(MR);
+                bp = bp.add(NR);
+            }
+            for (r, accr) in acc.iter().enumerate() {
+                let i = row0 + r;
+                if i >= mr {
+                    break;
+                }
+                let sav = _mm256_set1_ps(sa[i]);
+                let cp = c.add(i * ldc);
+                if nr == NR {
+                    let c0 = fm256(accr[0], _mm256_mul_ps(sav, sb0), _mm256_loadu_ps(cp));
+                    _mm256_storeu_ps(cp, c0);
+                    let ch = cp.add(8);
+                    let c1 = fm256(accr[1], _mm256_mul_ps(sav, sb1), _mm256_loadu_ps(ch));
+                    _mm256_storeu_ps(ch, c1);
+                } else {
+                    let mut spill = [0.0f32; NR];
+                    _mm256_storeu_ps(spill.as_mut_ptr(), accr[0]);
+                    _mm256_storeu_ps(spill.as_mut_ptr().add(8), accr[1]);
+                    for (j, &v) in spill.iter().take(nr).enumerate() {
+                        *cp.add(j) = fmadd(v, sa[i] * sb[j], *cp.add(j));
+                    }
+                }
+            }
+        }
+    }
+}

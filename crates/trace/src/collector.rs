@@ -27,6 +27,7 @@ struct Cell {
     calls: AtomicU64,
     nanos: AtomicU64,
     flops: AtomicU64,
+    bytes: AtomicU64,
 }
 
 #[allow(clippy::declare_interior_mutable_const)] // const used only as array-repeat seed
@@ -34,6 +35,7 @@ const ZERO_CELL: Cell = Cell {
     calls: AtomicU64::new(0),
     nanos: AtomicU64::new(0),
     flops: AtomicU64::new(0),
+    bytes: AtomicU64::new(0),
 };
 
 static OPS: [Cell; OpId::COUNT] = [ZERO_CELL; OpId::COUNT];
@@ -91,6 +93,20 @@ pub fn op_flops(id: OpId, started: Option<Instant>, flops: u64) {
     }
 }
 
+/// [`op`] plus a byte count attributed to the span (e.g. packed panel
+/// bytes for the quantized compute path).
+#[inline]
+pub fn op_bytes(id: OpId, started: Option<Instant>, bytes: u64) {
+    let Some(t0) = started else { return };
+    let cell = &OPS[id as usize];
+    cell.calls.fetch_add(1, Ordering::Relaxed);
+    cell.nanos
+        .fetch_add(t0.elapsed().as_nanos() as u64, Ordering::Relaxed);
+    if bytes > 0 {
+        cell.bytes.fetch_add(bytes, Ordering::Relaxed);
+    }
+}
+
 /// Close a phase span opened by [`clock`]. No-op when `started` is `None`.
 #[inline]
 pub fn phase(id: PhaseId, started: Option<Instant>) {
@@ -125,6 +141,7 @@ pub fn flush_ops(round: u64) {
         let calls = cell.calls.swap(0, Ordering::Relaxed);
         let nanos = cell.nanos.swap(0, Ordering::Relaxed);
         cell.flops.store(0, Ordering::Relaxed);
+        cell.bytes.store(0, Ordering::Relaxed);
         if calls > 0 {
             emit(&Event::Phase {
                 round,
@@ -138,6 +155,7 @@ pub fn flush_ops(round: u64) {
         let calls = cell.calls.swap(0, Ordering::Relaxed);
         let nanos = cell.nanos.swap(0, Ordering::Relaxed);
         let flops = cell.flops.swap(0, Ordering::Relaxed);
+        let bytes = cell.bytes.swap(0, Ordering::Relaxed);
         if calls > 0 {
             emit(&Event::Op {
                 round,
@@ -145,6 +163,7 @@ pub fn flush_ops(round: u64) {
                 calls,
                 total_us: nanos / 1000,
                 flops,
+                bytes,
             });
         }
     }
@@ -233,17 +252,26 @@ impl Drop for TraceGuard {
             cell.calls.store(0, Ordering::Relaxed);
             cell.nanos.store(0, Ordering::Relaxed);
             cell.flops.store(0, Ordering::Relaxed);
+            cell.bytes.store(0, Ordering::Relaxed);
         }
     }
 }
 
 /// Install `writer` as the journal sink and write its `run_start` line.
+/// `kernel` and `precision` record the process-wide compute configuration
+/// (the resolved GEMM kernel arm and eval precision — this crate sits
+/// below `fca-tensor`, so callers pass the strings).
 ///
 /// Errors with `AlreadyExists` if a sink is already installed — the
 /// journal is a process-wide singleton, so tests that trace must serialize
 /// themselves (the repo keeps all traced test logic in one `#[test]`).
 #[allow(clippy::disallowed_methods)] // stamps the run's start for the run_end duration
-pub fn install_writer(writer: Box<dyn Write + Send>, label: &str) -> io::Result<TraceGuard> {
+pub fn install_writer(
+    writer: Box<dyn Write + Send>,
+    label: &str,
+    kernel: &str,
+    precision: &str,
+) -> io::Result<TraceGuard> {
     let mut guard = SINK.lock().unwrap_or_else(|p| p.into_inner());
     if guard.is_some() {
         return Err(io::Error::new(
@@ -262,6 +290,8 @@ pub fn install_writer(writer: Box<dyn Write + Send>, label: &str) -> io::Result<
         Event::RunStart {
             schema: SCHEMA_VERSION,
             label: label.into(),
+            kernel: kernel.into(),
+            precision: precision.into(),
         }
         .to_json()
     )?;
@@ -274,7 +304,12 @@ pub fn install_writer(writer: Box<dyn Write + Send>, label: &str) -> io::Result<
 
 /// [`install_writer`] targeting a freshly created file (parent directories
 /// are created; an existing file is truncated).
-pub fn install_file(path: impl AsRef<Path>, label: &str) -> io::Result<TraceGuard> {
+pub fn install_file(
+    path: impl AsRef<Path>,
+    label: &str,
+    kernel: &str,
+    precision: &str,
+) -> io::Result<TraceGuard> {
     let path = path.as_ref();
     if let Some(parent) = path.parent() {
         if !parent.as_os_str().is_empty() {
@@ -282,5 +317,5 @@ pub fn install_file(path: impl AsRef<Path>, label: &str) -> io::Result<TraceGuar
         }
     }
     let file = std::fs::File::create(path)?;
-    install_writer(Box::new(io::BufWriter::new(file)), label)
+    install_writer(Box::new(io::BufWriter::new(file)), label, kernel, precision)
 }

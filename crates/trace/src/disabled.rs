@@ -32,6 +32,10 @@ pub fn op_flops(_id: OpId, _started: Option<Instant>, _flops: u64) {}
 
 /// No-op.
 #[inline(always)]
+pub fn op_bytes(_id: OpId, _started: Option<Instant>, _bytes: u64) {}
+
+/// No-op.
+#[inline(always)]
 pub fn phase(_id: PhaseId, _started: Option<Instant>) {}
 
 /// No-op.
@@ -73,12 +77,22 @@ pub struct TraceGuard {
 }
 
 /// Accepts and discards the writer; no journal is produced.
-pub fn install_writer(_writer: Box<dyn Write + Send>, _label: &str) -> io::Result<TraceGuard> {
+pub fn install_writer(
+    _writer: Box<dyn Write + Send>,
+    _label: &str,
+    _kernel: &str,
+    _precision: &str,
+) -> io::Result<TraceGuard> {
     Ok(TraceGuard { _private: () })
 }
 
 /// Accepts the path without touching the filesystem; no journal is
 /// produced.
-pub fn install_file(_path: impl AsRef<Path>, _label: &str) -> io::Result<TraceGuard> {
+pub fn install_file(
+    _path: impl AsRef<Path>,
+    _label: &str,
+    _kernel: &str,
+    _precision: &str,
+) -> io::Result<TraceGuard> {
     Ok(TraceGuard { _private: () })
 }

@@ -16,7 +16,7 @@ use std::fmt::Write as _;
 /// fields, or a change in a field's unit or meaning. Readers (the
 /// `trace_report` bin, the CI smoke check) refuse other versions rather
 /// than guessing.
-pub const SCHEMA_VERSION: u64 = 2;
+pub const SCHEMA_VERSION: u64 = 3;
 
 /// One journal line. See DESIGN.md §7.4 for units and emission points.
 ///
@@ -25,12 +25,19 @@ pub const SCHEMA_VERSION: u64 = 2;
 /// untrained round-0 evaluation).
 #[derive(Clone, Debug, PartialEq, Eq)]
 pub enum Event {
-    /// First line of every journal: schema version and a free-form label.
+    /// First line of every journal: schema version, a free-form label, and
+    /// the process-wide compute configuration (resolved GEMM kernel arm and
+    /// eval precision), so every downstream number is attributable to a
+    /// kernel.
     RunStart {
         /// The writer's [`SCHEMA_VERSION`].
         schema: u64,
         /// Free-form run label chosen at install time.
         label: String,
+        /// Resolved GEMM kernel arm (`scalar` / `avx2_fma` / `avx512`).
+        kernel: String,
+        /// Eval precision (`f32` / `f16` / `int8`).
+        precision: String,
     },
     /// Accumulated time inside one round phase (broadcast, local_train,
     /// collect, aggregate, evaluate). `calls` counts span activations —
@@ -60,6 +67,9 @@ pub enum Event {
         /// Floating-point operations attributed to this op (0 when the op
         /// does not count flops).
         flops: u64,
+        /// Bytes moved/produced by this op (0 when the op does not count
+        /// bytes; quantized packing reports packed panel bytes).
+        bytes: u64,
     },
     /// Fleet-wide workspace allocator counters at an evaluation point
     /// (cumulative since run start; see `fca_tensor::WorkspaceStats`).
@@ -127,10 +137,19 @@ impl Event {
     pub fn to_json(&self) -> String {
         let mut s = String::with_capacity(96);
         match self {
-            Event::RunStart { schema, label } => {
+            Event::RunStart {
+                schema,
+                label,
+                kernel,
+                precision,
+            } => {
                 s.push_str("{\"ev\":\"run_start\",\"schema\":");
                 let _ = write!(s, "{schema},\"label\":");
                 push_json_string(&mut s, label);
+                s.push_str(",\"kernel\":");
+                push_json_string(&mut s, kernel);
+                s.push_str(",\"precision\":");
+                push_json_string(&mut s, precision);
                 s.push('}');
             }
             Event::Phase {
@@ -150,13 +169,15 @@ impl Event {
                 calls,
                 total_us,
                 flops,
+                bytes,
             } => {
                 s.push_str("{\"ev\":\"op\",\"round\":");
                 let _ = write!(s, "{round},\"op\":");
                 push_json_string(&mut s, op);
                 let _ = write!(
                     s,
-                    ",\"calls\":{calls},\"total_us\":{total_us},\"flops\":{flops}}}"
+                    ",\"calls\":{calls},\"total_us\":{total_us},\"flops\":{flops},\
+                     \"bytes\":{bytes}}}"
                 );
             }
             Event::Workspace {
@@ -227,6 +248,8 @@ impl Event {
             "run_start" => Event::RunStart {
                 schema: take_num(&mut fields, "schema")?,
                 label: take_str(&mut fields, "label")?,
+                kernel: take_str(&mut fields, "kernel")?,
+                precision: take_str(&mut fields, "precision")?,
             },
             "phase" => Event::Phase {
                 round: take_num(&mut fields, "round")?,
@@ -240,6 +263,7 @@ impl Event {
                 calls: take_num(&mut fields, "calls")?,
                 total_us: take_num(&mut fields, "total_us")?,
                 flops: take_num(&mut fields, "flops")?,
+                bytes: take_num(&mut fields, "bytes")?,
             },
             "workspace" => Event::Workspace {
                 round: take_num(&mut fields, "round")?,
@@ -469,6 +493,8 @@ mod tests {
             Event::RunStart {
                 schema: SCHEMA_VERSION,
                 label: "quickstart".into(),
+                kernel: "avx2_fma".into(),
+                precision: "f32".into(),
             },
             Event::Phase {
                 round: 3,
@@ -482,6 +508,15 @@ mod tests {
                 calls: 1024,
                 total_us: 88_210,
                 flops: 3_221_225_472,
+                bytes: 0,
+            },
+            Event::Op {
+                round: 3,
+                op: "quant_pack".into(),
+                calls: 64,
+                total_us: 1_800,
+                flops: 0,
+                bytes: 8_388_608,
             },
             Event::Workspace {
                 round: 3,
@@ -534,6 +569,8 @@ mod tests {
             let ev = Event::RunStart {
                 schema: 1,
                 label: label.into(),
+                kernel: "scalar".into(),
+                precision: "int8".into(),
             };
             assert_eq!(Event::parse(&ev.to_json()), Ok(ev));
         }
@@ -561,7 +598,10 @@ mod tests {
 
     #[test]
     fn journals_from_other_schema_versions_are_detectable() {
-        let ev = Event::parse(r#"{"ev":"run_start","schema":999,"label":"x"}"#).expect("parses");
+        let ev = Event::parse(
+            r#"{"ev":"run_start","schema":999,"label":"x","kernel":"scalar","precision":"f32"}"#,
+        )
+        .expect("parses");
         let Event::RunStart { schema, .. } = ev else {
             panic!("wrong variant")
         };

@@ -35,11 +35,14 @@ pub enum OpId {
     LinearForward,
     /// Whole `Linear::backward` call.
     LinearBackward,
+    /// Quantize-on-pack for the f16/int8 eval compute path; carries the
+    /// packed panel byte count.
+    QuantPack,
 }
 
 impl OpId {
     /// Number of registered operations.
-    pub const COUNT: usize = 12;
+    pub const COUNT: usize = 13;
 
     /// Every operation, in counter-array order.
     pub const ALL: [OpId; Self::COUNT] = [
@@ -55,6 +58,7 @@ impl OpId {
         OpId::ConvBackward,
         OpId::LinearForward,
         OpId::LinearBackward,
+        OpId::QuantPack,
     ];
 
     /// The journal name of this operation.
@@ -72,6 +76,7 @@ impl OpId {
             OpId::ConvBackward => "conv_backward",
             OpId::LinearForward => "linear_forward",
             OpId::LinearBackward => "linear_backward",
+            OpId::QuantPack => "quant_pack",
         }
     }
 }

@@ -70,7 +70,7 @@ mod collector;
 #[cfg(feature = "enabled")]
 pub use collector::{
     clock, emit_pool, emit_round, emit_workspace, flush_ops, install_file, install_writer,
-    is_active, op, op_flops, phase, TraceGuard,
+    is_active, op, op_bytes, op_flops, phase, TraceGuard,
 };
 
 #[cfg(not(feature = "enabled"))]
@@ -78,7 +78,7 @@ mod disabled;
 #[cfg(not(feature = "enabled"))]
 pub use disabled::{
     clock, emit_pool, emit_round, emit_workspace, flush_ops, install_file, install_writer,
-    is_active, op, op_flops, phase, TraceGuard,
+    is_active, op, op_bytes, op_flops, phase, TraceGuard,
 };
 
 #[cfg(test)]
@@ -122,11 +122,12 @@ mod tests {
         flush_ops(0); // no sink: must not panic
 
         let buf = Shared::default();
-        let guard = install_writer(Box::new(buf.clone()), "unit \"quoted\"").expect("install");
+        let guard = install_writer(Box::new(buf.clone()), "unit \"quoted\"", "avx2_fma", "f32")
+            .expect("install");
         assert!(is_active());
 
         // Second install while active must fail.
-        let second = install_writer(Box::new(Shared::default()), "dup");
+        let second = install_writer(Box::new(Shared::default()), "dup", "scalar", "f32");
         assert!(second.is_err(), "double install accepted");
 
         // Record spans from a few threads, then flush round 1.
@@ -144,6 +145,8 @@ mod tests {
         }
         phase(PhaseId::Broadcast, clock());
         phase(PhaseId::LocalTrain, clock());
+        op_bytes(OpId::QuantPack, clock(), 2048);
+        op_bytes(OpId::QuantPack, clock(), 2048);
         flush_ops(1);
         emit_workspace(1, 4, 2, 98, 4096);
         emit_pool(1, 0, 7, 42, 42, 42, 8192);
@@ -168,8 +171,9 @@ mod tests {
         assert!(
             matches!(
                 &events[0],
-                Event::RunStart { schema, label }
+                Event::RunStart { schema, label, kernel, precision }
                     if *schema == SCHEMA_VERSION && label == "unit \"quoted\""
+                        && kernel == "avx2_fma" && precision == "f32"
             ),
             "journal must open with run_start: {:?}",
             events[0]
@@ -189,6 +193,16 @@ mod tests {
             })
             .expect("gemm_kernel op event");
         assert_eq!(kernel, (40, 40_000), "atomic op totals are exact");
+        let quant = events
+            .iter()
+            .find_map(|e| match e {
+                Event::Op {
+                    op, calls, bytes, ..
+                } if op == "quant_pack" => Some((*calls, *bytes)),
+                _ => None,
+            })
+            .expect("quant_pack op event");
+        assert_eq!(quant, (2, 4096), "byte totals are exact");
         let phases: Vec<&str> = events
             .iter()
             .filter_map(|e| match e {
@@ -215,7 +229,8 @@ mod tests {
 
         // A fresh install after drop starts from zeroed cells.
         let buf2 = Shared::default();
-        let guard2 = install_writer(Box::new(buf2.clone()), "second").expect("reinstall");
+        let guard2 =
+            install_writer(Box::new(buf2.clone()), "second", "scalar", "f16").expect("reinstall");
         flush_ops(9);
         drop(guard2);
         let events2: Vec<Event> = buf2
@@ -242,10 +257,12 @@ mod tests {
         assert!(!is_active());
 
         let buf = Shared::default();
-        let guard = install_writer(Box::new(buf.clone()), "noop").expect("install");
+        let guard =
+            install_writer(Box::new(buf.clone()), "noop", "scalar", "f32").expect("install");
         assert!(!is_active(), "disabled build must never activate");
         assert!(clock().is_none());
         op_flops(OpId::GemmKernel, clock(), 123);
+        op_bytes(OpId::QuantPack, clock(), 123);
         phase(PhaseId::Broadcast, clock());
         flush_ops(1);
         emit_workspace(1, 1, 1, 1, 1);

@@ -30,6 +30,7 @@ fn cfg(rounds: usize) -> FedConfig {
         hp: HyperParams::micro_default(),
         faults: FaultPlan::none(),
         eval_sample: 0,
+        eval_precision: fedclassavg_suite::tensor::quant::Precision::F32,
     }
 }
 

@@ -40,7 +40,8 @@ fn main() {
         } else {
             "fleet_scale"
         };
-        trace::install_file(&journal, label).expect("install trace journal")
+        let kernel = fedclassavg_suite::tensor::simd::active().as_str();
+        trace::install_file(&journal, label, kernel, "f32").expect("install trace journal")
     });
 
     // The fleet: 100k clients, one training image each (the cross-device
@@ -61,6 +62,7 @@ fn main() {
         hp: HyperParams::micro_default(),
         faults: FaultPlan::none(),
         eval_sample,
+        eval_precision: fedclassavg_suite::tensor::quant::Precision::F32,
     };
     println!(
         "fleet: {num_clients} clients, {} sampled/round, residency cap {max_resident}",

@@ -32,6 +32,7 @@ fn main() {
         hp: HyperParams::micro_default(),
         faults: FaultPlan::none(),
         eval_sample: 0,
+        eval_precision: fedclassavg_suite::tensor::quant::Precision::F32,
     };
 
     let mut summaries = Vec::new();

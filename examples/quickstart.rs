@@ -44,7 +44,8 @@ fn main() {
         } else {
             "quickstart"
         };
-        trace::install_file(&journal, label).expect("install trace journal")
+        let kernel = fedclassavg_suite::tensor::simd::active().as_str();
+        trace::install_file(&journal, label, kernel, "f32").expect("install trace journal")
     });
 
     // 1. A synthetic Fashion-MNIST-like dataset (1×28×28, 10 classes).
@@ -65,6 +66,7 @@ fn main() {
         hp: HyperParams::micro_default(),
         faults: FaultPlan::none(),
         eval_sample: 0,
+        eval_precision: fedclassavg_suite::tensor::quant::Precision::F32,
     };
     let mut fleet = build_fleet(
         &data,

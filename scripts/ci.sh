@@ -26,6 +26,11 @@ RUSTDOCFLAGS="-D warnings" cargo doc --workspace --no-deps --quiet
 echo "=== optimized-build numerics: fca-tensor in release ==="
 cargo test -q --release -p fca-tensor
 
+echo "=== kernel override: fca-tensor again with dispatch pinned to scalar ==="
+# Exercises the FCA_GEMM_KERNEL escape hatch and proves the portable
+# fallback passes the same suite the explicit-SIMD arms do.
+FCA_GEMM_KERNEL=scalar cargo test -q --release -p fca-tensor
+
 echo "=== fault tolerance: wire fuzz + fault injection in release ==="
 cargo test -q --release --test fault_tolerance
 cargo test -q --release --test failure_injection

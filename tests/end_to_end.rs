@@ -35,6 +35,7 @@ fn small_cfg(seed: u64, rounds: usize) -> FedConfig {
         hp: HyperParams::micro_default().with_lr(3e-3),
         faults: FaultPlan::none(),
         eval_sample: 0,
+        eval_precision: fedclassavg_suite::tensor::quant::Precision::F32,
     }
 }
 

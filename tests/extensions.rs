@@ -33,6 +33,7 @@ fn cfg(seed: u64, rounds: usize) -> FedConfig {
         hp: HyperParams::micro_default().with_lr(3e-3),
         faults: FaultPlan::none(),
         eval_sample: 0,
+        eval_precision: fedclassavg_suite::tensor::quant::Precision::F32,
     }
 }
 

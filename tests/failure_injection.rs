@@ -33,6 +33,7 @@ fn small_cfg(seed: u64) -> FedConfig {
         faults: FaultPlan::none(),
         hp: HyperParams::micro_default(),
         eval_sample: 0,
+        eval_precision: fedclassavg_suite::tensor::quant::Precision::F32,
     }
 }
 

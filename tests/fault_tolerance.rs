@@ -124,6 +124,7 @@ fn faulty_run(seed: u64, rounds: usize, plan: FaultPlan) -> RunResult {
         hp: HyperParams::micro_default(),
         faults: plan,
         eval_sample: 0,
+        eval_precision: fedclassavg_suite::tensor::quant::Precision::F32,
     };
     let mut fleet = build_fleet(
         &data,

@@ -36,6 +36,7 @@ fn trained_fleet(seed: u64, federated: bool) -> (Fleet, fedclassavg_suite::fed::
         hp: HyperParams::micro_default().with_lr(3e-3),
         faults: FaultPlan::none(),
         eval_sample: 0,
+        eval_precision: fedclassavg_suite::tensor::quant::Precision::F32,
     };
     let mut fleet = build_fleet(
         &data,

@@ -1,0 +1,85 @@
+//! Round-trip check for the quantized eval path: a federation evaluated
+//! under `eval_precision: f16` / `int8` must land within a small accuracy
+//! tolerance of the exact f32 evaluation of the *same* training run, and
+//! must not perturb training at all (the learning trajectory and wire
+//! traffic are byte-identical — training numerics are always f32).
+//!
+//! Also holds paged fleets to the resident-fleet answer: the hydrator
+//! stamps the configured precision on every page-in, so a client evaluated
+//! from a snapshot blob quantizes exactly like one that stayed resident.
+
+use fedclassavg_suite::data::partition::Partitioner;
+use fedclassavg_suite::data::synth::tiny_dataset;
+use fedclassavg_suite::fed::algo::FedClassAvg;
+use fedclassavg_suite::fed::config::{FedConfig, HyperParams};
+use fedclassavg_suite::fed::sim::{build_fleet, build_fleet_paged, run_federation, RunResult};
+use fedclassavg_suite::models::ModelArch;
+use fedclassavg_suite::tensor::quant::Precision;
+
+const CLIENTS: usize = 4;
+
+fn cfg(precision: Precision) -> FedConfig {
+    let mut cfg = FedConfig::paper_20_clients(HyperParams::micro_default().with_lr(5e-3), 3, 917);
+    cfg.num_clients = CLIENTS;
+    cfg.feature_dim = 8;
+    cfg.eval_every = 1;
+    cfg.with_eval_precision(precision)
+}
+
+fn run(precision: Precision, max_resident: Option<usize>) -> RunResult {
+    let cfg = cfg(precision);
+    // A test split large enough (48 images/client) that one quantization-
+    // flipped prediction moves mean accuracy by ~0.005, far under the
+    // 0.05 tolerance asserted below.
+    let data = tiny_dataset(3, 24 * CLIENTS, 48 * CLIENTS, cfg.seed);
+    let dist = Partitioner::Dirichlet { alpha: 0.5 };
+    let mut fleet = match max_resident {
+        None => build_fleet(&data, dist, &cfg, &ModelArch::heterogeneous_rotation),
+        Some(r) => build_fleet_paged(&data, dist, &cfg, r, &ModelArch::heterogeneous_rotation),
+    };
+    let mut algo = FedClassAvg::new(cfg.feature_dim, data.train.num_classes, cfg.seed);
+    run_federation(&mut fleet, &mut algo, &cfg)
+}
+
+#[test]
+fn quantized_eval_tracks_f32_and_training_is_untouched() {
+    let exact = run(Precision::F32, None);
+    let f16 = run(Precision::F16, None);
+    let int8 = run(Precision::Int8, None);
+
+    // Training is precision-independent: identical rounds, traffic, and
+    // epoch counts — eval_precision only changes how accuracy is measured.
+    for quant in [&f16, &int8] {
+        assert_eq!(exact.rounds, quant.rounds);
+        assert_eq!(exact.downlink_bytes, quant.downlink_bytes);
+        assert_eq!(exact.uplink_bytes, quant.uplink_bytes);
+        assert_eq!(exact.curve.len(), quant.curve.len());
+        for (e, q) in exact.curve.iter().zip(&quant.curve) {
+            assert_eq!(e.epochs, q.epochs);
+        }
+    }
+
+    // Quantized accuracy stays within tolerance of the exact evaluation.
+    assert!(
+        (exact.final_mean - f16.final_mean).abs() <= 0.05,
+        "f16 eval drifted: f32 {} vs f16 {}",
+        exact.final_mean,
+        f16.final_mean
+    );
+    assert!(
+        (exact.final_mean - int8.final_mean).abs() <= 0.05,
+        "int8 eval drifted: f32 {} vs int8 {}",
+        exact.final_mean,
+        int8.final_mean
+    );
+}
+
+#[test]
+fn paged_fleet_quantizes_identically_to_resident() {
+    // Page-ins must re-stamp the configured precision (the hydrator owns
+    // it), so a 2-resident pool answers exactly like a resident fleet.
+    let resident = run(Precision::F16, None);
+    let paged = run(Precision::F16, Some(2));
+    assert_eq!(resident.per_client_acc, paged.per_client_acc);
+    assert_eq!(resident.final_mean, paged.final_mean);
+}

@@ -40,7 +40,8 @@ fn traced_run_is_bit_identical_and_journal_is_schema_valid() {
     let untraced = run_once(None);
 
     let journal = std::env::temp_dir().join(format!("fca-trace-e2e-{}.jsonl", std::process::id()));
-    let guard = trace::install_file(&journal, "trace_e2e").expect("install journal");
+    let kernel = fedclassavg_suite::tensor::simd::active().as_str();
+    let guard = trace::install_file(&journal, "trace_e2e", kernel, "f32").expect("install journal");
     let traced = run_once(None);
     drop(guard);
 
@@ -154,7 +155,8 @@ fn traced_run_is_bit_identical_and_journal_is_schema_valid() {
     // and the journal now carries real page-in/page-out counts.
     let paged_journal =
         std::env::temp_dir().join(format!("fca-trace-e2e-paged-{}.jsonl", std::process::id()));
-    let guard = trace::install_file(&paged_journal, "trace_e2e paged").expect("install journal");
+    let guard = trace::install_file(&paged_journal, "trace_e2e paged", kernel, "f32")
+        .expect("install journal");
     let paged = run_once(Some(2));
     drop(guard);
     assert_eq!(
